@@ -1,0 +1,70 @@
+"""Ablation: retry policy vs transient-fault duration.
+
+§5.6: "retry is underutilized ... NTFS is the lone file system that
+embraces retry."  The ablation sweeps how many consecutive attempts a
+transient fault eats and measures which systems still serve the read:
+ext3 (no retries) dies immediately, ReiserFS/JFS (one retry) survive a
+single glitch, NTFS (seven attempts) rides out long outages.
+"""
+
+from conftest import run_once, save_result
+
+from repro.common.errors import FSError, KernelPanic
+from repro.disk import Fault, FaultInjector, FaultKind, FaultOp, Persistence, make_disk
+from repro.fs.ext3 import Ext3, Ext3Config, mkfs_ext3
+from repro.fs.jfs import JFS, JFSConfig, mkfs_jfs
+from repro.fs.ntfs import NTFS, NTFSConfig, mkfs_ntfs
+from repro.fs.reiserfs import ReiserConfig, ReiserFS, mkfs_reiserfs
+
+SYSTEMS = {
+    "ext3": (Ext3, Ext3Config(ptrs_per_block=8), mkfs_ext3, "inode"),
+    "reiserfs": (ReiserFS, ReiserConfig(), mkfs_reiserfs, "data"),
+    "jfs": (JFS, JFSConfig(), mkfs_jfs, "inode"),
+    "ntfs": (NTFS, NTFSConfig(), mkfs_ntfs, "MFT"),
+}
+
+
+def survives(name: str, transient_len: int) -> bool:
+    fs_cls, cfg, mkfs, target_type = SYSTEMS[name]
+    disk = make_disk(cfg.total_blocks, cfg.block_size)
+    mkfs(disk, cfg)
+    fs = fs_cls(disk)
+    fs.mount()
+    fs.write_file("/f", b"contents here! " * 200)
+    fs.unmount()
+    injector = FaultInjector(disk)
+    fs2 = fs_cls(injector)
+    fs2.mount()
+    injector.set_type_oracle(fs2.block_type)
+    injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL,
+                       block_type=target_type,
+                       persistence=Persistence.TRANSIENT,
+                       transient_count=transient_len))
+    try:
+        return fs2.read_file("/f") == b"contents here! " * 200
+    except (FSError, KernelPanic):
+        return False
+
+
+def test_ablation_retry(benchmark):
+    def sweep():
+        table = {}
+        for name in SYSTEMS:
+            table[name] = [survives(name, n) for n in (1, 2, 3, 6, 7)]
+        return table
+
+    table = run_once(benchmark, sweep)
+    lines = [f"{'system':>9} " + " ".join(f"{n:>5}" for n in (1, 2, 3, 6, 7))]
+    for name, row in table.items():
+        lines.append(f"{name:>9} " + " ".join(
+            f"{'ok' if ok else 'FAIL':>5}" for ok in row))
+    lines.append("(columns: consecutive failed attempts before the fault clears)")
+    save_result("ablation_retry", "\n".join(lines))
+
+    # ext3 never retries metadata reads: even one glitch is fatal.
+    assert table["ext3"] == [False, False, False, False, False]
+    # ReiserFS and JFS absorb exactly one glitch.
+    assert table["reiserfs"][0] and not table["reiserfs"][1]
+    assert table["jfs"][0] and not table["jfs"][1]
+    # NTFS rides out six failures and succumbs only at seven.
+    assert table["ntfs"][3] and not table["ntfs"][4]

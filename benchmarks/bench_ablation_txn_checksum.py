@@ -1,0 +1,57 @@
+"""Ablation: the transactional checksum (Tc).
+
+§6.1 argues Tc removes the pre-commit ordering wait, whose cost is
+rotational.  The ablation varies the simulated drive's rotation speed:
+the Tc speedup on the synchronous TPC-B workload must grow with the
+rotational period (slower drives wait longer), and vanish as rotation
+becomes free — confirming the mechanism, not just the number.
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench.harness import BENCH_BASE_CONFIG, CACHE_BLOCKS, features_mask
+from repro.bench.workloads import BENCHMARKS, BenchScale
+from repro.disk.cache import BlockCache
+from repro.disk.disk import SimulatedDisk
+from repro.disk.geometry import DiskGeometry
+from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
+
+RPMS = {"15k rpm": 4.0e-3, "7200 rpm": 8.33e-3, "5400 rpm": 11.1e-3}
+
+
+def run_tpcb(rotation_s: float, tc: bool) -> float:
+    cfg = ixt3_config(BENCH_BASE_CONFIG, dynamic_replica_slots=512)
+    disk = SimulatedDisk(DiskGeometry(
+        num_blocks=cfg.total_blocks, block_size=cfg.block_size,
+        rotation_s=rotation_s))
+    mkfs_ixt3(disk, BENCH_BASE_CONFIG,
+              features=features_mask(("Tc",) if tc else ()), config=cfg)
+    fs = Ixt3(BlockCache(disk, CACHE_BLOCKS), sync_mode=False, commit_every=256)
+    fs.mount()
+    t0 = disk.clock
+    BENCHMARKS["TPCB"]["run"](fs, BenchScale(tpcb_txns=120))
+    fs.unmount()
+    return disk.clock - t0
+
+
+def test_ablation_txn_checksum(benchmark):
+    def sweep():
+        out = {}
+        for label, rot in RPMS.items():
+            base = run_tpcb(rot, tc=False)
+            with_tc = run_tpcb(rot, tc=True)
+            out[label] = (base, with_tc, with_tc / base)
+        return out
+
+    results = run_once(benchmark, sweep)
+    lines = [f"{'Drive':10} {'base (s)':>10} {'Tc (s)':>10} {'ratio':>7}"]
+    for label, (base, with_tc, ratio) in results.items():
+        lines.append(f"{label:10} {base:>10.3f} {with_tc:>10.3f} {ratio:>7.2f}")
+    save_result("ablation_txn_checksum", "\n".join(lines))
+
+    # Tc always helps the synchronous workload...
+    for base, with_tc, ratio in results.values():
+        assert ratio < 1.0
+    # ...and helps *more* on slower-rotating drives.
+    ratios = [results[k][2] for k in ("15k rpm", "7200 rpm", "5400 rpm")]
+    assert ratios[0] > ratios[1] > ratios[2]

@@ -1,0 +1,48 @@
+"""§5.4: the (partial) NTFS study — persistence is a virtue.
+
+The paper has no NTFS panel in Figure 2 (closed-source; analysis
+incomplete), so this regenerates the qualitative findings: aggressive
+retry counts, strong metadata sanity checking, reliable propagation,
+and the recorded-but-unused data write error."""
+
+from conftest import run_once, save_result
+
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.adapters import make_ntfs_adapter
+from repro.taxonomy import Detection, Recovery, render_full_figure
+
+
+def test_ntfs_study(benchmark):
+    fp = Fingerprinter(make_ntfs_adapter())
+    matrix = run_once(benchmark, fp.run)
+
+    counts = matrix.technique_counts()
+    summary = [
+        render_full_figure(matrix),
+        "",
+        f"tests run: {fp.tests_run}",
+        f"retry cells: {counts.get(Recovery.RETRY, 0)}",
+        f"propagate cells: {counts.get(Recovery.PROPAGATE, 0)}",
+        f"sanity cells: {counts.get(Detection.SANITY, 0)}",
+    ]
+    save_result("ntfs_study", "\n".join(summary))
+
+    # §5.4: NTFS is the lone system that embraces retry.
+    assert counts.get(Recovery.RETRY, 0) > 50
+
+    # §5.4: it propagates errors to the user quite reliably.
+    assert counts.get(Recovery.PROPAGATE, 0) > 30
+
+    # §5.4: strong sanity checking on metadata.
+    assert counts.get(Detection.SANITY, 0) > 10
+
+    # §5.4: data write errors are retried, then recorded but not used —
+    # never propagated, never fatal.
+    data_writes = [
+        obs for (fc, bt, wl), obs in matrix.cells.items()
+        if fc == "write-failure" and bt == "data"
+    ]
+    assert data_writes
+    for obs in data_writes:
+        assert Recovery.PROPAGATE not in obs.recovery
+        assert Recovery.STOP not in obs.recovery

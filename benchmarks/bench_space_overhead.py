@@ -1,0 +1,25 @@
+"""§6.2 space overheads: checksums + metadata replication should cost
+3-10% of used space, per-file parity 3-17% depending on the volume's
+file-size mix."""
+
+from conftest import run_once, save_result
+
+from repro.bench.paperdata import PAPER_SPACE_META_RANGE, PAPER_SPACE_PARITY_RANGE
+from repro.bench.space import analyze_all, render
+
+
+def test_space_overhead(benchmark):
+    results = run_once(benchmark, analyze_all)
+    save_result("space_overhead", render(results))
+
+    meta = [r.meta_redundancy_fraction for r in results]
+    parity = [r.parity_fraction for r in results]
+
+    lo, hi = PAPER_SPACE_META_RANGE
+    assert min(meta) >= lo - 0.01 and max(meta) <= hi + 0.01, meta
+
+    lo, hi = PAPER_SPACE_PARITY_RANGE
+    assert max(parity) <= hi + 0.01, parity
+    # Small-file volumes sit high in the parity range, large-file ones low.
+    by_mean = sorted(results, key=lambda r: r.data_blocks / max(r.parity_blocks, 1))
+    assert by_mean[0].parity_fraction > by_mean[-1].parity_fraction

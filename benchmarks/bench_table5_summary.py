@@ -1,0 +1,65 @@
+"""Table 5: the IRON-technique usage summary across ext3, ReiserFS and
+JFS, aggregated from fresh Figure-2 fingerprints and rendered as the
+paper's relative-frequency check marks."""
+
+from conftest import run_once, save_result
+
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.adapters import (
+    make_ext3_adapter,
+    make_jfs_adapter,
+    make_reiserfs_adapter,
+)
+from repro.taxonomy import Detection, Recovery, relative_frequency_marks
+
+LEVELS = [
+    Detection.ZERO, Detection.ERROR_CODE, Detection.SANITY, Detection.REDUNDANCY,
+    Recovery.ZERO, Recovery.PROPAGATE, Recovery.STOP, Recovery.GUESS,
+    Recovery.RETRY, Recovery.REPAIR, Recovery.REMAP, Recovery.REDUNDANCY,
+]
+
+
+def test_table5_summary(benchmark):
+    def build():
+        marks = {}
+        for make in (make_ext3_adapter, make_reiserfs_adapter, make_jfs_adapter):
+            fp = Fingerprinter(make())
+            matrix = fp.run()
+            covered, total = matrix.coverage()
+            marks[matrix.fs_name] = (
+                relative_frequency_marks(matrix.technique_counts(), total),
+                covered, total,
+            )
+        return marks
+
+    marks = run_once(benchmark, build)
+
+    lines = [f"{'Level':16} {'ext3':>8} {'Reiser':>8} {'JFS':>8}"]
+    for level in LEVELS:
+        row = f"{level.value:16}"
+        for fs in ("ext3", "reiserfs", "jfs"):
+            row += f" {marks[fs][0].get(level, ''):>8}"
+        lines.append(row)
+    lines.append("")
+    for fs in ("ext3", "reiserfs", "jfs"):
+        _, covered, total = marks[fs]
+        lines.append(f"{fs}: {covered}/{total} applicable cells show any policy")
+    table = "\n".join(lines)
+    save_result("table5_summary", table)
+
+    ext3_m, reiser_m, jfs_m = (marks[f][0] for f in ("ext3", "reiserfs", "jfs"))
+
+    # Paper's check-mark pattern, qualitatively:
+    # ext3 has notable D_zero (ignored writes); ReiserFS almost none.
+    assert ext3_m.get(Detection.ZERO)
+    assert len(reiser_m.get(Detection.ZERO, "")) <= len(ext3_m.get(Detection.ZERO, ""))
+    # ReiserFS leads in sanity checking and R_stop.
+    assert len(reiser_m.get(Detection.SANITY, "")) >= len(ext3_m.get(Detection.SANITY, ""))
+    assert reiser_m.get(Recovery.STOP)
+    # Only JFS shows any R_redundancy; nobody repairs or remaps.
+    assert jfs_m.get(Recovery.REDUNDANCY)
+    assert not ext3_m.get(Recovery.REDUNDANCY)
+    assert not reiser_m.get(Recovery.REDUNDANCY)
+    for m in (ext3_m, reiser_m, jfs_m):
+        assert not m.get(Recovery.REPAIR)
+        assert not m.get(Recovery.REMAP)

@@ -1,0 +1,17 @@
+"""IRON File Systems (SOSP 2005) — a complete reproduction.
+
+Public surface:
+
+* :mod:`repro.disk` — the simulated drive, fail-partial fault model,
+  and the type-aware fault injector.
+* :mod:`repro.taxonomy` — the IRON detection/recovery taxonomy and
+  failure-policy matrices.
+* :mod:`repro.vfs` — the common file-system API.
+* :mod:`repro.fs` — ext3, ReiserFS, JFS, NTFS, and ixt3.
+* :mod:`repro.fingerprint` — the failure-policy fingerprinting harness.
+* :mod:`repro.bench` — the Table-6 workloads and sweeps.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

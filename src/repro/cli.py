@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``fingerprint FS``
+    Run the failure-policy fingerprinting matrix against one of the
+    simulated file systems and print the Figure-2-style panels.
+
+``table6``
+    Run the Table-6 overhead sweep (all 32 ixt3 variants by default)
+    and print measured-vs-paper normalized run times.
+
+``space``
+    Print the §6.2 space-overhead analysis.
+
+``taxonomy``
+    Print the IRON detection and recovery taxonomies (Tables 1-2).
+
+``fsck-demo``
+    Corrupt a synthetic ext3 volume in several classic ways, then show
+    fsck detecting and repairing the damage (R_repair).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.disk import CorruptionMode
+    from repro.fingerprint import Fingerprinter, WORKLOAD_BY_KEY
+    from repro.fingerprint.adapters import ADAPTERS
+    from repro.taxonomy import render_full_figure
+
+    if args.fs not in ADAPTERS:
+        print(f"unknown file system {args.fs!r}; pick from {sorted(ADAPTERS)}",
+              file=sys.stderr)
+        return 2
+    adapter = ADAPTERS[args.fs]()
+    workloads = None
+    if args.workloads:
+        workloads = [WORKLOAD_BY_KEY[k] for k in args.workloads]
+    mode = CorruptionMode.FIELD if args.field_corruption else CorruptionMode.NOISE
+    fp = Fingerprinter(adapter, workloads=workloads, corruption_mode=mode,
+                       progress=(print if args.verbose else None))
+    matrix = fp.run()
+    print(render_full_figure(matrix))
+    covered, total = matrix.coverage()
+    print()
+    print(f"{fp.tests_run} fault-injection tests; "
+          f"{covered}/{total} cells show some detection or recovery")
+    return 0
+
+
+def _cmd_table6(args: argparse.Namespace) -> int:
+    from repro.bench import VARIANT_ORDER, run_table6
+
+    benches = args.benches.split(",") if args.benches else None
+    variants = VARIANT_ORDER
+    if args.quick:
+        variants = [v for v in VARIANT_ORDER if len(v) <= 1] + [VARIANT_ORDER[-1]]
+    run = run_table6(benches=benches, variants=list(variants),
+                     progress=(print if args.verbose else None))
+    # Partial variant sets can't index the full table; render manually.
+    if args.quick:
+        for bench, rows in run.results.items():
+            base = rows[0].seconds
+            print(f"{bench}:")
+            for r in rows:
+                print(f"  {r.label:18} {r.seconds / base:5.2f}  ({r.seconds:.3f}s)")
+    else:
+        print(run.render())
+    return 0
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    from repro.bench.space import analyze_all, render
+
+    print(render(analyze_all()))
+    return 0
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> int:
+    from repro.taxonomy import render_detection_table, render_recovery_table
+
+    print(render_detection_table())
+    print()
+    print(render_recovery_table())
+    return 0
+
+
+def _cmd_fsck_demo(args: argparse.Namespace) -> int:
+    from repro.disk import make_disk
+    from repro.fs.ext3 import Ext3, Ext3Config, fsck_ext3, mkfs_ext3
+    from repro.fs.ext3.structures import inode_slot, patch_inode_block
+
+    cfg = Ext3Config()
+    disk = make_disk(cfg.total_blocks, cfg.block_size)
+    mkfs_ext3(disk, cfg)
+    fs = Ext3(disk)
+    fs.mount()
+    fs.mkdir("/docs")
+    fs.write_file("/docs/report", b"quarterly numbers " * 50)
+    fs.write_file("/notes", b"remember the milk")
+    fs.unmount()
+
+    # Classic damage: a wild pointer and a wrecked bitmap.
+    ino = 4  # one of the allocated inodes
+    block, off = cfg.inode_location(ino)
+    raw = disk.peek(block)
+    inode = inode_slot(raw, off)
+    if inode.direct[0]:
+        inode.direct[0] = 0x7FFFFFF0
+        disk.poke(block, patch_inode_block(raw, off, inode))
+    disk.poke(cfg.block_bitmap_block(1), b"\xff" * cfg.block_size)
+
+    print("== first pass (check only) ==")
+    print(fsck_ext3(disk).render())
+    print()
+    print("== second pass (repair) ==")
+    print(fsck_ext3(disk, repair=True).render())
+    print()
+    print("== third pass (verify) ==")
+    print(fsck_ext3(disk).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IRON File Systems (SOSP 2005) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fingerprint", help="fingerprint a file system's failure policy")
+    p.add_argument("fs", help="ext3 | reiserfs | jfs | ntfs | ixt3")
+    p.add_argument("--workloads", help="subset of workload letters, e.g. 'adgp'")
+    p.add_argument("--field-corruption", action="store_true",
+                   help="use FS-aware corrupted-field blocks instead of noise")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_fingerprint)
+
+    p = sub.add_parser("table6", help="run the Table-6 overhead sweep")
+    p.add_argument("--quick", action="store_true",
+                   help="baseline + single features + all-on only")
+    p.add_argument("--benches", help="comma list: SSH,Web,Post,TPCB")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_table6)
+
+    p = sub.add_parser("space", help="print the space-overhead analysis")
+    p.set_defaults(func=_cmd_space)
+
+    p = sub.add_parser("taxonomy", help="print the IRON taxonomies")
+    p.set_defaults(func=_cmd_taxonomy)
+
+    p = sub.add_parser("fsck-demo", help="demonstrate R_repair on a damaged volume")
+    p.set_defaults(func=_cmd_fsck_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Shared substrate: errors, units, bitmaps, checksums, and the syslog."""
+
+from repro.common.bitmap import Bitmap
+from repro.common.checksum import crc32, sha1, transaction_checksum
+from repro.common.errors import (
+    CorruptionDetected,
+    DiskError,
+    Errno,
+    FSError,
+    KernelPanic,
+    OutOfRangeError,
+    ReadError,
+    ReadOnlyError,
+    StorageError,
+    WriteError,
+)
+from repro.common.syslog import LogRecord, Severity, SysLog
+from repro.common.units import DEFAULT_BLOCK_SIZE, GB, KB, MB, blocks_for, human_bytes
+
+__all__ = [
+    "Bitmap",
+    "CorruptionDetected",
+    "DEFAULT_BLOCK_SIZE",
+    "DiskError",
+    "Errno",
+    "FSError",
+    "GB",
+    "KB",
+    "KernelPanic",
+    "LogRecord",
+    "MB",
+    "OutOfRangeError",
+    "ReadError",
+    "ReadOnlyError",
+    "Severity",
+    "StorageError",
+    "SysLog",
+    "WriteError",
+    "blocks_for",
+    "crc32",
+    "human_bytes",
+    "sha1",
+    "transaction_checksum",
+]

@@ -1,0 +1,114 @@
+"""Error codes and exception hierarchy shared across the storage stack.
+
+The paper's fail-partial model surfaces to software as error codes from
+lower layers (detection level ``D_errorcode``) or as silently-bad data
+(requiring ``D_sanity`` / ``D_redundancy``).  This module defines the
+errno-style codes the simulated stack uses and the exceptions each layer
+raises.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Errno(enum.IntEnum):
+    """POSIX-flavoured error codes returned by the file-system API."""
+
+    EPERM = 1
+    ENOENT = 2
+    EIO = 5
+    EBADF = 9
+    EACCES = 13
+    EEXIST = 17
+    EXDEV = 18
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    EFBIG = 27
+    ENOSPC = 28
+    EROFS = 30
+    EMLINK = 31
+    ENAMETOOLONG = 36
+    ENOTEMPTY = 39
+    ELOOP = 40
+    EUCLEAN = 117  # "Structure needs cleaning" -- Linux FS corruption errno
+
+
+class StorageError(Exception):
+    """Base class for every error raised by the simulated storage stack."""
+
+
+class DiskError(StorageError):
+    """A block-level I/O failure reported by the device (latent sector
+    error, transport fault, ...).  Carries the failing block and the
+    operation that failed so traces and logs can attribute it."""
+
+    def __init__(self, block: int, op: str, message: str = ""):
+        self.block = block
+        self.op = op
+        super().__init__(message or f"I/O error: {op} of block {block}")
+
+
+class ReadError(DiskError):
+    """A read request failed; no data is returned."""
+
+    def __init__(self, block: int, message: str = ""):
+        super().__init__(block, "read", message)
+
+
+class WriteError(DiskError):
+    """A write request failed; the medium was not updated."""
+
+    def __init__(self, block: int, message: str = ""):
+        super().__init__(block, "write", message)
+
+
+class OutOfRangeError(DiskError):
+    """A request addressed a block beyond the end of the device."""
+
+    def __init__(self, block: int, op: str, size: int):
+        super().__init__(block, op, f"block {block} out of range (device has {size} blocks)")
+
+
+class FSError(StorageError):
+    """An error propagated through the file-system API (``R_propagate``).
+
+    Mirrors a system call returning ``-errno``: carries an :class:`Errno`
+    so callers (and the fingerprinting harness) can compare observed
+    error codes against the fault-free run.
+    """
+
+    def __init__(self, errno: Errno, message: str = ""):
+        self.errno = Errno(errno)
+        super().__init__(message or f"[{self.errno.name}] {self.errno.value}")
+
+
+class KernelPanic(StorageError):
+    """The file system deliberately halted the machine (``R_stop`` at the
+    coarsest granularity).  ReiserFS raises this on virtually any write
+    failure; JFS raises it for journal-superblock write failures."""
+
+    def __init__(self, source: str, reason: str):
+        self.source = source
+        self.reason = reason
+        super().__init__(f"kernel panic - {source}: {reason}")
+
+
+class ReadOnlyError(FSError):
+    """The file system has been remounted read-only after aborting its
+    journal (an intermediate-granularity ``R_stop``)."""
+
+    def __init__(self, message: str = "file system is read-only"):
+        super().__init__(Errno.EROFS, message)
+
+
+class CorruptionDetected(StorageError):
+    """An internal sanity or checksum verification failed (``D_sanity`` /
+    ``D_redundancy``).  File systems convert this into their policy's
+    recovery action; it should not escape the FS boundary."""
+
+    def __init__(self, block: int, detail: str):
+        self.block = block
+        self.detail = detail
+        super().__init__(f"corruption detected in block {block}: {detail}")

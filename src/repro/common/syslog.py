@@ -1,0 +1,92 @@
+"""The system log.
+
+The fingerprinting methodology (§4.3) compares *observable outputs*:
+API error codes, the contents of the system log, and low-level I/O
+traces.  Every simulated file system writes its kernel messages here so
+the harness can diff faulty against fault-free runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class Severity(enum.IntEnum):
+    DEBUG = 0
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+    CRITICAL = 4
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One kernel-log line.
+
+    ``event`` is a machine-readable tag (e.g. ``"sanity-fail"``,
+    ``"journal-abort"``, ``"remount-ro"``, ``"checksum-mismatch"``,
+    ``"panic"``); ``source`` names the subsystem that emitted it.
+    """
+
+    severity: Severity
+    source: str
+    event: str
+    message: str
+    block: Optional[int] = None
+
+
+@dataclass
+class SysLog:
+    """An append-only kernel message buffer."""
+
+    records: List[LogRecord] = field(default_factory=list)
+
+    def log(
+        self,
+        severity: Severity,
+        source: str,
+        event: str,
+        message: str,
+        block: Optional[int] = None,
+    ) -> None:
+        self.records.append(LogRecord(severity, source, event, message, block))
+
+    # Convenience wrappers -------------------------------------------------
+
+    def info(self, source: str, event: str, message: str, block: Optional[int] = None) -> None:
+        self.log(Severity.INFO, source, event, message, block)
+
+    def warning(self, source: str, event: str, message: str, block: Optional[int] = None) -> None:
+        self.log(Severity.WARNING, source, event, message, block)
+
+    def error(self, source: str, event: str, message: str, block: Optional[int] = None) -> None:
+        self.log(Severity.ERROR, source, event, message, block)
+
+    def critical(self, source: str, event: str, message: str, block: Optional[int] = None) -> None:
+        self.log(Severity.CRITICAL, source, event, message, block)
+
+    # Queries ----------------------------------------------------------------
+
+    def events(self) -> List[str]:
+        return [r.event for r in self.records]
+
+    def has_event(self, event: str) -> bool:
+        return any(r.event == event for r in self.records)
+
+    def find(self, event: str) -> Iterator[LogRecord]:
+        return (r for r in self.records if r.event == event)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self) -> str:
+        lines = []
+        for r in self.records:
+            blk = f" block={r.block}" if r.block is not None else ""
+            lines.append(f"[{r.severity.name:8}] {r.source}: {r.event}: {r.message}{blk}")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""The disk substrate: simulated drive, timing model, fault injection."""
+
+from repro.disk.cache import BlockCache
+from repro.disk.disk import BlockDevice, DiskStats, SimulatedDisk, make_disk
+from repro.disk.faults import (
+    CorruptionMode,
+    Fault,
+    FaultKind,
+    FaultOp,
+    Persistence,
+    corruption,
+    read_failure,
+    write_failure,
+)
+from repro.disk.geometry import DiskGeometry
+from repro.disk.injector import FaultInjector
+from repro.disk.scrub import ScrubReport, Scrubber
+from repro.disk.trace import IOTrace, TraceEntry
+
+__all__ = [
+    "BlockCache",
+    "BlockDevice",
+    "CorruptionMode",
+    "DiskGeometry",
+    "DiskStats",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultOp",
+    "IOTrace",
+    "Persistence",
+    "ScrubReport",
+    "Scrubber",
+    "SimulatedDisk",
+    "TraceEntry",
+    "corruption",
+    "make_disk",
+    "read_failure",
+    "write_failure",
+]

@@ -1,0 +1,179 @@
+"""The simulated disk: a byte-accurate block store with virtual time.
+
+This is the bottom of the storage stack (Figure 1).  It models the
+*fail-partial* failure surface passively — failures themselves are
+introduced by the :class:`~repro.disk.injector.FaultInjector` layered
+above, mirroring the paper's software fault-injection layer beneath the
+file system.  The disk also models whole-disk failure (the classic
+fail-stop case) directly, since that belongs to the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.common.errors import OutOfRangeError, ReadError, WriteError
+from repro.disk.geometry import DiskGeometry
+
+
+@runtime_checkable
+class BlockDevice(Protocol):
+    """The block-device interface every layer of the stack implements.
+
+    The file system only ever sees this protocol, so a raw disk, a fault
+    injector, or a cache can be stacked interchangeably.
+    """
+
+    @property
+    def num_blocks(self) -> int: ...
+
+    @property
+    def block_size(self) -> int: ...
+
+    def read_block(self, block: int) -> bytes: ...
+
+    def write_block(self, block: int, data: bytes) -> None: ...
+
+
+@dataclass
+class DiskStats:
+    """Cumulative accounting for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    busy_time_s: float = 0.0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.seeks = 0
+        self.busy_time_s = 0.0
+
+
+class SimulatedDisk:
+    """An in-memory disk with a seek/rotation/transfer timing model.
+
+    Virtual time accumulates in :attr:`clock`; higher layers (the journal
+    commit path in particular) may add explicit stalls via
+    :meth:`stall`, which is how commit-ordering waits are charged.
+    """
+
+    def __init__(self, geometry: DiskGeometry):
+        self.geometry = geometry
+        self._blocks: List[Optional[bytes]] = [None] * geometry.num_blocks
+        self._head = 0
+        self.clock = 0.0
+        self.stats = DiskStats()
+        self.failed = False  # whole-disk (fail-stop) failure
+
+    # -- BlockDevice protocol ----------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.geometry.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self.geometry.block_size
+
+    def read_block(self, block: int) -> bytes:
+        self._check_range(block, "read")
+        if self.failed:
+            raise ReadError(block, "whole-disk failure")
+        self._charge(block, is_write=False)
+        self.stats.reads += 1
+        self.stats.bytes_read += self.block_size
+        data = self._blocks[block]
+        if data is None:
+            return b"\x00" * self.block_size
+        return data
+
+    def write_block(self, block: int, data: bytes) -> None:
+        self._check_range(block, "write")
+        if self.failed:
+            raise WriteError(block, "whole-disk failure")
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"write of {len(data)} bytes to device with {self.block_size}-byte blocks"
+            )
+        self._charge(block, is_write=True)
+        self.stats.writes += 1
+        self.stats.bytes_written += self.block_size
+        self._blocks[block] = bytes(data)
+
+    # -- time ---------------------------------------------------------------
+
+    def stall(self, seconds: float) -> None:
+        """Advance virtual time without moving data (ordering waits,
+        rotational delays imposed by synchronous commit protocols)."""
+        if seconds < 0:
+            raise ValueError("cannot stall for negative time")
+        self.clock += seconds
+        self.stats.busy_time_s += seconds
+
+    def _charge(self, block: int, is_write: bool = False) -> None:
+        t = self.geometry.access_time(self._head, block, self.block_size, is_write)
+        if block not in (self._head, self._head + 1):
+            self.stats.seeks += 1
+        self.clock += t
+        self.stats.busy_time_s += t
+        self._head = block
+
+    # -- control -------------------------------------------------------------
+
+    def fail_whole_disk(self) -> None:
+        """Fail-stop the entire device (§2.3: entire disk failure)."""
+        self.failed = True
+
+    def revive(self) -> None:
+        self.failed = False
+
+    def peek(self, block: int) -> bytes:
+        """Read raw contents without advancing time or stats (test/debug
+        aid; never used by the file systems themselves)."""
+        self._check_range(block, "read")
+        data = self._blocks[block]
+        return b"\x00" * self.block_size if data is None else data
+
+    def poke(self, block: int, data: bytes) -> None:
+        """Overwrite raw contents out-of-band (used by fault injection to
+        model corruption that happened at rest)."""
+        self._check_range(block, "write")
+        if len(data) != self.block_size:
+            raise ValueError("poke payload must be exactly one block")
+        self._blocks[block] = bytes(data)
+
+    def snapshot(self) -> List[Optional[bytes]]:
+        """Copy of the raw block contents (harness golden images)."""
+        return list(self._blocks)
+
+    def restore(self, snapshot: List[Optional[bytes]]) -> None:
+        """Restore contents from a snapshot; resets clock and stats."""
+        if len(snapshot) != self.num_blocks:
+            raise ValueError("snapshot size does not match device")
+        self._blocks = list(snapshot)
+        self._head = 0
+        self.clock = 0.0
+        self.stats.reset()
+        self.failed = False
+
+    def _check_range(self, block: int, op: str) -> None:
+        if not 0 <= block < self.num_blocks:
+            raise OutOfRangeError(block, op, self.num_blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedDisk(blocks={self.num_blocks}, bs={self.block_size}, "
+            f"clock={self.clock:.4f}s)"
+        )
+
+
+def make_disk(num_blocks: int, block_size: int = 4096, **timing) -> SimulatedDisk:
+    """Convenience constructor used by tests, examples and benchmarks."""
+    return SimulatedDisk(DiskGeometry(num_blocks=num_blocks, block_size=block_size, **timing))

@@ -1,0 +1,81 @@
+"""Low-level I/O traces.
+
+The fault-injection layer records every request that crosses it.  The
+fingerprinting harness (§4.3) uses these traces as one of its three
+observables — retries show up as repeated requests for the same block,
+redundancy as reads of replica or parity locations, remapping as writes
+landing at a different address than the fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One request observed at the device boundary."""
+
+    op: str  # "read" | "write"
+    block: int
+    outcome: str  # "ok" | "error" | "corrupted" | "dropped"
+    block_type: Optional[str] = None
+
+    def is_read(self) -> bool:
+        return self.op == "read"
+
+    def is_write(self) -> bool:
+        return self.op == "write"
+
+
+@dataclass
+class IOTrace:
+    """An append-only request trace with the query helpers inference needs."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def record(self, op: str, block: int, outcome: str, block_type: Optional[str] = None) -> None:
+        self.entries.append(TraceEntry(op, block, outcome, block_type))
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    # -- queries used by policy inference ---------------------------------
+
+    def reads_of(self, block: int) -> int:
+        return sum(1 for e in self.entries if e.is_read() and e.block == block)
+
+    def writes_of(self, block: int) -> int:
+        return sum(1 for e in self.entries if e.is_write() and e.block == block)
+
+    def blocks_read(self) -> List[int]:
+        return [e.block for e in self.entries if e.is_read()]
+
+    def blocks_written(self) -> List[int]:
+        return [e.block for e in self.entries if e.is_write()]
+
+    def errors(self) -> List[TraceEntry]:
+        return [e for e in self.entries if e.outcome == "error"]
+
+    def retry_count(self, block: int, op: str) -> int:
+        """Requests for *block* beyond the first — i.e. retries."""
+        n = sum(1 for e in self.entries if e.op == op and e.block == block)
+        return max(0, n - 1)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        rows = self.entries if limit is None else self.entries[:limit]
+        lines = [
+            f"{e.op:5} block={e.block:<8} {e.outcome:9}"
+            + (f" type={e.block_type}" if e.block_type else "")
+            for e in rows
+        ]
+        if limit is not None and len(self.entries) > limit:
+            lines.append(f"... ({len(self.entries) - limit} more)")
+        return "\n".join(lines)

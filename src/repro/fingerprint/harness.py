@@ -1,0 +1,240 @@
+"""The failure-policy fingerprinting harness (§4).
+
+Three steps, mechanized:
+
+1. **Apply workloads** (Table 3) that exercise every interesting code
+   path, from singlets to recovery and journal writes.
+2. **Type-aware fault injection**: for each block type the workload
+   touches, arm a read-failure, write-failure, or corruption fault on
+   the *next access of that type* beneath the file system.
+3. **Infer failure policy** by diffing all observable outputs of the
+   faulty run against a fault-free baseline.
+
+The result is a :class:`~repro.taxonomy.policy.PolicyMatrix` — Figure 2
+(or Figure 3) as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import FSError, KernelPanic
+from repro.disk.disk import BlockDevice, SimulatedDisk
+from repro.disk.faults import CorruptionMode, Fault, FaultKind, FaultOp
+from repro.disk.injector import FaultInjector
+from repro.fingerprint.inference import RunObservation, infer_policy
+from repro.fingerprint.workloads import WORKLOADS, OpResult, Recorder, Workload
+from repro.taxonomy.policy import FAULT_CLASSES, PolicyMatrix
+from repro.vfs.api import FileSystem
+
+FieldCorruptor = Callable[[bytes, str], bytes]
+
+
+@dataclass
+class FSAdapter:
+    """Everything the harness needs to fingerprint one file system."""
+
+    name: str
+    #: Figure rows, in display order (Table 4 names).
+    figure_block_types: List[str]
+    build_device: Callable[[], SimulatedDisk]
+    mkfs: Callable[[BlockDevice], None]
+    make_fs: Callable[[BlockDevice], FileSystem]
+    #: FS-aware corruptor producing plausible-but-wrong blocks
+    #: (misdirected-write style); None = random noise only.
+    field_corruptor: Optional[FieldCorruptor] = None
+    #: Block types holding redundant copies; reads of these during
+    #: recovery infer R_redundancy.
+    redundancy_types: List[str] = field(default_factory=list)
+    #: Workload keys to run (NTFS uses a subset, as in the paper).
+    workload_keys: str = "abcdefghijklmnopqrst"
+
+
+@dataclass
+class CellResult:
+    """One fingerprinting test: the paper's unit of experimentation."""
+
+    workload: str
+    block_type: str
+    fault_class: str
+    fired: bool
+
+
+class Fingerprinter:
+    """Runs the full fault matrix for one file system."""
+
+    def __init__(
+        self,
+        adapter: FSAdapter,
+        workloads: Optional[Sequence[Workload]] = None,
+        corruption_mode: CorruptionMode = CorruptionMode.NOISE,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.adapter = adapter
+        if workloads is None:
+            workloads = [w for w in WORKLOADS if w.key in adapter.workload_keys]
+        self.workloads = list(workloads)
+        self.corruption_mode = corruption_mode
+        self.progress = progress or (lambda msg: None)
+        self.tests_run = 0
+        self.cells: List[CellResult] = []
+
+    # -- public entry point --------------------------------------------------
+
+    def run(self) -> PolicyMatrix:
+        matrix = PolicyMatrix(
+            fs_name=self.adapter.name,
+            block_types=list(self.adapter.figure_block_types),
+            workloads=[w.name for w in self.workloads],
+        )
+        for workload in self.workloads:
+            self.progress(f"{self.adapter.name}: workload {workload.key} ({workload.name})")
+            snapshot, oracle = self._golden(workload)
+            baseline = self._observe(workload, snapshot, oracle, fault=None)
+            read_types = self._accessed_types(baseline, "read")
+            write_types = self._accessed_types(baseline, "write")
+            applicability = {
+                "read-failure": read_types,
+                "write-failure": write_types,
+                "corruption": read_types,
+            }
+            for fault_class in FAULT_CLASSES:
+                for btype in self.adapter.figure_block_types:
+                    if btype not in applicability[fault_class]:
+                        matrix.mark_not_applicable(fault_class, btype, workload.name)
+                        continue
+                    fault = self._build_fault(fault_class, btype)
+                    obs = self._observe(workload, snapshot, oracle, fault)
+                    self.tests_run += 1
+                    fired = obs.fault_fired > 0
+                    self.cells.append(
+                        CellResult(workload.name, btype, fault_class, fired)
+                    )
+                    if not fired:
+                        matrix.mark_not_applicable(fault_class, btype, workload.name)
+                        continue
+                    observation = infer_policy(
+                        baseline, obs, fault, self.adapter.redundancy_types
+                    )
+                    matrix.put(fault_class, btype, workload.name, observation)
+        return matrix
+
+    # -- image preparation ------------------------------------------------------
+
+    def _golden(self, workload: Workload) -> Tuple[list, Dict[int, str]]:
+        """Build the pristine (or deliberately crashed) image for one
+        workload, plus a frozen block-type oracle usable before mount."""
+        disk = self.adapter.build_device()
+        self.adapter.mkfs(disk)
+        fs = self.adapter.make_fs(disk)
+        fs.mount()
+        workload.setup(fs)
+        if workload.crash_ops is not None:
+            fs.crash_after(workload.crash_ops)
+        else:
+            fs.unmount()
+        snapshot = disk.snapshot()
+        # Frozen oracle: harvested from a shadow mount on the same disk
+        # (post-snapshot mutations are discarded when runs restore).
+        shadow = self.adapter.make_fs(disk)
+        shadow.mount()
+        oracle = {
+            b: t for b in range(disk.num_blocks)
+            if (t := shadow.block_type(b)) is not None
+        }
+        return snapshot, oracle
+
+    # -- one observed run ------------------------------------------------------------
+
+    def _observe(
+        self,
+        workload: Workload,
+        snapshot: list,
+        frozen_oracle: Dict[int, str],
+        fault: Optional[Fault],
+    ) -> RunObservation:
+        disk = self.adapter.build_device()
+        disk.restore(snapshot)
+        injector = FaultInjector(disk)
+        fs = self.adapter.make_fs(injector)
+        injector.set_type_oracle(
+            lambda b: fs.block_type(b) or frozen_oracle.get(b)
+        )
+        recorder = Recorder()
+        panic: Optional[str] = None
+
+        if not workload.body_mounts:
+            try:
+                fs.mount()
+            except FSError as exc:
+                recorder.results.append(OpResult("pre-mount", exc.errno.name))
+            # The body is the traced part; mount traffic is excluded for
+            # workloads whose subject is not the mount path itself.
+            injector.trace.clear()
+            fs.syslog.clear()
+
+        if fault is not None:
+            injector.arm(fault)
+
+        try:
+            workload.body(fs, recorder)
+        except KernelPanic as exc:
+            panic = str(exc)
+        except FSError as exc:
+            recorder.results.append(OpResult("unexpected-error", exc.errno.name))
+
+        free_blocks: Optional[int] = None
+        final_ro = False
+        if fs.mounted:
+            final_ro = fs.read_only
+            try:
+                free_blocks = fs.statfs().free_blocks
+            except FSError:
+                pass
+
+        fault_block: Optional[int] = None
+        fired = 0
+        if fault is not None:
+            fired = fault._fired
+            fault_block = fault._locked_block if fault.block is None else fault.block
+
+        return RunObservation(
+            results=recorder.results,
+            events=[r.event for r in fs.syslog.records],
+            trace=injector.trace,
+            panic=panic,
+            fault_fired=fired,
+            fault_block=fault_block,
+            final_read_only=final_ro,
+            free_blocks=free_blocks,
+        )
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _accessed_types(self, baseline: RunObservation, op: str) -> set:
+        return {
+            e.block_type for e in baseline.trace
+            if e.op == op and e.block_type is not None and e.outcome == "ok"
+        }
+
+    def _build_fault(self, fault_class: str, block_type: str) -> Fault:
+        if fault_class == "read-failure":
+            return Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block_type=block_type)
+        if fault_class == "write-failure":
+            return Fault(op=FaultOp.WRITE, kind=FaultKind.FAIL, block_type=block_type)
+        if fault_class == "corruption":
+            corruptor = self.adapter.field_corruptor
+            mode = (
+                CorruptionMode.FIELD
+                if corruptor is not None and self.corruption_mode is CorruptionMode.FIELD
+                else self.corruption_mode
+            )
+            return Fault(
+                op=FaultOp.READ,
+                kind=FaultKind.CORRUPT,
+                block_type=block_type,
+                corruption=mode,
+                corruptor=corruptor,
+            )
+        raise ValueError(f"unknown fault class {fault_class!r}")

@@ -1,0 +1,185 @@
+"""Failure-policy inference (§4.3).
+
+Determines how the file system behaved by comparing a faulty run
+against the fault-free baseline across *observable outputs only*: the
+error codes and data returned by the API, the contents of the system
+log, and the low-level I/O trace recorded by the fault-injection layer.
+The paper performs this comparison by hand; we mechanize it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.disk.faults import Fault, FaultKind, FaultOp
+from repro.disk.trace import IOTrace
+from repro.fingerprint.workloads import OpResult
+from repro.taxonomy.detection import Detection
+from repro.taxonomy.policy import PolicyObservation
+from repro.taxonomy.recovery import Recovery
+
+#: Log events that mean the file system halted activity (R_stop).
+STOP_EVENTS = {"remount-ro", "journal-abort", "unmountable", "mount-failed"}
+#: Log events that prove a sanity check fired (D_sanity).
+SANITY_EVENTS = {"sanity-fail"}
+#: Log events that prove redundancy-based detection (D_redundancy).
+REDUNDANCY_DETECT_EVENTS = {"checksum-mismatch"}
+
+
+@dataclass
+class RunObservation:
+    """Everything observable from one workload run."""
+
+    results: List[OpResult]
+    events: List[str]
+    trace: IOTrace
+    panic: Optional[str] = None
+    fault_fired: int = 0
+    fault_block: Optional[int] = None
+    final_read_only: bool = False
+    free_blocks: Optional[int] = None
+
+
+def _event_diff(observed: List[str], baseline: List[str]) -> Counter:
+    diff = Counter(observed)
+    diff.subtract(Counter(baseline))
+    return Counter({e: n for e, n in diff.items() if n > 0})
+
+
+def _pair_results(
+    baseline: List[OpResult], observed: List[OpResult]
+) -> List[Tuple[OpResult, Optional[OpResult]]]:
+    pairs: List[Tuple[OpResult, Optional[OpResult]]] = []
+    by_index = {i: r for i, r in enumerate(observed)}
+    for i, base in enumerate(baseline):
+        pairs.append((base, by_index.get(i)))
+    return pairs
+
+
+def _type_read_counts(trace: IOTrace) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for e in trace:
+        if e.is_read() and e.block_type:
+            counts[e.block_type] = counts.get(e.block_type, 0) + 1
+    return counts
+
+
+def infer_policy(
+    baseline: RunObservation,
+    observed: RunObservation,
+    fault: Fault,
+    redundancy_types: List[str],
+) -> PolicyObservation:
+    """Classify one faulty run against its baseline into IRON levels."""
+    detection = set()
+    recovery = set()
+    notes: List[str] = []
+
+    new_events = _event_diff(observed.events, baseline.events)
+    pairs = _pair_results(baseline.results, observed.results)
+    all_errors_new = [
+        (b.op, o.errno) for b, o in pairs
+        if o is not None and b.errno is None and o.errno is not None
+    ]
+    # Only I/O-flavoured error codes are *detection* evidence.  An
+    # ENOENT or ENOSPC several calls later is a downstream consequence
+    # of silently-accepted damage, which the paper classifies as the
+    # failure being hidden, not detected.
+    io_errnos = {"EIO", "EROFS", "EUCLEAN"}
+    errors_new = [(op, e) for op, e in all_errors_new if e in io_errnos]
+    consequence_errors = [(op, e) for op, e in all_errors_new if e not in io_errnos]
+    missing_ops = sum(1 for _, o in pairs if o is None)
+    data_diff = [
+        b.op for b, o in pairs
+        if o is not None and b.errno is None and o.errno is None and b.detail != o.detail
+    ]
+
+    # ---- recovery -------------------------------------------------------
+
+    if observed.panic is not None:
+        recovery.add(Recovery.STOP)
+        notes.append(f"panic: {observed.panic}")
+    if any(e in new_events for e in STOP_EVENTS) or (
+        observed.final_read_only and not baseline.final_read_only
+    ):
+        recovery.add(Recovery.STOP)
+    if errors_new:
+        recovery.add(Recovery.PROPAGATE)
+        notes.append("errors propagated: " + ", ".join(f"{op}={e}" for op, e in errors_new[:3]))
+
+    if observed.fault_block is not None:
+        base_n = sum(
+            1 for e in baseline.trace
+            if e.op == fault.op.value and e.block == observed.fault_block
+        )
+        obs_n = sum(
+            1 for e in observed.trace
+            if e.op == fault.op.value and e.block == observed.fault_block
+        )
+        # More requests than the baseline (and more than the one attempt
+        # any access implies) means the file system retried.
+        if obs_n > max(base_n, 1):
+            recovery.add(Recovery.RETRY)
+            notes.append(f"retried {obs_n - max(base_n, 1)}x")
+
+    base_reads = _type_read_counts(baseline.trace)
+    obs_reads = _type_read_counts(observed.trace)
+    for rtype in redundancy_types:
+        if obs_reads.get(rtype, 0) > base_reads.get(rtype, 0):
+            recovery.add(Recovery.REDUNDANCY)
+            notes.append(f"read redundant copies ({rtype})")
+            break
+
+    if fault.kind is FaultKind.FAIL and fault.op is FaultOp.READ and data_diff and not errors_new:
+        # A failed read, yet the API "succeeded" with different contents:
+        # the file system manufactured a response.
+        recovery.add(Recovery.GUESS)
+        notes.append("fabricated data returned: " + ", ".join(data_diff[:3]))
+
+    if fault.kind is FaultKind.CORRUPT and data_diff and not detection and not errors_new:
+        notes.append("corrupt data returned to user: " + ", ".join(data_diff[:3]))
+
+    # ---- detection -------------------------------------------------------
+
+    anything_observed = bool(
+        new_events or errors_new or observed.panic or recovery or missing_ops
+    )
+    if fault.kind is FaultKind.FAIL:
+        if anything_observed:
+            detection.add(Detection.ERROR_CODE)
+        else:
+            detection.add(Detection.ZERO)
+    else:  # corruption
+        if any(e in new_events for e in REDUNDANCY_DETECT_EVENTS):
+            detection.add(Detection.REDUNDANCY)
+        if any(e in new_events for e in SANITY_EVENTS):
+            detection.add(Detection.SANITY)
+        if not detection:
+            if errors_new or observed.panic is not None or recovery:
+                # It noticed structurally even without an explicit log line.
+                detection.add(Detection.SANITY)
+            else:
+                detection.add(Detection.ZERO)
+
+    if not recovery:
+        recovery.add(Recovery.ZERO)
+
+    if "silent-failure" in new_events:
+        notes.append("operation failed silently")
+    if consequence_errors:
+        notes.append(
+            "downstream consequences: "
+            + ", ".join(f"{op}={e}" for op, e in consequence_errors[:3])
+        )
+    if (
+        baseline.free_blocks is not None
+        and observed.free_blocks is not None
+        and observed.free_blocks < baseline.free_blocks
+    ):
+        notes.append(
+            f"space leaked: {baseline.free_blocks - observed.free_blocks} blocks"
+        )
+
+    return PolicyObservation.of(detection, recovery, notes)

@@ -1,0 +1,286 @@
+"""The fingerprinting workload suite (Table 3).
+
+*Singlets* each stress a single call in the file-system API; *generics*
+stress functionality common across the API (path traversal, crash
+recovery, journal writes).  Each workload has a ``setup`` phase (run on
+a pristine volume to create the objects the body needs) and a ``body``
+phase (the traced part, run with faults armed).
+
+The bodies are written against the common VFS API, so the same suite
+fingerprints every file system under test; per-FS peculiarities
+(e.g. files large enough to reach ext3's triple-indirect pointers or to
+force ReiserFS B+-tree splits) are exercised by sizing the setup
+objects past each system's inline capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.common.errors import FSError
+from repro.vfs.api import FileSystem
+from repro.vfs.fdtable import O_RDONLY, O_RDWR, O_WRONLY
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one API call: name, error code (or None), and a short
+    digest of any returned value, for comparing runs."""
+
+    op: str
+    errno: Optional[str]
+    detail: str = ""
+
+
+class Recorder:
+    """Runs API calls, capturing success/error/result per call."""
+
+    def __init__(self) -> None:
+        self.results: List[OpResult] = []
+
+    def do(self, op: str, fn: Callable[[], object]) -> object:
+        try:
+            value = fn()
+        except FSError as exc:
+            self.results.append(OpResult(op, exc.errno.name))
+            return None
+        self.results.append(OpResult(op, None, _digest(value)))
+        return value
+
+
+def _digest(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bytes):
+        import hashlib
+        return hashlib.sha1(value).hexdigest()[:12]
+    if isinstance(value, (list, tuple)):
+        return ",".join(sorted(str(v) for v in value))[:80]
+    return str(value)[:80]
+
+
+@dataclass
+class Workload:
+    """One Table-3 workload."""
+
+    key: str          # Figure 2 column letter
+    name: str
+    setup: Callable[[FileSystem], None]
+    body: Callable[[FileSystem, Recorder], None]
+    #: True for workloads whose body performs the mount itself
+    #: (p: mount, s: FS recovery) — the harness must not pre-mount.
+    body_mounts: bool = False
+    #: When set, the golden image is left *crashed*: after setup, these
+    #: operations are committed to the journal but not checkpointed, and
+    #: the machine "loses power" (s: FS recovery).
+    crash_ops: Optional[Callable[[FileSystem], None]] = None
+
+
+# -- the standard namespace every workload's setup builds on -------------
+
+BIG_FILE_BLOCKS = 40  # spans direct + single/double indirect with small ptrs
+
+
+def standard_setup(fs: FileSystem) -> None:
+    """Create the objects the workload bodies reference."""
+    bs = fs.statfs().block_size
+    fs.mkdir("/dir1")
+    fs.mkdir("/dir1/subdir")
+    fs.write_file("/dir1/subdir/leaf", b"leaf-data")
+    fs.write_file("/dir1/file_small", b"small-file-contents")
+    big = bytes((i * 7 + 3) % 256 for i in range(BIG_FILE_BLOCKS * bs))
+    fs.write_file("/dir1/file_big", big)
+    fs.symlink("/dir1/file_small", "/link_to_small")
+    fs.mkdir("/dir2")
+    fs.write_file("/dir2/src", b"rename-source")
+    fs.write_file("/dir2/victim", b"rename-victim")
+    fs.mkdir("/empty_dir")
+    fs.write_file("/file_unlink", b"to-be-unlinked")
+    trunc = bytes((i * 13 + 5) % 256 for i in range(20 * bs))
+    fs.write_file("/file_trunc", trunc)
+    fs.write_file("/file_chmod", b"chmod-target")
+
+
+def _noop_setup(fs: FileSystem) -> None:
+    standard_setup(fs)
+
+
+# -- workload bodies ------------------------------------------------------------
+
+
+def _body_path_traversal(fs: FileSystem, r: Recorder) -> None:
+    r.do("stat-deep", lambda: fs.stat("/dir1/subdir/leaf"))
+
+
+def _body_access_family(fs: FileSystem, r: Recorder) -> None:
+    r.do("access", lambda: fs.access("/dir1/file_small"))
+    r.do("chdir", lambda: fs.chdir("/dir1"))
+    r.do("stat", lambda: fs.stat("file_small"))
+    r.do("statfs", lambda: fs.statfs())
+    r.do("lstat", lambda: fs.lstat("/link_to_small"))
+    fd = r.do("open", lambda: fs.open("/dir1/file_small", O_RDONLY))
+    if fd is not None:
+        r.do("close", lambda: fs.close(fd))
+    r.do("chroot", lambda: fs.chroot("/dir1"))
+    r.do("stat-chrooted", lambda: fs.stat("/subdir/leaf"))
+
+
+def _body_chmod_family(fs: FileSystem, r: Recorder) -> None:
+    r.do("chmod", lambda: fs.chmod("/file_chmod", 0o600))
+    r.do("chown", lambda: fs.chown("/file_chmod", 7, 7))
+    r.do("utimes", lambda: fs.utimes("/file_chmod", 100.0, 200.0))
+
+
+def _body_read(fs: FileSystem, r: Recorder) -> None:
+    fd = r.do("open", lambda: fs.open("/dir1/file_big", O_RDONLY))
+    if fd is not None:
+        st = fs.stat("/dir1/file_big")
+        r.do("read", lambda: fs.read(fd, st.size, offset=0))
+        r.do("close", lambda: fs.close(fd))
+
+
+def _body_readlink(fs: FileSystem, r: Recorder) -> None:
+    r.do("readlink", lambda: fs.readlink("/link_to_small"))
+
+
+def _body_getdirentries(fs: FileSystem, r: Recorder) -> None:
+    r.do("getdirentries", lambda: fs.getdirentries("/dir1"))
+
+
+def _body_creat(fs: FileSystem, r: Recorder) -> None:
+    fd = r.do("creat", lambda: fs.creat("/new_file"))
+    if fd is not None:
+        r.do("close", lambda: fs.close(fd))
+
+
+def _body_link(fs: FileSystem, r: Recorder) -> None:
+    r.do("link", lambda: fs.link("/dir1/file_small", "/new_link"))
+
+
+def _body_mkdir(fs: FileSystem, r: Recorder) -> None:
+    r.do("mkdir", lambda: fs.mkdir("/new_dir"))
+
+
+def _body_rename(fs: FileSystem, r: Recorder) -> None:
+    r.do("rename", lambda: fs.rename("/dir2/src", "/dir2/victim"))
+
+
+def _body_symlink(fs: FileSystem, r: Recorder) -> None:
+    r.do("symlink", lambda: fs.symlink("/dir1/file_small", "/new_symlink"))
+
+
+def _body_write(fs: FileSystem, r: Recorder) -> None:
+    bs = fs.statfs().block_size
+    fd = r.do("open", lambda: fs.open("/dir1/file_big", O_RDWR))
+    if fd is not None:
+        # Overwrite blocks reached through the indirect chain, plus a
+        # partial block forcing a read-modify-write.
+        r.do("write-indirect", lambda: fs.write(fd, b"X" * (2 * bs), offset=14 * bs))
+        r.do("write-partial", lambda: fs.write(fd, b"Y" * 17, offset=3 * bs + 5))
+        r.do("close", lambda: fs.close(fd))
+    fd2 = r.do("open-extend", lambda: fs.open("/dir1/file_small", O_RDWR))
+    if fd2 is not None:
+        r.do("write-extend", lambda: fs.write(fd2, b"Z" * bs, offset=bs))
+        r.do("close", lambda: fs.close(fd2))
+
+
+def _body_truncate(fs: FileSystem, r: Recorder) -> None:
+    r.do("truncate", lambda: fs.truncate("/file_trunc", 100))
+
+
+def _body_rmdir(fs: FileSystem, r: Recorder) -> None:
+    r.do("rmdir", lambda: fs.rmdir("/empty_dir"))
+
+
+def _body_unlink(fs: FileSystem, r: Recorder) -> None:
+    r.do("unlink", lambda: fs.unlink("/file_unlink"))
+
+
+def _body_mount(fs: FileSystem, r: Recorder) -> None:
+    r.do("mount", fs.mount)
+    if fs.mounted:
+        r.do("stat-postmount", lambda: fs.stat("/dir1/file_small"))
+
+
+def _body_fsync_sync(fs: FileSystem, r: Recorder) -> None:
+    fd = r.do("open", lambda: fs.open("/dir1/file_small", O_WRONLY))
+    if fd is not None:
+        r.do("write", lambda: fs.write(fd, b"sync-me", offset=0))
+        r.do("fsync", lambda: fs.fsync(fd))
+        r.do("close", lambda: fs.close(fd))
+    r.do("sync", fs.sync)
+
+
+def _body_umount(fs: FileSystem, r: Recorder) -> None:
+    fd = r.do("creat", lambda: fs.creat("/pre_umount_file"))
+    if fd is not None:
+        r.do("close", lambda: fs.close(fd))
+    r.do("umount", fs.unmount)
+
+
+def _body_recovery(fs: FileSystem, r: Recorder) -> None:
+    r.do("mount-recover", fs.mount)
+    if fs.mounted:
+        r.do("stat-recovered", lambda: fs.stat("/crashfile"))
+
+
+def _recovery_crash_ops(fs: FileSystem) -> None:
+    # Committed to the journal but never checkpointed; replay at the
+    # next mount must reconstruct these.
+    fs.write_file("/crashfile", b"written-just-before-crash")
+    fs.mkdir("/crashdir")
+    fs.unlink("/file_unlink")
+
+
+def _body_log_writes(fs: FileSystem, r: Recorder) -> None:
+    for i in range(3):
+        fd = r.do(f"creat-{i}", lambda i=i: fs.creat(f"/logfile{i}"))
+        if fd is not None:
+            r.do(f"write-{i}", lambda fd=fd: fs.write(fd, b"L" * 512, offset=0))
+            r.do(f"close-{i}", lambda fd=fd: fs.close(fd))
+    r.do("sync", fs.sync)
+
+
+WORKLOADS: List[Workload] = [
+    Workload("a", "path traversal", _noop_setup, _body_path_traversal),
+    Workload("b", "access,chdir,chroot,stat,statfs,lstat,open", _noop_setup, _body_access_family),
+    Workload("c", "chmod,chown,utimes", _noop_setup, _body_chmod_family),
+    Workload("d", "read", _noop_setup, _body_read),
+    Workload("e", "readlink", _noop_setup, _body_readlink),
+    Workload("f", "getdirentries", _noop_setup, _body_getdirentries),
+    Workload("g", "creat", _noop_setup, _body_creat),
+    Workload("h", "link", _noop_setup, _body_link),
+    Workload("i", "mkdir", _noop_setup, _body_mkdir),
+    Workload("j", "rename", _noop_setup, _body_rename),
+    Workload("k", "symlink", _noop_setup, _body_symlink),
+    Workload("l", "write", _noop_setup, _body_write),
+    Workload("m", "truncate", _noop_setup, _body_truncate),
+    Workload("n", "rmdir", _noop_setup, _body_rmdir),
+    Workload("o", "unlink", _noop_setup, _body_unlink),
+    Workload("p", "mount", _noop_setup, _body_mount, body_mounts=True),
+    Workload("q", "fsync,sync", _noop_setup, _body_fsync_sync),
+    Workload("r", "umount", _noop_setup, _body_umount),
+    Workload("s", "FS recovery", _noop_setup, _body_recovery,
+             body_mounts=True, crash_ops=_recovery_crash_ops),
+    Workload("t", "log writes", _noop_setup, _body_log_writes),
+]
+
+WORKLOAD_BY_KEY = {w.key: w for w in WORKLOADS}
+
+
+def render_workload_table() -> str:
+    """Regenerate Table 3."""
+    singlet_keys = "bcdefghijklmnopqr"
+    lines = ["Workload                                      Purpose",
+             "Singlets:"]
+    singlets = [w for w in WORKLOADS if w.key in singlet_keys]
+    for w in singlets:
+        lines.append(f"  {w.name:44} Exercise the Posix API")
+    lines.append("Generics:")
+    for w in WORKLOADS:
+        if w.key in "ast":
+            purpose = {"a": "Traverse hierarchy", "s": "Invoke recovery",
+                       "t": "Update journal"}[w.key]
+            lines.append(f"  {w.name:44} {purpose}")
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""The file systems under study: ext3, ReiserFS, JFS, NTFS — and ixt3."""

@@ -1,0 +1,174 @@
+"""Shared scaffolding for the simulated file systems.
+
+Holds what every FS in the study has in common — mount state, the
+syslog, operation framing around the journal, crash simulation, and
+gray-box access to the raw disk — while each file system keeps its own
+*failure policy* in its own code, which is precisely where the paper
+locates the interesting behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.errors import Errno, FSError, KernelPanic, ReadOnlyError
+from repro.common.syslog import SysLog
+from repro.vfs.api import FileSystem
+from repro.vfs.fdtable import FDTable
+from repro.vfs.generic import BufferLayer
+
+
+class JournaledFS(FileSystem):
+    """Base class: a mounted, journaling file system over a device."""
+
+    name = "journaled"
+    GENERIC_READ_RETRIES = 0
+
+    def __init__(
+        self,
+        device,
+        sync_mode: bool = True,
+        commit_every: int = 64,
+        commit_stall_s: Optional[float] = None,
+    ):
+        super().__init__()
+        self.device = device
+        self.syslog = SysLog()
+        self.buf = BufferLayer(
+            device, self.syslog, self.name, read_retries=self.GENERIC_READ_RETRIES
+        )
+        self.sync_mode = sync_mode
+        self.commit_every = commit_every
+        if commit_stall_s is None:
+            geometry = getattr(self._raw_disk() or object(), "geometry", None)
+            commit_stall_s = geometry.rotation_s * 0.75 if geometry else 0.006
+        self.commit_stall_s = commit_stall_s
+        self.fdtable = FDTable()
+        self.journal = None
+        self._mounted = False
+        self._read_only = False
+        self._ops_since_commit = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def mounted(self) -> bool:
+        return self._mounted
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    @property
+    def block_size(self) -> int:
+        return self.device.block_size
+
+    def _ensure_mounted(self) -> None:
+        if not self._mounted:
+            raise FSError(Errno.EINVAL, f"{self.name}: not mounted")
+
+    # -- operation framing ------------------------------------------------------
+
+    def _run_modifying(self, body: Callable[[], object]):
+        self._begin_op(modifying=True)
+        try:
+            result = body()
+        except KernelPanic:
+            self._mounted = False
+            raise
+        except Exception:
+            # Journaling kernels commit whatever the half-finished
+            # operation already logged; there is no rollback.
+            self._end_op(modifying=True)
+            raise
+        self._end_op(modifying=True)
+        return result
+
+    def _begin_op(self, modifying: bool) -> None:
+        self._ensure_mounted()
+        if modifying:
+            if self._read_only or (self.journal and self.journal.aborted):
+                raise ReadOnlyError()
+            if self.journal is not None:
+                self.journal.begin()
+
+    def _end_op(self, modifying: bool) -> None:
+        if not modifying or self.journal is None or self.journal.aborted:
+            return
+        self._ops_since_commit += 1
+        if self.sync_mode:
+            self.journal.commit()
+            self.journal.checkpoint()
+            self._ops_since_commit = 0
+        elif (self._ops_since_commit >= self.commit_every
+              or self._journal_pressure()):
+            self.journal.commit()
+            self._ops_since_commit = 0
+
+    def _journal_pressure(self) -> bool:
+        """Commit early when the running transaction approaches the
+        journal's capacity (JBD does the same)."""
+        current = getattr(self.journal, "current", None)
+        if current is None:
+            return False
+        nblocks = getattr(self.journal, "nblocks", 0)
+        return len(current.meta) >= max(nblocks // 2, 8)
+
+    # -- sync / crash --------------------------------------------------------------
+
+    def sync(self) -> None:
+        self._ensure_mounted()
+        if self._read_only:
+            return
+        self.journal.commit()
+        self.journal.checkpoint()
+        self._ops_since_commit = 0
+
+    def fsync(self, fd: int) -> None:
+        self._ensure_mounted()
+        self.fdtable.get(fd)
+        if self._read_only:
+            raise ReadOnlyError()
+        self.journal.commit()
+        if self.sync_mode:
+            self.journal.checkpoint()
+
+    def crash(self) -> None:
+        """Power loss: volatile state vanishes; the on-disk log remains."""
+        if self.journal is not None:
+            self.journal.crash()
+        self.fdtable.close_all()
+        self._mounted = False
+        self._read_only = False
+
+    def crash_after(self, ops) -> None:
+        """Run *ops* committed-but-not-checkpointed, then crash."""
+        self._ensure_mounted()
+        self.sync()
+        saved = self.sync_mode
+        self.sync_mode = False
+        try:
+            ops(self)
+            self.journal.commit()
+        finally:
+            self.sync_mode = saved
+        self.crash()
+
+    # -- gray-box disk access ------------------------------------------------------
+
+    def _stall(self, seconds: float) -> None:
+        stall = getattr(self.device, "stall", None)
+        if stall is not None:
+            stall(seconds)
+
+    def _raw_disk(self):
+        dev = self.device
+        while dev is not None and not hasattr(dev, "peek"):
+            dev = getattr(dev, "lower", None)
+        return dev
+
+    def _peek(self, block: int) -> bytes:
+        raw = self._raw_disk()
+        if raw is not None:
+            return raw.peek(block)
+        return self.device.read_block(block)

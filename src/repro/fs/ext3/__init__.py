@@ -1,0 +1,26 @@
+"""Linux ext3 (§5.1): block groups, bitmaps, indirect trees, JBD journal."""
+
+from repro.fs.ext3.config import Ext3Config, ROOT_INO
+from repro.fs.ext3.ext3 import Ext3
+from repro.fs.ext3.fsck import Ext3Fsck, FsckReport, fsck_ext3
+from repro.fs.ext3.mkfs import mkfs_ext3
+from repro.fs.ext3.structures import (
+    DirEntry,
+    GroupDescriptor,
+    Inode,
+    Superblock,
+)
+
+__all__ = [
+    "DirEntry",
+    "Ext3",
+    "Ext3Config",
+    "Ext3Fsck",
+    "FsckReport",
+    "fsck_ext3",
+    "GroupDescriptor",
+    "Inode",
+    "ROOT_INO",
+    "Superblock",
+    "mkfs_ext3",
+]

@@ -1,0 +1,1270 @@
+"""Linux ext3, as characterized by the study (§5.1).
+
+A block-group file system with a JBD-style ordered-mode journal.  The
+failure policy lives in the code paths, exactly where a kernel would
+put it, so fingerprinting can reverse-engineer it from observables:
+
+* **Reads**: error codes are checked (``D_errorcode``); failures are
+  propagated (``R_propagate``) and, on metadata reads in modifying
+  paths, the journal is aborted and the file system remounts read-only
+  (``R_stop``).  Multi-block (readahead) data reads retry the
+  originally requested block once (the paper's sparing ``R_retry``).
+* **Writes**: return codes are **not checked** (``D_zero``) — the
+  paper's headline ext3 bug.  A failed journal write still commits; a
+  failed checkpoint write silently loses metadata.
+* **Sanity**: the superblock and journal descriptor/commit blocks are
+  type-checked via magic numbers; ``open`` rejects an inode whose size
+  field is overly large.  Directories, bitmaps and indirect blocks are
+  used blindly.
+* **Documented bugs reproduced here**: ``truncate`` and ``rmdir`` fail
+  silently on internal read errors; ``unlink`` does not sanity-check
+  the link count before decrementing (a corrupted value crashes the
+  kernel); superblock replicas are written at mkfs time and never
+  updated or consulted afterwards.
+"""
+
+from __future__ import annotations
+
+import stat as _stat
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    CorruptionDetected,
+    DiskError,
+    Errno,
+    FSError,
+    KernelPanic,
+)
+from repro.fs.ext3.config import NUM_DIRECT, ROOT_INO, Ext3Config
+from repro.fs.ext3.journal import Journal, parse_commit, parse_desc, parse_revoke
+from repro.fs.ext3.structures import (
+    DirEntry,
+    FT_DIR,
+    FT_REG,
+    FT_SYMLINK,
+    GroupDescriptor,
+    Inode,
+    STATE_CLEAN,
+    STATE_DIRTY,
+    Superblock,
+    inode_slot,
+    pack_dir_block,
+    pack_gdt,
+    pack_pointer_block,
+    patch_inode_block,
+    unpack_dir_block,
+    unpack_gdt,
+    unpack_pointer_block,
+)
+from repro.fs.base import JournaledFS
+from repro.vfs.fdtable import O_APPEND, O_CREAT, O_TRUNC
+from repro.vfs.paths import MAX_SYMLINK_DEPTH, dirname_basename, is_ancestor, split_path
+from repro.vfs.stat import (
+    DEFAULT_DIR_MODE,
+    DEFAULT_FILE_MODE,
+    DEFAULT_LINK_MODE,
+    StatResult,
+    StatVFS,
+)
+
+_EMPTY = b""
+
+
+class Ext3(JournaledFS):
+    """The ext3 file system over a :class:`BlockDevice`."""
+
+    name = "ext3"
+
+    #: Table 4: ext3 on-disk structures.
+    BLOCK_TYPES: Dict[str, str] = {
+        "inode": "Info about files and directories",
+        "dir": "List of files in directory",
+        "bitmap": "Tracks data blocks per group",
+        "i-bitmap": "Tracks inodes per group",
+        "indirect": "Allows for large files to exist",
+        "data": "Holds user data",
+        "super": "Contains info about file system",
+        "g-desc": "Holds info about each block group",
+        "j-super": "Describes journal",
+        "j-revoke": "Tracks blocks that will not be replayed",
+        "j-desc": "Describes contents of transaction",
+        "j-commit": "Marks the end of a transaction",
+        "j-data": "Contains blocks that are journaled",
+    }
+
+    #: Extra read attempts in the generic layer (ext3: none).
+    GENERIC_READ_RETRIES = 0
+    #: Documented ext3 bugs (§5.1); ixt3 turns these off.
+    SILENT_TRUNCATE_BUG = True
+    SILENT_RMDIR_BUG = True
+    UNLINK_LINKCOUNT_BUG = True
+
+    def __init__(
+        self,
+        device,
+        sync_mode: bool = True,
+        commit_every: int = 64,
+        commit_stall_s: Optional[float] = None,
+    ):
+        super().__init__(device, sync_mode=sync_mode, commit_every=commit_every,
+                         commit_stall_s=commit_stall_s)
+        self.sb: Optional[Superblock] = None
+        self.config: Optional[Ext3Config] = None
+        self.gdt: List[GroupDescriptor] = []
+        self.journal: Optional[Journal] = None
+        self._types: Dict[int, str] = {}
+        self._jtypes: Dict[int, str] = {}
+
+    # ==================================================================
+    # Failure-policy hooks.  ext3's write policy is D_zero: issue the
+    # write and discard the return code.  ixt3 overrides these.
+    # ==================================================================
+
+    def _write_home(self, block: int, data: bytes) -> None:
+        self.buf.bwrite_nocheck(block, data)
+
+    def _write_journal_block(self, block: int, data: bytes) -> None:
+        # ext3 bug (§5.1): a failed journal write is ignored and the rest
+        # of the transaction, including the commit block, is still written.
+        self.buf.bwrite_nocheck(block, data)
+
+    def _write_ordered(self, block: int, data: bytes) -> None:
+        self.buf.bwrite_nocheck(block, data)
+
+    def _read_with_verify(self, block: int) -> bytes:
+        """Device read; ixt3 layers checksum verification here."""
+        return self.buf.bread(block)
+
+    def _recover_meta_read(self, block: int, exc: Exception) -> Optional[bytes]:
+        """Redundancy hook: ext3 has none (superblock copies exist but
+        are never consulted — the paper's finding)."""
+        return None
+
+    def _recover_data_read(self, ino: int, inode: Inode, file_block: int,
+                           block: int, exc: Exception) -> Optional[bytes]:
+        """Data-redundancy hook: ext3 has none; ixt3 reconstructs from
+        parity."""
+        return None
+
+    def _on_block_contents_change(self, block: int, data: bytes, kind: str) -> None:
+        """ixt3 checksum hook: called whenever a block's logical contents
+        change.  *kind* is 'meta' or 'data'."""
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+
+    def mount(self) -> None:
+        if self._mounted:
+            raise FSError(Errno.EINVAL, "already mounted")
+        try:
+            raw = self.buf.bread(self.config.super_block if self.config else 0)
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error", f"superblock unreadable: {exc}", block=0)
+            raise FSError(Errno.EIO, "cannot read superblock") from exc
+        sb = Superblock.unpack(raw)
+        if not sb.is_valid():
+            # D_sanity: the superblock carries a magic number and is
+            # type-checked at mount.
+            self.syslog.error(self.name, "sanity-fail", "bad superblock magic", block=0)
+            raise FSError(Errno.EUCLEAN, "bad superblock")
+        self.sb = sb
+        self.config = self._config_from_sb(sb)
+
+        try:
+            gdt_raw = self.buf.bread(self.config.gdt_block)
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error", "group descriptors unreadable", block=1)
+            raise FSError(Errno.EIO, "cannot read group descriptors") from exc
+        # No sanity checking on group descriptors (paper: little type
+        # checking for many important blocks) — parsed blindly.
+        self.gdt = unpack_gdt(gdt_raw, sb.num_groups)
+
+        self.journal = self._make_journal()
+        self._rebuild_types()
+        try:
+            replayed = self.journal.recover()
+            if replayed:
+                # Replay may have rewritten the superblock and group
+                # descriptors; refresh the in-memory copies before the
+                # mount-time state write clobbers them.
+                sb2 = Superblock.unpack(self.buf.bread(0))
+                if sb2.is_valid():
+                    self.sb = sb2
+                self.gdt = unpack_gdt(self.buf.bread(self.config.gdt_block),
+                                      self.sb.num_groups)
+        except CorruptionDetected as exc:
+            self.syslog.error(self.name, "sanity-fail", str(exc), block=exc.block)
+            raise FSError(Errno.EUCLEAN, "journal superblock invalid") from exc
+        except DiskError as exc:
+            self.syslog.error(
+                self.name, "read-error", f"journal unreadable during recovery: {exc}",
+                block=getattr(exc, "block", None),
+            )
+            self._abort_journal()
+
+        self._mounted = True
+        self._read_only = self._read_only or self.journal.aborted
+        self.sb.state = STATE_DIRTY
+        self.sb.mount_count += 1
+        if not self._read_only:
+            self._write_home(0, self.sb.pack(self.block_size))
+        self._rebuild_types()
+
+    def unmount(self) -> None:
+        self._ensure_mounted()
+        if not self._read_only:
+            self.journal.commit()
+            self.journal.checkpoint()
+            self.sb.state = STATE_CLEAN
+            self._write_home(0, self.sb.pack(self.block_size))
+        self.fdtable.close_all()
+        self._mounted = False
+
+    # ==================================================================
+    # Namespace operations
+    # ==================================================================
+
+    def creat(self, path: str, mode: int = 0o644) -> int:
+        self._begin_op(modifying=True)
+        try:
+            fd = self._do_creat(path, mode)
+        except KernelPanic:
+            self._mounted = False
+            raise
+        except Exception:
+            self._end_op(modifying=True)
+            raise
+        self._end_op(modifying=True)
+        return fd
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> int:
+        modifying = bool(flags & (O_CREAT | O_TRUNC))
+        self._begin_op(modifying=modifying)
+        try:
+            fd = self._do_open(path, flags, mode)
+        except KernelPanic:
+            self._mounted = False
+            raise
+        except Exception:
+            self._end_op(modifying=modifying)
+            raise
+        self._end_op(modifying=modifying)
+        return fd
+
+    def close(self, fd: int) -> None:
+        self._ensure_mounted()
+        self.fdtable.close(fd)
+
+    def read(self, fd: int, size: int, offset: Optional[int] = None) -> bytes:
+        self._begin_op(modifying=False)
+        try:
+            return self._do_read(fd, size, offset)
+        finally:
+            self._end_op(modifying=False)
+
+    def write(self, fd: int, data: bytes, offset: Optional[int] = None) -> int:
+        return self._run_modifying(lambda: self._do_write(fd, data, offset))
+
+    def truncate(self, path: str, size: int) -> None:
+        self._run_modifying(lambda: self._do_truncate(path, size))
+
+    def link(self, existing: str, new: str) -> None:
+        self._run_modifying(lambda: self._do_link(existing, new))
+
+    def unlink(self, path: str) -> None:
+        self._run_modifying(lambda: self._do_unlink(path))
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        self._run_modifying(lambda: self._do_symlink(target, linkpath))
+
+    def readlink(self, path: str) -> str:
+        self._begin_op(modifying=False)
+        try:
+            return self._do_readlink(path)
+        finally:
+            self._end_op(modifying=False)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._run_modifying(lambda: self._do_mkdir(path, mode))
+
+    def rmdir(self, path: str) -> None:
+        self._run_modifying(lambda: self._do_rmdir(path))
+
+    def rename(self, old: str, new: str) -> None:
+        self._run_modifying(lambda: self._do_rename(old, new))
+
+    def getdirentries(self, path: str) -> List[str]:
+        self._begin_op(modifying=False)
+        try:
+            return self._do_getdirentries(path)
+        finally:
+            self._end_op(modifying=False)
+
+    def stat(self, path: str) -> StatResult:
+        self._begin_op(modifying=False)
+        try:
+            ino = self._lookup(path, follow=True)
+            return self._stat_of(ino)
+        finally:
+            self._end_op(modifying=False)
+
+    def lstat(self, path: str) -> StatResult:
+        self._begin_op(modifying=False)
+        try:
+            ino = self._lookup(path, follow=False)
+            return self._stat_of(ino)
+        finally:
+            self._end_op(modifying=False)
+
+    def statfs(self) -> StatVFS:
+        self._ensure_mounted()
+        return StatVFS(
+            block_size=self.block_size,
+            total_blocks=self.sb.blocks_count,
+            free_blocks=self.sb.free_blocks,
+            total_inodes=self.sb.inodes_count,
+            free_inodes=self.sb.free_inodes,
+        )
+
+    def chmod(self, path: str, mode: int) -> None:
+        self._run_modifying(lambda: self._update_inode_attr(path, "mode", mode))
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        def doit():
+            ino = self._lookup(path, follow=True)
+            inode = self._iget(ino)
+            inode.uid, inode.gid = uid, gid
+            self._iput(ino, inode)
+        self._run_modifying(doit)
+
+    def utimes(self, path: str, atime: float, mtime: float) -> None:
+        def doit():
+            ino = self._lookup(path, follow=True)
+            inode = self._iget(ino)
+            inode.atime, inode.mtime = atime, mtime
+            self._iput(ino, inode)
+        self._run_modifying(doit)
+
+    # ==================================================================
+    # Operation bodies
+    # ==================================================================
+
+    def _do_creat(self, path: str, mode: int) -> int:
+        parent_path, name = dirname_basename(self.resolve(path))
+        parent_ino = self._lookup(parent_path, follow=True)
+        parent = self._iget(parent_ino)
+        if not _stat.S_ISDIR(parent.mode):
+            raise FSError(Errno.ENOTDIR, parent_path)
+        existing = self._dir_find(parent_ino, parent, name)
+        if existing is not None:
+            child = self._iget(existing.ino)
+            if _stat.S_ISDIR(child.mode):
+                raise FSError(Errno.EISDIR, path)
+            self._shrink(existing.ino, child, 0)
+            child.size = 0
+            self._iput(existing.ino, child)
+            return self.fdtable.allocate(existing.ino, 1)  # O_WRONLY
+        ino = self._alloc_inode(self.config.group_of_inode(parent_ino),
+                                DEFAULT_FILE_MODE & ~0o777 | (mode & 0o777))
+        self._dir_add(parent_ino, name, ino, FT_REG)
+        return self.fdtable.allocate(ino, 1)
+
+    def _do_open(self, path: str, flags: int, mode: int) -> int:
+        resolved = self.resolve(path)
+        try:
+            ino = self._lookup(resolved, follow=True)
+        except FSError as exc:
+            if exc.errno is Errno.ENOENT and flags & O_CREAT:
+                return self._do_creat(resolved, mode)
+            raise
+        inode = self._iget(ino)
+        if _stat.S_ISDIR(inode.mode) and (flags & 0x3):
+            raise FSError(Errno.EISDIR, path)
+        # D_sanity (§5.1): open detects an overly-large file-size field.
+        max_size = self.config.max_file_blocks * self.block_size
+        if inode.size > max_size:
+            self.syslog.error(self.name, "sanity-fail",
+                              f"inode {ino} size {inode.size} exceeds maximum", block=None)
+            raise FSError(Errno.EUCLEAN, "corrupted inode size")
+        if flags & O_TRUNC and not _stat.S_ISDIR(inode.mode):
+            self._shrink(ino, inode, 0)
+            inode.size = 0
+            self._iput(ino, inode)
+        return self.fdtable.allocate(ino, flags)
+
+    def _do_read(self, fd: int, size: int, offset: Optional[int]) -> bytes:
+        of = self.fdtable.get(fd)
+        if not of.readable:
+            raise FSError(Errno.EBADF, "fd not open for reading")
+        inode = self._iget(of.ino)
+        pos = of.offset if offset is None else offset
+        end = min(pos + size, inode.size)
+        if end <= pos:
+            return _EMPTY
+        bs = self.block_size
+        first, last = pos // bs, (end - 1) // bs
+        readahead = last > first
+        chunks = []
+        for fb in range(first, last + 1):
+            bno, _ = self._bmap(inode, fb, allocate=False)
+            if bno == 0:
+                chunk = b"\x00" * bs
+            else:
+                chunk = self._data_bread(of.ino, inode, fb, bno, readahead=readahead)
+            lo = pos - fb * bs if fb == first else 0
+            hi = end - fb * bs if fb == last else bs
+            chunks.append(chunk[lo:hi])
+        out = b"".join(chunks)
+        if offset is None:
+            of.offset = end
+        return out
+
+    def _do_write(self, fd: int, data: bytes, offset: Optional[int]) -> int:
+        of = self.fdtable.get(fd)
+        if not of.writable:
+            raise FSError(Errno.EBADF, "fd not open for writing")
+        if not data:
+            return 0
+        inode = self._iget(of.ino)
+        if of.flags & O_APPEND:
+            pos = inode.size
+        else:
+            pos = of.offset if offset is None else offset
+        end = pos + len(data)
+        bs = self.block_size
+        max_size = self.config.max_file_blocks * bs
+        if end > max_size:
+            raise FSError(Errno.EFBIG, "file would exceed maximum size")
+        first, last = pos // bs, max(pos, end - 1) // bs
+        written = 0
+        dirty_inode = False
+        for fb in range(first, last + 1):
+            lo = pos - fb * bs if fb == first else 0
+            hi = end - fb * bs if fb == last else bs
+            piece = data[written:written + (hi - lo)]
+            bno, changed = self._bmap(inode, fb, allocate=True)
+            dirty_inode = dirty_inode or changed
+            if lo == 0 and hi == bs:
+                payload = piece
+            else:
+                # Read-modify-write of a partial block.
+                old_end = inode.size
+                if bno and fb * bs < old_end:
+                    base = bytearray(self._data_bread(of.ino, inode, fb, bno,
+                                                      readahead=False, modifying=True))
+                else:
+                    base = bytearray(bs)
+                base[lo:hi] = piece
+                payload = bytes(base)
+            # Parity reads the block's *old* contents, so it must run
+            # before the new payload enters the journal's write cache.
+            self._update_parity(of.ino, inode, fb, bno, payload, fresh=changed)
+            self.journal.add_ordered(bno, payload)
+            self._on_block_contents_change(bno, payload, "data")
+            written += hi - lo
+        if end > inode.size:
+            inode.size = end
+            dirty_inode = True
+        inode.mtime += 1.0
+        self._iput(of.ino, inode)
+        if offset is None and not of.flags & O_APPEND:
+            of.offset = end
+        elif of.flags & O_APPEND:
+            of.offset = end
+        return written
+
+    def _update_parity(self, ino: int, inode: Inode, file_block: int,
+                       block: int, new_payload: bytes, fresh: bool = False) -> None:
+        """ixt3 Dp hook; plain ext3 keeps no parity.  *fresh* marks a
+        just-allocated block whose prior contents are zero."""
+
+    def _do_truncate(self, path: str, size: int) -> None:
+        ino = self._lookup(path, follow=True)
+        inode = self._iget(ino)
+        if _stat.S_ISDIR(inode.mode):
+            raise FSError(Errno.EISDIR, path)
+        if size < inode.size:
+            if self.SILENT_TRUNCATE_BUG:
+                # ext3 bug (§5.1): internal read errors while releasing
+                # blocks are swallowed; truncate fails silently.
+                try:
+                    self._shrink(ino, inode, size)
+                except FSError:
+                    self.syslog.warning(self.name, "silent-failure",
+                                        "truncate abandoned after read error")
+                    return
+            else:
+                self._shrink(ino, inode, size)
+        inode.size = size
+        inode.mtime += 1.0
+        self._iput(ino, inode)
+
+    def _do_link(self, existing: str, new: str) -> None:
+        src_ino = self._lookup(existing, follow=False)
+        src = self._iget(src_ino)
+        if _stat.S_ISDIR(src.mode):
+            raise FSError(Errno.EPERM, "hard links to directories are not allowed")
+        parent_path, name = dirname_basename(self.resolve(new))
+        parent_ino = self._lookup(parent_path, follow=True)
+        parent = self._iget(parent_ino)
+        if self._dir_find(parent_ino, parent, name) is not None:
+            raise FSError(Errno.EEXIST, new)
+        self._dir_add(parent_ino, name, src_ino, FT_REG)
+        src.links += 1
+        self._iput(src_ino, src)
+
+    def _do_unlink(self, path: str) -> None:
+        parent_path, name = dirname_basename(self.resolve(path))
+        parent_ino = self._lookup(parent_path, follow=True)
+        parent = self._iget(parent_ino)
+        entry = self._dir_find(parent_ino, parent, name)
+        if entry is None:
+            raise FSError(Errno.ENOENT, path)
+        child = self._iget(entry.ino)
+        if _stat.S_ISDIR(child.mode):
+            raise FSError(Errno.EISDIR, path)
+        self._dir_remove(parent_ino, name)
+        if child.links == 0:
+            if self.UNLINK_LINKCOUNT_BUG:
+                # ext3 bug (§5.1): no sanity check of the link count
+                # before modifying it; a corrupted value crashes.
+                raise KernelPanic("ext3", f"inode {entry.ino}: link count already zero")
+            self.syslog.error(self.name, "sanity-fail",
+                              f"inode {entry.ino} link count already zero")
+            raise FSError(Errno.EUCLEAN, "corrupt link count")
+        child.links -= 1
+        if child.links == 0:
+            self._shrink(entry.ino, child, 0)
+            self._release_parity(entry.ino, child)
+            self._free_inode(entry.ino)
+        else:
+            self._iput(entry.ino, child)
+
+    def _do_symlink(self, target: str, linkpath: str) -> None:
+        if len(target.encode()) > self.block_size:
+            raise FSError(Errno.ENAMETOOLONG, "symlink target too long")
+        parent_path, name = dirname_basename(self.resolve(linkpath))
+        parent_ino = self._lookup(parent_path, follow=True)
+        parent = self._iget(parent_ino)
+        if self._dir_find(parent_ino, parent, name) is not None:
+            raise FSError(Errno.EEXIST, linkpath)
+        ino = self._alloc_inode(self.config.group_of_inode(parent_ino), DEFAULT_LINK_MODE)
+        inode = self._iget(ino)
+        bno, _ = self._bmap(inode, 0, allocate=True)
+        raw = target.encode()
+        payload = raw + b"\x00" * (self.block_size - len(raw))
+        self.journal.add_ordered(bno, payload)
+        self._on_block_contents_change(bno, payload, "data")
+        inode.size = len(raw)
+        self._iput(ino, inode)
+        self._dir_add(parent_ino, name, ino, FT_SYMLINK)
+
+    def _do_readlink(self, path: str) -> str:
+        ino = self._lookup(path, follow=False)
+        inode = self._iget(ino)
+        if not _stat.S_ISLNK(inode.mode):
+            raise FSError(Errno.EINVAL, "not a symlink")
+        bno, _ = self._bmap(inode, 0, allocate=False)
+        if bno == 0:
+            return ""
+        data = self._data_bread(ino, inode, 0, bno, readahead=False)
+        return data[:inode.size].decode(errors="replace")
+
+    def _do_mkdir(self, path: str, mode: int) -> None:
+        parent_path, name = dirname_basename(self.resolve(path))
+        parent_ino = self._lookup(parent_path, follow=True)
+        parent = self._iget(parent_ino)
+        if not _stat.S_ISDIR(parent.mode):
+            raise FSError(Errno.ENOTDIR, parent_path)
+        if self._dir_find(parent_ino, parent, name) is not None:
+            raise FSError(Errno.EEXIST, path)
+        ino = self._alloc_inode(self.config.group_of_inode(parent_ino),
+                                DEFAULT_DIR_MODE & ~0o777 | (mode & 0o777))
+        inode = self._iget(ino)
+        inode.links = 2
+        bno, _ = self._bmap(inode, 0, allocate=True, block_kind="dir")
+        entries = [DirEntry(ino, FT_DIR, "."), DirEntry(parent_ino, FT_DIR, "..")]
+        payload = pack_dir_block(entries, self.block_size)
+        self.journal.add_meta(bno, payload)
+        self._on_block_contents_change(bno, payload, "meta")
+        inode.size = self.block_size
+        self._iput(ino, inode)
+        self._dir_add(parent_ino, name, ino, FT_DIR)
+        parent = self._iget(parent_ino)
+        parent.links += 1
+        self._iput(parent_ino, parent)
+
+    def _do_rmdir(self, path: str) -> None:
+        resolved = self.resolve(path)
+        if resolved == "/":
+            raise FSError(Errno.EINVAL, "cannot remove root")
+        parent_path, name = dirname_basename(resolved)
+        parent_ino = self._lookup(parent_path, follow=True)
+        parent = self._iget(parent_ino)
+        entry = self._dir_find(parent_ino, parent, name)
+        if entry is None:
+            raise FSError(Errno.ENOENT, path)
+        child = self._iget(entry.ino)
+        if not _stat.S_ISDIR(child.mode):
+            raise FSError(Errno.ENOTDIR, path)
+        # ext3 bug (§5.1): read errors during the emptiness scan are
+        # swallowed and rmdir returns silently without doing anything.
+        try:
+            entries = self._dir_entries(entry.ino, child)
+        except FSError:
+            if self.SILENT_RMDIR_BUG:
+                self.syslog.warning(self.name, "silent-failure",
+                                    "rmdir abandoned after read error")
+                return
+            raise
+        if any(e.name not in (".", "..") for e in entries):
+            raise FSError(Errno.ENOTEMPTY, path)
+        self._dir_remove(parent_ino, name)
+        self._shrink(entry.ino, child, 0, kind="dir")
+        self._free_inode(entry.ino)
+        parent = self._iget(parent_ino)
+        parent.links = max(parent.links - 1, 0)
+        self._iput(parent_ino, parent)
+
+    def _do_rename(self, old: str, new: str) -> None:
+        old_r, new_r = self.resolve(old), self.resolve(new)
+        if is_ancestor(old_r, new_r) and old_r != new_r:
+            raise FSError(Errno.EINVAL, "cannot move a directory into itself")
+        old_parent_path, old_name = dirname_basename(old_r)
+        new_parent_path, new_name = dirname_basename(new_r)
+        old_parent_ino = self._lookup(old_parent_path, follow=True)
+        old_parent = self._iget(old_parent_ino)
+        entry = self._dir_find(old_parent_ino, old_parent, old_name)
+        if entry is None:
+            raise FSError(Errno.ENOENT, old)
+        if old_r == new_r:
+            return  # renaming an existing name onto itself: no-op
+        moving = self._iget(entry.ino)
+        moving_is_dir = _stat.S_ISDIR(moving.mode)
+        new_parent_ino = self._lookup(new_parent_path, follow=True)
+        new_parent = self._iget(new_parent_ino)
+        target = self._dir_find(new_parent_ino, new_parent, new_name)
+        if target is not None:
+            tgt_inode = self._iget(target.ino)
+            if _stat.S_ISDIR(tgt_inode.mode):
+                if not moving_is_dir:
+                    raise FSError(Errno.EISDIR, new)
+                kids = self._dir_entries(target.ino, tgt_inode)
+                if any(e.name not in (".", "..") for e in kids):
+                    raise FSError(Errno.ENOTEMPTY, new)
+                self._dir_remove(new_parent_ino, new_name)
+                self._shrink(target.ino, tgt_inode, 0, kind="dir")
+                self._free_inode(target.ino)
+                new_parent = self._iget(new_parent_ino)
+                new_parent.links = max(new_parent.links - 1, 0)
+                self._iput(new_parent_ino, new_parent)
+            else:
+                if moving_is_dir:
+                    raise FSError(Errno.ENOTDIR, new)
+                self._dir_remove(new_parent_ino, new_name)
+                if tgt_inode.links <= 1:
+                    self._shrink(target.ino, tgt_inode, 0)
+                    self._free_inode(target.ino)
+                else:
+                    tgt_inode.links -= 1
+                    self._iput(target.ino, tgt_inode)
+        self._dir_remove(old_parent_ino, old_name)
+        ftype = FT_DIR if moving_is_dir else (
+            FT_SYMLINK if _stat.S_ISLNK(moving.mode) else FT_REG
+        )
+        self._dir_add(new_parent_ino, new_name, entry.ino, ftype)
+        if moving_is_dir and old_parent_ino != new_parent_ino:
+            # Rewrite '..' and fix parent link counts.
+            self._dir_set_dotdot(entry.ino, new_parent_ino)
+            op = self._iget(old_parent_ino)
+            op.links = max(op.links - 1, 0)
+            self._iput(old_parent_ino, op)
+            np = self._iget(new_parent_ino)
+            np.links += 1
+            self._iput(new_parent_ino, np)
+
+    def _do_getdirentries(self, path: str) -> List[str]:
+        ino = self._lookup(path, follow=True)
+        inode = self._iget(ino)
+        if not _stat.S_ISDIR(inode.mode):
+            raise FSError(Errno.ENOTDIR, path)
+        # Directory blocks carry no type information and are parsed
+        # blindly (§5.1): corruption yields garbage names, not errors.
+        return [e.name for e in self._dir_entries(ino, inode)]
+
+    # ==================================================================
+    # Directories
+    # ==================================================================
+
+    def _dir_blocks(self, inode: Inode):
+        bs = self.block_size
+        nblocks = (inode.size + bs - 1) // bs
+        for fb in range(nblocks):
+            bno, _ = self._bmap(inode, fb, allocate=False)
+            if bno:
+                yield fb, bno
+
+    def _dir_entries(self, ino: int, inode: Inode) -> List[DirEntry]:
+        out: List[DirEntry] = []
+        for _, bno in self._dir_blocks(inode):
+            out.extend(unpack_dir_block(self._meta_bread(bno)))
+        return out
+
+    def _dir_find(self, ino: int, inode: Inode, name: str) -> Optional[DirEntry]:
+        for _, bno in self._dir_blocks(inode):
+            for e in unpack_dir_block(self._meta_bread(bno)):
+                if e.name == name and 0 < e.ino <= self.sb.inodes_count:
+                    return e
+        return None
+
+    def _dir_add(self, ino: int, name: str, child_ino: int, ftype: int) -> None:
+        inode = self._iget(ino)
+        new_entry = DirEntry(child_ino, ftype, name)
+        need = len(new_entry.pack())
+        for fb, bno in self._dir_blocks(inode):
+            raw = self._meta_bread(bno, modifying=True)
+            entries = unpack_dir_block(raw)
+            used = sum(len(e.pack()) for e in entries)
+            if used + need <= self.block_size:
+                entries.append(new_entry)
+                payload = pack_dir_block(entries, self.block_size)
+                self.journal.add_meta(bno, payload)
+                self._on_block_contents_change(bno, payload, "meta")
+                return
+        # Grow the directory by one block.
+        fb = (inode.size + self.block_size - 1) // self.block_size
+        bno, _ = self._bmap(inode, fb, allocate=True, block_kind="dir")
+        payload = pack_dir_block([new_entry], self.block_size)
+        self.journal.add_meta(bno, payload)
+        self._on_block_contents_change(bno, payload, "meta")
+        inode.size = (fb + 1) * self.block_size
+        self._iput(ino, inode)
+
+    def _dir_remove(self, ino: int, name: str) -> None:
+        inode = self._iget(ino)
+        for fb, bno in self._dir_blocks(inode):
+            raw = self._meta_bread(bno, modifying=True)
+            entries = unpack_dir_block(raw)
+            kept = [e for e in entries if e.name != name]
+            if len(kept) != len(entries):
+                payload = pack_dir_block(kept, self.block_size)
+                self.journal.add_meta(bno, payload)
+                self._on_block_contents_change(bno, payload, "meta")
+                return
+        raise FSError(Errno.ENOENT, name)
+
+    def _dir_set_dotdot(self, ino: int, new_parent: int) -> None:
+        inode = self._iget(ino)
+        for fb, bno in self._dir_blocks(inode):
+            raw = self._meta_bread(bno, modifying=True)
+            entries = unpack_dir_block(raw)
+            changed = False
+            for i, e in enumerate(entries):
+                if e.name == "..":
+                    entries[i] = DirEntry(new_parent, FT_DIR, "..")
+                    changed = True
+            if changed:
+                payload = pack_dir_block(entries, self.block_size)
+                self.journal.add_meta(bno, payload)
+                self._on_block_contents_change(bno, payload, "meta")
+                return
+
+    # ==================================================================
+    # Path lookup
+    # ==================================================================
+
+    def _lookup(self, path: str, follow: bool = True, _depth: int = 0) -> int:
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise FSError(Errno.ELOOP, path)
+        resolved = self.resolve(path)
+        parts = split_path(resolved)
+        ino = ROOT_INO
+        for i, name in enumerate(parts):
+            inode = self._iget(ino)
+            if not _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.ENOTDIR, "/" + "/".join(parts[:i]))
+            entry = self._dir_find(ino, inode, name)
+            if entry is None:
+                raise FSError(Errno.ENOENT, resolved)
+            child = self._iget(entry.ino)
+            is_last = i == len(parts) - 1
+            if _stat.S_ISLNK(child.mode) and (follow or not is_last):
+                bno, _ = self._bmap(child, 0, allocate=False)
+                if bno == 0:
+                    raise FSError(Errno.ENOENT, "dangling symlink")
+                data = self._data_bread(entry.ino, child, 0, bno, readahead=False)
+                target = data[:child.size].decode(errors="replace")
+                if not target.startswith("/"):
+                    target = "/" + "/".join(parts[:i]) + "/" + target
+                remainder = "/".join(parts[i + 1:])
+                full = target + ("/" + remainder if remainder else "")
+                return self._lookup(full, follow=follow, _depth=_depth + 1)
+            ino = entry.ino
+        return ino
+
+    def _stat_of(self, ino: int) -> StatResult:
+        inode = self._iget(ino)
+        return StatResult(
+            ino=ino, mode=inode.mode, nlink=inode.links, uid=inode.uid,
+            gid=inode.gid, size=inode.size, atime=inode.atime,
+            mtime=inode.mtime, ctime=inode.ctime,
+        )
+
+    # ==================================================================
+    # Inodes
+    # ==================================================================
+
+    def _iget(self, ino: int) -> Inode:
+        if not 1 <= ino <= self.sb.inodes_count:
+            raise FSError(Errno.EUCLEAN, f"inode number {ino} out of range")
+        block, off = self.config.inode_location(ino)
+        raw = self._meta_bread(block)
+        return inode_slot(raw, off)
+
+    def _iput(self, ino: int, inode: Inode) -> None:
+        block, off = self.config.inode_location(ino)
+        raw = self._meta_bread(block, modifying=True)
+        payload = patch_inode_block(raw, off, inode)
+        self.journal.add_meta(block, payload)
+        self._on_block_contents_change(block, payload, "meta")
+
+    # ==================================================================
+    # Allocation
+    # ==================================================================
+
+    def _alloc_inode(self, hint_group: int, mode: int) -> int:
+        cfg = self.config
+        for g in self._group_order(hint_group):
+            bmp_block = cfg.inode_bitmap_block(g)
+            raw = self._meta_bread(bmp_block, modifying=True)
+            from repro.common.bitmap import Bitmap
+            bmp = Bitmap(cfg.inodes_per_group, raw)
+            bit = bmp.find_free()
+            if bit is None:
+                continue
+            bmp.set(bit)
+            payload = bmp.to_bytes(pad_to=self.block_size)
+            self.journal.add_meta(bmp_block, payload)
+            self._on_block_contents_change(bmp_block, payload, "meta")
+            self.gdt[g].free_inodes -= 1
+            self.sb.free_inodes -= 1
+            self._flush_sb_gdt()
+            ino = g * cfg.inodes_per_group + bit + 1
+            inode = Inode(mode=mode, links=1, ctime=1.0, mtime=1.0, atime=1.0)
+            self._iput(ino, inode)
+            return ino
+        raise FSError(Errno.ENOSPC, "out of inodes")
+
+    def _free_inode(self, ino: int) -> None:
+        cfg = self.config
+        g = cfg.group_of_inode(ino)
+        bit = (ino - 1) % cfg.inodes_per_group
+        bmp_block = cfg.inode_bitmap_block(g)
+        raw = self._meta_bread(bmp_block, modifying=True)
+        from repro.common.bitmap import Bitmap
+        bmp = Bitmap(cfg.inodes_per_group, raw)
+        if bmp.test(bit):
+            bmp.clear(bit)
+            payload = bmp.to_bytes(pad_to=self.block_size)
+            self.journal.add_meta(bmp_block, payload)
+            self._on_block_contents_change(bmp_block, payload, "meta")
+            self.gdt[g].free_inodes += 1
+            self.sb.free_inodes += 1
+        self._iput(ino, Inode())
+        self._flush_sb_gdt()
+
+    def _alloc_block(self, hint_group: int, kind: str) -> int:
+        cfg = self.config
+        for g in self._group_order(hint_group):
+            bmp_block = cfg.block_bitmap_block(g)
+            raw = self._meta_bread(bmp_block, modifying=True)
+            from repro.common.bitmap import Bitmap
+            bmp = Bitmap(cfg.data_blocks_per_group, raw)
+            bit = bmp.find_free()
+            if bit is None:
+                continue
+            bmp.set(bit)
+            payload = bmp.to_bytes(pad_to=self.block_size)
+            self.journal.add_meta(bmp_block, payload)
+            self._on_block_contents_change(bmp_block, payload, "meta")
+            self.gdt[g].free_blocks -= 1
+            self.sb.free_blocks -= 1
+            self._flush_sb_gdt()
+            bno = cfg.data_start(g) + bit
+            self._types[bno] = kind
+            return bno
+        raise FSError(Errno.ENOSPC, "out of disk space")
+
+    def _free_block(self, bno: int, kind: str) -> None:
+        cfg = self.config
+        g = cfg.group_of_block(bno)
+        if g is None:
+            return  # corrupt pointer outside any group: freed blindly, no check
+        bit = bno - cfg.data_start(g)
+        if not 0 <= bit < cfg.data_blocks_per_group:
+            return
+        bmp_block = cfg.block_bitmap_block(g)
+        raw = self._meta_bread(bmp_block, modifying=True)
+        from repro.common.bitmap import Bitmap
+        bmp = Bitmap(cfg.data_blocks_per_group, raw)
+        if bmp.test(bit):
+            bmp.clear(bit)
+            payload = bmp.to_bytes(pad_to=self.block_size)
+            self.journal.add_meta(bmp_block, payload)
+            self._on_block_contents_change(bmp_block, payload, "meta")
+            self.gdt[g].free_blocks += 1
+            self.sb.free_blocks += 1
+            self._flush_sb_gdt()
+        if kind in ("dir", "indirect"):
+            self.journal.revoke(bno)
+        self._types.pop(bno, None)
+
+    def _group_order(self, hint: int):
+        n = self.config.num_groups
+        hint %= n
+        return list(range(hint, n)) + list(range(0, hint))
+
+    def _flush_sb_gdt(self) -> None:
+        sb_payload = self.sb.pack(self.block_size)
+        self.journal.add_meta(0, sb_payload)
+        self._on_block_contents_change(0, sb_payload, "meta")
+        gdt_payload = pack_gdt(self.gdt, self.block_size)
+        self.journal.add_meta(self.config.gdt_block, gdt_payload)
+        self._on_block_contents_change(self.config.gdt_block, gdt_payload, "meta")
+
+    # ==================================================================
+    # Block mapping (direct / indirect / double / triple)
+    # ==================================================================
+
+    def _bmap(self, inode: Inode, idx: int, allocate: bool,
+              block_kind: str = "data") -> Tuple[int, bool]:
+        """Map file block *idx* to a device block.  Returns (block,
+        inode_dirty); block 0 means a hole."""
+        p = self.sb.ptrs_per_block
+        if idx < NUM_DIRECT:
+            bno = inode.direct[idx]
+            if bno == 0 and allocate:
+                bno = self._alloc_block(0, block_kind)
+                inode.direct[idx] = bno
+                inode.nblocks += 1
+                return bno, True
+            return bno, False
+        idx -= NUM_DIRECT
+        for level, span in ((1, p), (2, p * p), (3, p * p * p)):
+            if idx < span:
+                attr = ("indirect", "dindirect", "tindirect")[level - 1]
+                root = getattr(inode, attr)
+                dirty = False
+                if root == 0:
+                    if not allocate:
+                        return 0, False
+                    root = self._alloc_indirect_block()
+                    setattr(inode, attr, root)
+                    dirty = True
+                bno, leaf_alloc = self._walk_indirect(root, level, idx, allocate, block_kind)
+                if leaf_alloc:
+                    inode.nblocks += 1
+                return bno, dirty or leaf_alloc
+            idx -= span
+        raise FSError(Errno.EFBIG, "file block index beyond triple indirect")
+
+    def _alloc_indirect_block(self) -> int:
+        bno = self._alloc_block(0, "indirect")
+        payload = pack_pointer_block([0] * self.sb.ptrs_per_block,
+                                     self.block_size, self.sb.ptrs_per_block)
+        self.journal.add_meta(bno, payload)
+        self._on_block_contents_change(bno, payload, "meta")
+        return bno
+
+    def _walk_indirect(self, root: int, levels: int, idx: int, allocate: bool,
+                       block_kind: str) -> Tuple[int, bool]:
+        p = self.sb.ptrs_per_block
+        block = root
+        # Indirect blocks carry no type information; corrupted pointers
+        # are followed blindly (§5.1).
+        for level in range(levels, 0, -1):
+            span = p ** (level - 1)
+            slot, idx = divmod(idx, span)
+            raw = self._meta_bread(block, modifying=allocate)
+            ptrs = unpack_pointer_block(raw, p)
+            nxt = ptrs[slot]
+            if nxt == 0:
+                if not allocate:
+                    return 0, False
+                if level == 1:
+                    nxt = self._alloc_block(0, block_kind)
+                else:
+                    nxt = self._alloc_indirect_block()
+                ptrs[slot] = nxt
+                payload = pack_pointer_block(ptrs, self.block_size, p)
+                self.journal.add_meta(block, payload)
+                self._on_block_contents_change(block, payload, "meta")
+                if level == 1:
+                    return nxt, True
+            block = nxt
+        return block, False
+
+    def _shrink(self, ino: int, inode: Inode, new_size: int, kind: str = "data") -> None:
+        """Free all blocks wholly beyond *new_size*."""
+        bs = self.block_size
+        keep = (new_size + bs - 1) // bs
+        p = self.sb.ptrs_per_block
+        for i in range(keep, NUM_DIRECT):
+            if inode.direct[i]:
+                self._free_block(inode.direct[i], kind)
+                inode.direct[i] = 0
+                inode.nblocks = max(inode.nblocks - 1, 0)
+        for level, attr in ((1, "indirect"), (2, "dindirect"), (3, "tindirect")):
+            root = getattr(inode, attr)
+            base = NUM_DIRECT + sum(p ** j for j in range(1, level))
+            if root == 0:
+                continue
+            if keep <= base:
+                freed = self._free_indirect_tree(root, level, kind)
+                inode.nblocks = max(inode.nblocks - freed, 0)
+                setattr(inode, attr, 0)
+            else:
+                freed = self._free_indirect_partial(root, level, keep - base, kind)
+                inode.nblocks = max(inode.nblocks - freed, 0)
+        self._iput(ino, inode)
+
+    def _free_indirect_tree(self, root: int, levels: int, kind: str) -> int:
+        p = self.sb.ptrs_per_block
+        freed = 0
+        if levels >= 1:
+            raw = self._meta_bread(root)
+            for ptr in unpack_pointer_block(raw, p):
+                if ptr == 0:
+                    continue
+                if levels == 1:
+                    self._free_block(ptr, kind)
+                    freed += 1
+                else:
+                    freed += self._free_indirect_tree(ptr, levels - 1, kind)
+        self._free_block(root, "indirect")
+        return freed
+
+    def _free_indirect_partial(self, root: int, levels: int, keep: int, kind: str) -> int:
+        """Free leaf blocks at index >= keep under this tree."""
+        p = self.sb.ptrs_per_block
+        raw = self._meta_bread(root, modifying=True)
+        ptrs = unpack_pointer_block(raw, p)
+        span = p ** (levels - 1)
+        freed = 0
+        dirty = False
+        for slot in range(p):
+            lo = slot * span
+            if ptrs[slot] == 0:
+                continue
+            if lo >= keep:
+                if levels == 1:
+                    self._free_block(ptrs[slot], kind)
+                    freed += 1
+                else:
+                    freed += self._free_indirect_tree(ptrs[slot], levels - 1, kind)
+                ptrs[slot] = 0
+                dirty = True
+            elif levels > 1 and lo + span > keep:
+                freed += self._free_indirect_partial(ptrs[slot], levels - 1, keep - lo, kind)
+        if dirty:
+            payload = pack_pointer_block(ptrs, self.block_size, p)
+            self.journal.add_meta(root, payload)
+            self._on_block_contents_change(root, payload, "meta")
+        return freed
+
+    def _release_parity(self, ino: int, inode: Inode) -> None:
+        """ixt3 Dp hook."""
+
+    # ==================================================================
+    # Read policy
+    # ==================================================================
+
+    def _meta_bread(self, block: int, modifying: bool = False) -> bytes:
+        cached = self.journal.cached(block) if self.journal else None
+        if cached is not None:
+            return cached
+        try:
+            return self._read_with_verify(block)
+        except (DiskError, CorruptionDetected) as exc:
+            self.syslog.error(self.name, "read-error",
+                              f"metadata read failed: {exc}", block=block)
+            recovered = self._recover_meta_read(block, exc)
+            if recovered is not None:
+                return recovered
+            if modifying:
+                self._abort_journal()
+            raise FSError(Errno.EIO, f"metadata block {block} unreadable") from exc
+
+    def _data_bread(self, ino: int, inode: Inode, file_block: int, block: int,
+                    readahead: bool, modifying: bool = False) -> bytes:
+        cached = self.journal.cached(block) if self.journal else None
+        if cached is not None:
+            return cached
+        try:
+            return self._read_with_verify(block)
+        except (DiskError, CorruptionDetected) as exc:
+            if readahead and isinstance(exc, DiskError):
+                # ext3's sparing retry (§5.1): on a failed readahead
+                # request, retry only the originally requested block.
+                try:
+                    return self._read_with_verify(block)
+                except (DiskError, CorruptionDetected):
+                    pass
+            self.syslog.error(self.name, "read-error",
+                              f"data read failed: {exc}", block=block)
+            recovered = self._recover_data_read(ino, inode, file_block, block, exc)
+            if recovered is not None:
+                return recovered
+            if modifying:
+                self._abort_journal()
+            raise FSError(Errno.EIO, f"data block {block} unreadable") from exc
+
+    def _abort_journal(self) -> None:
+        if self._read_only:
+            return
+        if self.journal is not None:
+            self.journal.abort()
+        self._read_only = True
+        self.syslog.error(self.name, "journal-abort", "aborting journal")
+        self.syslog.error(self.name, "remount-ro", "remounting file system read-only")
+
+    # ==================================================================
+    # Operation framing
+    # ==================================================================
+
+    def _update_inode_attr(self, path: str, attr: str, value) -> None:
+        ino = self._lookup(path, follow=True)
+        inode = self._iget(ino)
+        if attr == "mode":
+            inode.mode = (inode.mode & ~0o7777) | (value & 0o7777)
+        else:
+            setattr(inode, attr, value)
+        self._iput(ino, inode)
+
+    # ==================================================================
+    # Gray-box: block-type oracle (Table 4 types)
+    # ==================================================================
+
+    def block_type(self, block: int) -> Optional[str]:
+        cfg = self.config
+        if cfg is None:
+            return None
+        if block == cfg.super_block:
+            return "super"
+        if block == cfg.gdt_block:
+            return "g-desc"
+        if cfg.journal_start <= block < cfg.journal_start + cfg.journal_blocks:
+            if block == cfg.journal_start:
+                return "j-super"
+            return self._jtypes.get(block, "j-data")
+        g = cfg.group_of_block(block)
+        if g is not None:
+            base = cfg.group_base(g)
+            if block == base:
+                return "super"  # mkfs-time backup copy
+            if block == base + 1:
+                return "bitmap"
+            if block == base + 2:
+                return "i-bitmap"
+            if base + 3 <= block < base + 3 + cfg.inode_table_blocks:
+                return "inode"
+            return self._types.get(block)
+        return self._types.get(block)
+
+    def _set_jtype(self, block: int, jtype: str) -> None:
+        self._jtypes[block] = jtype
+
+    # ==================================================================
+    # Internals
+    # ==================================================================
+
+    def _config_from_sb(self, sb: Superblock) -> Ext3Config:
+        return Ext3Config(
+            block_size=sb.block_size,
+            blocks_per_group=sb.blocks_per_group,
+            inodes_per_group=sb.inodes_per_group,
+            num_groups=sb.num_groups,
+            journal_blocks=sb.journal_blocks,
+            ptrs_per_block=sb.ptrs_per_block,
+            checksum_blocks=sb.checksum_blocks,
+            replica_blocks=sb.replica_blocks,
+        )
+
+    def _make_journal(self) -> Journal:
+        cfg = self.config
+        return Journal(
+            start=cfg.journal_start,
+            nblocks=cfg.journal_blocks,
+            block_size=self.block_size,
+            syslog=self.syslog,
+            journal_write=self._write_journal_block,
+            home_write=self._write_home,
+            ordered_write=self._write_ordered,
+            read_block=self.buf.bread,
+            set_type=self._set_jtype,
+            stall=self._stall,
+            commit_stall_s=self.commit_stall_s,
+            txn_checksum=self._txn_checksum_enabled(),
+        )
+
+    def _txn_checksum_enabled(self) -> bool:
+        return False
+
+    def _rebuild_types(self) -> None:
+        """Reconstruct the dynamic block-type map by walking on-disk
+        structures out-of-band (gray-box knowledge used by the
+        fingerprinting harness; generates no device traffic)."""
+        cfg = self.config
+        self._types = {}
+        self._jtypes = {cfg.journal_start: "j-super"}
+        # Journal region roles from stored headers.
+        pos = 1
+        while pos < cfg.journal_blocks:
+            raw = self._peek(cfg.journal_start + pos)
+            d = parse_desc(raw)
+            if d is not None:
+                self._jtypes[cfg.journal_start + pos] = "j-desc"
+                pos += 1
+                for _ in d[1]:
+                    if pos >= cfg.journal_blocks:
+                        break
+                    self._jtypes[cfg.journal_start + pos] = "j-data"
+                    pos += 1
+                continue
+            if parse_commit(raw) is not None:
+                self._jtypes[cfg.journal_start + pos] = "j-commit"
+            elif parse_revoke(raw) is not None:
+                self._jtypes[cfg.journal_start + pos] = "j-revoke"
+            pos += 1
+        # File/dir/indirect blocks from the inode tables.
+        p = self.sb.ptrs_per_block if self.sb else cfg.effective_ptrs
+        for ino in range(1, cfg.total_inodes + 1):
+            block, off = cfg.inode_location(ino)
+            inode = inode_slot(self._peek(block), off)
+            if not inode.is_allocated:
+                continue
+            kind = "dir" if _stat.S_ISDIR(inode.mode) else "data"
+            for bno in inode.direct:
+                if bno:
+                    self._types[bno] = kind
+            for level, root in ((1, inode.indirect), (2, inode.dindirect),
+                                (3, inode.tindirect)):
+                if root:
+                    self._label_indirect_tree(root, level, kind, p)
+            if inode.parity_block:
+                self._types[inode.parity_block] = "parity"
+
+    def _label_indirect_tree(self, root: int, levels: int, kind: str, p: int) -> None:
+        if not 0 < root < self.device.num_blocks:
+            return
+        self._types[root] = "indirect"
+        if levels == 1:
+            leaf_kind = kind
+        for ptr in unpack_pointer_block(self._peek(root), p):
+            if not 0 < ptr < self.device.num_blocks:
+                continue
+            if levels == 1:
+                self._types[ptr] = kind
+            else:
+                self._label_indirect_tree(ptr, levels - 1, kind, p)

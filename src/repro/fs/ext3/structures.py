@@ -1,0 +1,348 @@
+"""ext3 on-disk structures: superblock, group descriptors, inodes,
+directory entries — serialized with :mod:`struct` so corruption faults
+operate on real bytes."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.fs.ext3.config import INODE_SIZE, NUM_DIRECT, Ext3Config
+
+EXT3_MAGIC = 0xEF53
+
+# File-type codes stored in directory entries.
+FT_UNKNOWN = 0
+FT_REG = 1
+FT_DIR = 2
+FT_SYMLINK = 7
+
+# Superblock state.
+STATE_CLEAN = 1
+STATE_DIRTY = 2
+
+# Feature flags (ixt3).
+FEAT_META_CSUM = 1 << 0
+FEAT_DATA_CSUM = 1 << 1
+FEAT_META_REPLICA = 1 << 2
+FEAT_DATA_PARITY = 1 << 3
+FEAT_TXN_CSUM = 1 << 4
+
+_SB_FMT = "<IIIIIIIIIIIIIIIHHIIIII"
+_SB_SIZE = struct.calcsize(_SB_FMT)
+
+
+@dataclass
+class Superblock:
+    """Contains info about the file system (Table 4)."""
+
+    magic: int
+    block_size: int
+    blocks_count: int
+    inodes_count: int
+    free_blocks: int
+    free_inodes: int
+    blocks_per_group: int
+    inodes_per_group: int
+    num_groups: int
+    journal_start: int
+    journal_blocks: int
+    groups_start: int
+    ptrs_per_block: int
+    checksum_start: int
+    checksum_blocks: int
+    state: int = STATE_CLEAN
+    mount_count: int = 0
+    features: int = 0
+    replica_start: int = 0
+    replica_blocks: int = 0
+    first_free_ino_hint: int = 3
+    generation: int = 0
+
+    @classmethod
+    def for_config(cls, config: Ext3Config, features: int = 0) -> "Superblock":
+        total_data = config.data_blocks_per_group * config.num_groups
+        return cls(
+            magic=EXT3_MAGIC,
+            block_size=config.block_size,
+            blocks_count=config.total_blocks,
+            inodes_count=config.total_inodes,
+            free_blocks=total_data,
+            free_inodes=config.total_inodes - 2,  # 1 reserved, 2 root
+            blocks_per_group=config.blocks_per_group,
+            inodes_per_group=config.inodes_per_group,
+            num_groups=config.num_groups,
+            journal_start=config.journal_start,
+            journal_blocks=config.journal_blocks,
+            groups_start=config.groups_start,
+            ptrs_per_block=config.effective_ptrs,
+            checksum_start=config.checksum_start,
+            checksum_blocks=config.checksum_blocks,
+            features=features,
+            replica_start=config.replica_start,
+            replica_blocks=config.replica_blocks,
+        )
+
+    def pack(self, block_size: int) -> bytes:
+        payload = struct.pack(
+            _SB_FMT,
+            self.magic,
+            self.block_size,
+            self.blocks_count,
+            self.inodes_count,
+            self.free_blocks,
+            self.free_inodes,
+            self.blocks_per_group,
+            self.inodes_per_group,
+            self.num_groups,
+            self.journal_start,
+            self.journal_blocks,
+            self.groups_start,
+            self.ptrs_per_block,
+            self.checksum_start,
+            self.checksum_blocks,
+            self.state,
+            0,  # pad
+            self.mount_count,
+            self.features,
+            self.replica_start,
+            self.replica_blocks,
+            self.first_free_ino_hint,
+        )
+        return payload + b"\x00" * (block_size - len(payload))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Superblock":
+        fields = struct.unpack_from(_SB_FMT, data)
+        return cls(
+            magic=fields[0],
+            block_size=fields[1],
+            blocks_count=fields[2],
+            inodes_count=fields[3],
+            free_blocks=fields[4],
+            free_inodes=fields[5],
+            blocks_per_group=fields[6],
+            inodes_per_group=fields[7],
+            num_groups=fields[8],
+            journal_start=fields[9],
+            journal_blocks=fields[10],
+            groups_start=fields[11],
+            ptrs_per_block=fields[12],
+            checksum_start=fields[13],
+            checksum_blocks=fields[14],
+            state=fields[15],
+            mount_count=fields[17],
+            features=fields[18],
+            replica_start=fields[19],
+            replica_blocks=fields[20],
+            first_free_ino_hint=fields[21],
+        )
+
+    def is_valid(self) -> bool:
+        """The sanity (type) check ext3 performs on its superblock."""
+        return (
+            self.magic == EXT3_MAGIC
+            and self.block_size >= 512
+            and self.blocks_count > 0
+            and self.num_groups > 0
+        )
+
+
+_GD_FMT = "<IIIHHII"
+_GD_SIZE = struct.calcsize(_GD_FMT)
+
+
+@dataclass
+class GroupDescriptor:
+    """Holds info about each block group (Table 4)."""
+
+    block_bitmap: int
+    inode_bitmap: int
+    inode_table: int
+    free_blocks: int
+    free_inodes: int
+    data_start: int
+    data_blocks: int
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _GD_FMT,
+            self.block_bitmap,
+            self.inode_bitmap,
+            self.inode_table,
+            self.free_blocks,
+            self.free_inodes,
+            self.data_start,
+            self.data_blocks,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "GroupDescriptor":
+        return cls(*struct.unpack_from(_GD_FMT, data))
+
+
+def pack_gdt(descriptors: List[GroupDescriptor], block_size: int) -> bytes:
+    payload = b"".join(d.pack() for d in descriptors)
+    if len(payload) > block_size:
+        raise ValueError("group descriptor table exceeds one block")
+    return payload + b"\x00" * (block_size - len(payload))
+
+
+def unpack_gdt(data: bytes, num_groups: int) -> List[GroupDescriptor]:
+    out = []
+    for g in range(num_groups):
+        out.append(GroupDescriptor.unpack(data[g * _GD_SIZE:(g + 1) * _GD_SIZE]))
+    return out
+
+
+_INODE_FMT = "<HHHHQdddI" + "I" * NUM_DIRECT + "IIIIII"
+_INODE_USED = struct.calcsize(_INODE_FMT)
+assert _INODE_USED <= INODE_SIZE, _INODE_USED
+
+
+@dataclass
+class Inode:
+    """Info about files and directories (Table 4).
+
+    An imbalanced tree: 12 direct pointers, then single, double and
+    triple indirect blocks support large files (§4.1).
+    """
+
+    mode: int = 0
+    links: int = 0
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    nblocks: int = 0  # data blocks mapped (not counting indirect blocks)
+    direct: List[int] = field(default_factory=lambda: [0] * NUM_DIRECT)
+    indirect: int = 0
+    dindirect: int = 0
+    tindirect: int = 0
+    flags: int = 0
+    parity_block: int = 0  # ixt3 Dp: the file's parity block
+    generation: int = 0
+
+    def pack(self) -> bytes:
+        payload = struct.pack(
+            _INODE_FMT,
+            self.mode,
+            self.links,
+            self.uid,
+            self.gid,
+            self.size,
+            self.atime,
+            self.mtime,
+            self.ctime,
+            self.nblocks,
+            *self.direct,
+            self.indirect,
+            self.dindirect,
+            self.tindirect,
+            self.flags,
+            self.parity_block,
+            self.generation,
+        )
+        return payload + b"\x00" * (INODE_SIZE - len(payload))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Inode":
+        f = struct.unpack_from(_INODE_FMT, data)
+        return cls(
+            mode=f[0],
+            links=f[1],
+            uid=f[2],
+            gid=f[3],
+            size=f[4],
+            atime=f[5],
+            mtime=f[6],
+            ctime=f[7],
+            nblocks=f[8],
+            direct=list(f[9:9 + NUM_DIRECT]),
+            indirect=f[9 + NUM_DIRECT],
+            dindirect=f[10 + NUM_DIRECT],
+            tindirect=f[11 + NUM_DIRECT],
+            flags=f[12 + NUM_DIRECT],
+            parity_block=f[13 + NUM_DIRECT],
+            generation=f[14 + NUM_DIRECT],
+        )
+
+    def copy(self) -> "Inode":
+        out = replace(self)
+        out.direct = list(self.direct)
+        return out
+
+    @property
+    def is_allocated(self) -> bool:
+        return self.links > 0 or self.mode != 0
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One directory entry: list-of-files-in-directory record."""
+
+    ino: int
+    ftype: int
+    name: str
+
+    def pack(self) -> bytes:
+        # latin-1 keeps one byte per character, so even garbage names
+        # recovered from a corrupted block repack at the same length.
+        raw = self.name.encode("latin-1", errors="replace")[:255]
+        return struct.pack("<IBB", self.ino & 0xFFFFFFFF, len(raw), self.ftype & 0xFF) + raw
+
+
+def pack_dir_block(entries: List[DirEntry], block_size: int) -> bytes:
+    payload = b"".join(e.pack() for e in entries)
+    if len(payload) > block_size:
+        raise ValueError("directory entries exceed one block")
+    return payload + b"\x00" * (block_size - len(payload))
+
+
+def unpack_dir_block(data: bytes) -> List[DirEntry]:
+    """Parse a directory block.
+
+    Deliberately tolerant: ext3 performs *no* type checking on directory
+    blocks (§5.1), so garbage parses into garbage entries or an early
+    stop — exactly the blind behaviour the paper documents.
+    """
+    entries: List[DirEntry] = []
+    off = 0
+    n = len(data)
+    while off + 6 <= n:
+        ino, name_len, ftype = struct.unpack_from("<IBB", data, off)
+        if ino == 0 and name_len == 0:
+            break
+        off += 6
+        if off + name_len > n:
+            break
+        name = data[off:off + name_len].decode("latin-1")
+        off += name_len
+        if ino != 0:
+            entries.append(DirEntry(ino, ftype, name))
+    return entries
+
+
+def pack_pointer_block(pointers: List[int], block_size: int, nptrs: int) -> bytes:
+    """Serialize an indirect block: nptrs 4-byte little-endian pointers."""
+    if len(pointers) != nptrs:
+        raise ValueError("pointer list must exactly fill the block layout")
+    payload = struct.pack(f"<{nptrs}I", *pointers)
+    return payload + b"\x00" * (block_size - len(payload))
+
+
+def unpack_pointer_block(data: bytes, nptrs: int) -> List[int]:
+    return list(struct.unpack_from(f"<{nptrs}I", data))
+
+
+def inode_slot(table_block_payload: bytes, offset: int) -> Inode:
+    return Inode.unpack(table_block_payload[offset:offset + INODE_SIZE])
+
+
+def patch_inode_block(table_block_payload: bytes, offset: int, inode: Inode) -> bytes:
+    raw = bytearray(table_block_payload)
+    raw[offset:offset + INODE_SIZE] = inode.pack()
+    return bytes(raw)

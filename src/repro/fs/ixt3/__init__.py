@@ -1,0 +1,27 @@
+"""ixt3 (§6): the IRON version of ext3 — checksums, metadata
+replication, per-file parity, and transactional checksums."""
+
+from repro.fs.ext3.structures import (
+    FEAT_DATA_CSUM,
+    FEAT_DATA_PARITY,
+    FEAT_META_CSUM,
+    FEAT_META_REPLICA,
+    FEAT_TXN_CSUM,
+)
+from repro.fs.ixt3.features import ChecksumStore, ReplicaMap
+from repro.fs.ixt3.ixt3 import Ixt3
+from repro.fs.ixt3.mkfs import ALL_FEATURES, ixt3_config, mkfs_ixt3
+
+__all__ = [
+    "ALL_FEATURES",
+    "ChecksumStore",
+    "FEAT_DATA_CSUM",
+    "FEAT_DATA_PARITY",
+    "FEAT_META_CSUM",
+    "FEAT_META_REPLICA",
+    "FEAT_TXN_CSUM",
+    "Ixt3",
+    "ReplicaMap",
+    "ixt3_config",
+    "mkfs_ixt3",
+]

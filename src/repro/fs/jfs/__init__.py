@@ -1,0 +1,18 @@
+"""IBM JFS (§5.3): record-level journaling, extent trees, dual supers."""
+
+from repro.fs.jfs.config import JFSConfig
+from repro.fs.jfs.jfs import JFS
+from repro.fs.jfs.journal import RecordJournal, diff_records
+from repro.fs.jfs.mkfs import mkfs_jfs
+from repro.fs.jfs.structures import AggregateInode, JFSInode, JFSSuper
+
+__all__ = [
+    "AggregateInode",
+    "JFS",
+    "JFSConfig",
+    "JFSInode",
+    "JFSSuper",
+    "RecordJournal",
+    "diff_records",
+    "mkfs_jfs",
+]

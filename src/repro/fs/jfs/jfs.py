@@ -1,0 +1,1140 @@
+"""IBM JFS, as characterized by the study (§5.3) — "the kitchen sink".
+
+JFS is the least consistent system in the study: its detection and
+recovery choices vary dramatically with block type.  As code paths:
+
+* **Reads**: error codes are checked; all metadata reads go through the
+  *generic* kernel layer, which retries once (``R_retry``) — the split
+  between generic and specific code that the paper blames for policy
+  diffusion.  After the retry: most reads propagate (``R_propagate``);
+  a failed block-allocation-map or inode-allocation-map page read
+  *crashes the system* (``R_stop``); a failed primary-superblock read
+  falls back to the adjacent secondary copy (``R_redundancy``); a
+  failed aggregate-inode read does **not** use the secondary aggregate
+  inode table (bug).
+* **Writes**: ignored (``D_zero``) — except a journal-superblock write
+  failure, which crashes the system (``R_stop``).
+* **Sanity**: superblock magic+version; entry/pointer counts in inode,
+  directory and internal tree blocks; an equality check on the
+  duplicated free-count field of allocation-map pages.  A failed check
+  propagates the error and remounts read-only; during journal replay it
+  aborts the replay.
+* **Documented bugs reproduced here**: a corrupt *primary* superblock
+  fails the mount without consulting the intact secondary (while a
+  primary read *error* does use it); an internal tree block that fails
+  its sanity check yields a **blank page** to the user (``R_guess``);
+  and in inode allocation the generic layer detects and retries a
+  failed inode-map-control read but JFS ignores the error and proceeds
+  with a zeroed buffer, corrupting the file system.
+"""
+
+from __future__ import annotations
+
+import stat as _stat
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.bitmap import Bitmap
+from repro.common.errors import (
+    CorruptionDetected,
+    DiskError,
+    Errno,
+    FSError,
+    KernelPanic,
+)
+from repro.fs.base import JournaledFS
+from repro.fs.jfs.config import JFSConfig
+from repro.fs.jfs.journal import RecordJournal
+from repro.fs.jfs.structures import (
+    AggregateInode,
+    JFSInode,
+    JFSSuper,
+    check_inode_block,
+    pack_dir_block,
+    pack_map_block,
+    pack_tree_block,
+    unpack_dir_block,
+    unpack_map_block,
+    unpack_tree_block,
+)
+from repro.vfs.fdtable import O_APPEND, O_CREAT, O_TRUNC
+from repro.vfs.paths import MAX_SYMLINK_DEPTH, dirname_basename, is_ancestor, split_path
+from repro.vfs.stat import (
+    DEFAULT_DIR_MODE,
+    DEFAULT_FILE_MODE,
+    DEFAULT_LINK_MODE,
+    StatResult,
+    StatVFS,
+)
+
+FT_REG, FT_DIR, FT_SYMLINK = 1, 2, 7
+ROOT_INO = 2
+
+
+class JFS(JournaledFS):
+    """IBM JFS over a :class:`BlockDevice`."""
+
+    name = "jfs"
+
+    #: Table 4: JFS on-disk structures.
+    BLOCK_TYPES: Dict[str, str] = {
+        "inode": "Info about files and directories",
+        "dir": "List of files in directory",
+        "bmap": "Tracks data blocks per group",
+        "imap": "Tracks inodes per group",
+        "internal": "Allows for large files to exist",
+        "data": "Holds user data",
+        "super": "Contains info about file system",
+        "j-super": "Describes journal",
+        "j-data": "Contains records of transactions",
+        "aggr-inode": "Contains info about disk partition",
+        "bmap-desc": "Describes block allocation map",
+        "imap-cntl": "Summary info about imaps",
+    }
+
+    #: The generic layer JFS calls retries metadata reads once (§5.3).
+    GENERIC_READ_RETRIES = 1
+
+    def __init__(self, device, sync_mode: bool = True, commit_every: int = 64,
+                 commit_stall_s: Optional[float] = None):
+        super().__init__(device, sync_mode=sync_mode, commit_every=commit_every,
+                         commit_stall_s=commit_stall_s)
+        self.sb: Optional[JFSSuper] = None
+        self.config: Optional[JFSConfig] = None
+        self.aggr: Optional[AggregateInode] = None
+        self.journal: Optional[RecordJournal] = None
+        self._types: Dict[int, str] = {}
+
+    # ==================================================================
+    # Failure-policy write hooks
+    # ==================================================================
+
+    def _write_nocheck(self, block: int, data: bytes) -> None:
+        # Most JFS write errors are ignored (D_zero, §5.3).
+        self.buf.bwrite_nocheck(block, data)
+
+    def _write_logsuper(self, block: int, data: bytes) -> None:
+        # ... except the journal superblock: failure crashes (R_stop).
+        try:
+            self.buf.bwrite(block, data, retries=0)
+        except DiskError as exc:
+            self.syslog.critical(self.name, "write-error",
+                                 f"journal superblock write failed: {exc}", block=block)
+            raise KernelPanic("jfs", "cannot update journal superblock") from exc
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+
+    def mount(self) -> None:
+        if self._mounted:
+            raise FSError(Errno.EINVAL, "already mounted")
+        sb = self._read_superblock()
+        self.sb = sb
+        self.config = JFSConfig(
+            block_size=sb.block_size,
+            total_blocks=sb.total_blocks,
+            journal_blocks=sb.journal_blocks,
+            num_inodes=sb.num_inodes,
+            num_direct=sb.num_direct,
+            tree_fanout=sb.tree_fanout,
+        )
+        self.aggr = self._read_aggregate_inode()
+        self._read_bmap_descriptor()
+        self.journal = RecordJournal(
+            super_block=self.config.journal_super,
+            data_start=self.config.journal_data_start,
+            nblocks=self.config.journal_blocks,
+            block_size=self.block_size,
+            syslog=self.syslog,
+            super_write=self._write_logsuper,
+            record_write=self._write_nocheck,
+            home_write=self._write_nocheck,
+            read_block=self.buf.bread,
+            set_type=self._set_type,
+            stall=self._stall,
+            commit_stall_s=self.commit_stall_s,
+        )
+        self._rebuild_types()
+        try:
+            self.journal.recover()
+        except CorruptionDetected as exc:
+            # A sanity-check failure during replay aborts the replay
+            # (R_stop) and the volume comes up read-only (§5.3).
+            self.syslog.error(self.name, "sanity-fail", str(exc), block=exc.block)
+            self.syslog.error(self.name, "remount-ro", "journal replay aborted")
+            self.journal.abort()
+            self._read_only = True
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error",
+                              f"journal unreadable during recovery: {exc}")
+            self.syslog.error(self.name, "remount-ro", "journal replay aborted")
+            self.journal.abort()
+            self._read_only = True
+        self._mounted = True
+        self._rebuild_types()
+
+    def _read_superblock(self) -> JFSSuper:
+        try:
+            raw = self.buf.bread(0)
+        except DiskError as exc:
+            # Read *error* on the primary: fall back to the secondary
+            # copy (R_redundancy) to complete the mount (§5.3).
+            self.syslog.error(self.name, "read-error",
+                              f"primary superblock unreadable: {exc}", block=0)
+            try:
+                raw = self.buf.bread(1)
+            except DiskError as exc2:
+                self.syslog.error(self.name, "mount-failed", "both superblocks unreadable")
+                raise FSError(Errno.EIO, "cannot read superblock") from exc2
+            sb = JFSSuper.unpack(raw)
+            if sb.is_valid():
+                self.syslog.info(self.name, "redundancy-used",
+                                 "mounted from secondary superblock")
+                return sb
+            raise FSError(Errno.EUCLEAN, "secondary superblock invalid")
+        sb = JFSSuper.unpack(raw)
+        if not sb.is_valid():
+            # The paper's inconsistency (§5.3): a *corrupt* primary is
+            # not recovered from the secondary — the mount just fails.
+            self.syslog.error(self.name, "sanity-fail", "bad superblock magic", block=0)
+            self.syslog.error(self.name, "mount-failed",
+                              "primary superblock corrupt; secondary not consulted")
+            raise FSError(Errno.EUCLEAN, "bad superblock")
+        return sb
+
+    def _read_aggregate_inode(self) -> AggregateInode:
+        cfg = self.config
+        try:
+            raw = self.buf.bread(cfg.aggr_inode_block)
+        except DiskError as exc:
+            # Bug (§5.3): the secondary aggregate inode table exists but
+            # is not consulted when the primary read returns an error.
+            self.syslog.error(self.name, "read-error",
+                              f"aggregate inode unreadable: {exc}",
+                              block=cfg.aggr_inode_block)
+            raise FSError(Errno.EIO, "cannot read aggregate inode") from exc
+        aggr = AggregateInode.unpack(raw)
+        if not aggr.is_valid():
+            self.syslog.error(self.name, "sanity-fail", "aggregate inode magic bad",
+                              block=cfg.aggr_inode_block)
+            raise FSError(Errno.EUCLEAN, "aggregate inode corrupt")
+        return aggr
+
+    def _read_bmap_descriptor(self) -> None:
+        cfg = self.config
+        try:
+            self.buf.bread(cfg.bmap_desc_block)
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error",
+                              f"bmap descriptor unreadable: {exc}",
+                              block=cfg.bmap_desc_block)
+            raise FSError(Errno.EIO, "cannot read bmap descriptor") from exc
+
+    def unmount(self) -> None:
+        self._ensure_mounted()
+        if not self._read_only:
+            self.journal.commit()
+            self.journal.checkpoint()
+            self.sb.generation += 1
+            self._write_nocheck(0, self.sb.pack(self.block_size))
+        self.fdtable.close_all()
+        self._mounted = False
+
+    def crash_after(self, ops) -> None:
+        self._ensure_mounted()
+        self.sync()
+        saved = self.sync_mode
+        self.sync_mode = False
+        try:
+            ops(self)
+            self.journal.commit()
+        finally:
+            self.sync_mode = saved
+        self.crash()
+
+    # ==================================================================
+    # Namespace operations (bodies share the common structure)
+    # ==================================================================
+
+    def creat(self, path: str, mode: int = 0o644) -> int:
+        return self._run_modifying(lambda: self._do_creat(path, mode))
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> int:
+        modifying = bool(flags & (O_CREAT | O_TRUNC))
+        self._begin_op(modifying=modifying)
+        try:
+            fd = self._do_open(path, flags, mode)
+        except KernelPanic:
+            self._mounted = False
+            raise
+        except Exception:
+            self._end_op(modifying=modifying)
+            raise
+        self._end_op(modifying=modifying)
+        return fd
+
+    def close(self, fd: int) -> None:
+        self._ensure_mounted()
+        self.fdtable.close(fd)
+
+    def read(self, fd: int, size: int, offset: Optional[int] = None) -> bytes:
+        self._begin_op(modifying=False)
+        try:
+            of = self.fdtable.get(fd)
+            if not of.readable:
+                raise FSError(Errno.EBADF, "fd not open for reading")
+            inode = self._iget(of.ino)
+            pos = of.offset if offset is None else offset
+            end = min(pos + size, inode.size)
+            if end <= pos:
+                return b""
+            bs = self.block_size
+            chunks = []
+            for fb in range(pos // bs, (end - 1) // bs + 1):
+                chunk = self._read_file_block(of.ino, inode, fb)
+                lo = pos - fb * bs if fb == pos // bs else 0
+                hi = end - fb * bs if fb == (end - 1) // bs else bs
+                chunks.append(chunk[lo:hi])
+            if offset is None:
+                of.offset = end
+            return b"".join(chunks)
+        finally:
+            self._end_op(modifying=False)
+
+    def write(self, fd: int, data: bytes, offset: Optional[int] = None) -> int:
+        def body():
+            of = self.fdtable.get(fd)
+            if not of.writable:
+                raise FSError(Errno.EBADF, "fd not open for writing")
+            if not data:
+                return 0
+            inode = self._iget(of.ino)
+            pos = inode.size if of.flags & O_APPEND else (
+                of.offset if offset is None else offset
+            )
+            end = pos + len(data)
+            bs = self.block_size
+            if end > self.config.max_file_blocks * bs:
+                raise FSError(Errno.EFBIG, "file too large")
+            written = 0
+            for fb in range(pos // bs, max(pos, end - 1) // bs + 1):
+                lo = pos - fb * bs if fb == pos // bs else 0
+                hi = end - fb * bs if fb == (end - 1) // bs else bs
+                piece = data[written:written + (hi - lo)]
+                bno = self._bmap(of.ino, inode, fb, allocate=True)
+                if lo == 0 and hi == bs:
+                    payload = piece
+                else:
+                    base = bytearray(self._read_file_block(of.ino, inode, fb)
+                                     if fb * bs < inode.size else bytes(bs))
+                    base[lo:hi] = piece
+                    payload = bytes(base)
+                # JFS does not journal user data; in-place write, errors
+                # ignored (D_zero).
+                self._types[bno] = "data"
+                self._write_nocheck(bno, payload)
+                written += hi - lo
+            if end > inode.size:
+                inode.size = end
+            inode.mtime += 1.0
+            self._iput(of.ino, inode)
+            if offset is None or of.flags & O_APPEND:
+                of.offset = end
+            return written
+        return self._run_modifying(body)
+
+    def truncate(self, path: str, size: int) -> None:
+        def body():
+            ino = self._lookup(path, follow=True)
+            inode = self._iget(ino)
+            if _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.EISDIR, path)
+            if size < inode.size:
+                self._shrink(ino, inode, size)
+            inode.size = size
+            inode.mtime += 1.0
+            self._iput(ino, inode)
+        self._run_modifying(body)
+
+    def link(self, existing: str, new: str) -> None:
+        def body():
+            src = self._lookup(existing, follow=False)
+            inode = self._iget(src)
+            if _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.EPERM, "hard links to directories are not allowed")
+            parent_path, name = dirname_basename(self.resolve(new))
+            parent_ino = self._lookup(parent_path, follow=True)
+            if self._dir_find(parent_ino, name) is not None:
+                raise FSError(Errno.EEXIST, new)
+            self._dir_add(parent_ino, name, src, FT_REG)
+            inode.links += 1
+            self._iput(src, inode)
+        self._run_modifying(body)
+
+    def unlink(self, path: str) -> None:
+        def body():
+            parent_path, name = dirname_basename(self.resolve(path))
+            parent_ino = self._lookup(parent_path, follow=True)
+            found = self._dir_find(parent_ino, name)
+            if found is None:
+                raise FSError(Errno.ENOENT, path)
+            child_ino, _ = found
+            inode = self._iget(child_ino)
+            if _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.EISDIR, path)
+            self._dir_remove(parent_ino, name)
+            if inode.links <= 1:
+                self._shrink(child_ino, inode, 0)
+                self._free_inode(child_ino)
+            else:
+                inode.links -= 1
+                self._iput(child_ino, inode)
+        self._run_modifying(body)
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        def body():
+            if len(target.encode()) > self.block_size:
+                raise FSError(Errno.ENAMETOOLONG, "symlink target too long")
+            parent_path, name = dirname_basename(self.resolve(linkpath))
+            parent_ino = self._lookup(parent_path, follow=True)
+            if self._dir_find(parent_ino, name) is not None:
+                raise FSError(Errno.EEXIST, linkpath)
+            ino = self._alloc_inode(DEFAULT_LINK_MODE)
+            inode = self._iget(ino)
+            bno = self._bmap(ino, inode, 0, allocate=True)
+            raw = target.encode()
+            self._types[bno] = "data"
+            self._write_nocheck(bno, raw + b"\x00" * (self.block_size - len(raw)))
+            inode.size = len(raw)
+            self._iput(ino, inode)
+            self._dir_add(parent_ino, name, ino, FT_SYMLINK)
+        self._run_modifying(body)
+
+    def readlink(self, path: str) -> str:
+        self._begin_op(modifying=False)
+        try:
+            ino = self._lookup(path, follow=False)
+            inode = self._iget(ino)
+            if not _stat.S_ISLNK(inode.mode):
+                raise FSError(Errno.EINVAL, "not a symlink")
+            data = self._read_file_block(ino, inode, 0)
+            return data[:inode.size].decode(errors="replace")
+        finally:
+            self._end_op(modifying=False)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        def body():
+            parent_path, name = dirname_basename(self.resolve(path))
+            parent_ino = self._lookup(parent_path, follow=True)
+            parent = self._iget(parent_ino)
+            if not _stat.S_ISDIR(parent.mode):
+                raise FSError(Errno.ENOTDIR, parent_path)
+            if self._dir_find(parent_ino, name) is not None:
+                raise FSError(Errno.EEXIST, path)
+            ino = self._alloc_inode((DEFAULT_DIR_MODE & ~0o777) | (mode & 0o777))
+            inode = self._iget(ino)
+            inode.links = 2
+            bno = self._bmap(ino, inode, 0, allocate=True, kind="dir")
+            payload = pack_dir_block([(ino, FT_DIR, "."), (parent_ino, FT_DIR, "..")],
+                                     self.block_size)
+            self._meta_update(bno, payload)
+            inode.size = self.block_size
+            self._iput(ino, inode)
+            self._dir_add(parent_ino, name, ino, FT_DIR)
+            parent = self._iget(parent_ino)
+            parent.links += 1
+            self._iput(parent_ino, parent)
+        self._run_modifying(body)
+
+    def rmdir(self, path: str) -> None:
+        def body():
+            resolved = self.resolve(path)
+            if resolved == "/":
+                raise FSError(Errno.EINVAL, "cannot remove root")
+            parent_path, name = dirname_basename(resolved)
+            parent_ino = self._lookup(parent_path, follow=True)
+            found = self._dir_find(parent_ino, name)
+            if found is None:
+                raise FSError(Errno.ENOENT, path)
+            child_ino, _ = found
+            inode = self._iget(child_ino)
+            if not _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.ENOTDIR, path)
+            if any(n not in (".", "..") for _, _, n in self._dir_entries(child_ino, inode)):
+                raise FSError(Errno.ENOTEMPTY, path)
+            self._dir_remove(parent_ino, name)
+            self._shrink(child_ino, inode, 0, kind="dir")
+            self._free_inode(child_ino)
+            parent = self._iget(parent_ino)
+            parent.links = max(parent.links - 1, 0)
+            self._iput(parent_ino, parent)
+        self._run_modifying(body)
+
+    def rename(self, old: str, new: str) -> None:
+        def body():
+            old_r, new_r = self.resolve(old), self.resolve(new)
+            if is_ancestor(old_r, new_r) and old_r != new_r:
+                raise FSError(Errno.EINVAL, "cannot move a directory into itself")
+            old_pp, old_name = dirname_basename(old_r)
+            new_pp, new_name = dirname_basename(new_r)
+            old_parent = self._lookup(old_pp, follow=True)
+            found = self._dir_find(old_parent, old_name)
+            if found is None:
+                raise FSError(Errno.ENOENT, old)
+            if old_r == new_r:
+                return  # renaming an existing name onto itself: no-op
+            moving_ino, ftype = found
+            moving = self._iget(moving_ino)
+            moving_is_dir = _stat.S_ISDIR(moving.mode)
+            new_parent = self._lookup(new_pp, follow=True)
+            target = self._dir_find(new_parent, new_name)
+            if target is not None:
+                tino, _ = target
+                tinode = self._iget(tino)
+                if _stat.S_ISDIR(tinode.mode):
+                    if not moving_is_dir:
+                        raise FSError(Errno.EISDIR, new)
+                    kids = self._dir_entries(tino, tinode)
+                    if any(n not in (".", "..") for _, _, n in kids):
+                        raise FSError(Errno.ENOTEMPTY, new)
+                    self._dir_remove(new_parent, new_name)
+                    self._shrink(tino, tinode, 0, kind="dir")
+                    self._free_inode(tino)
+                    np = self._iget(new_parent)
+                    np.links = max(np.links - 1, 0)
+                    self._iput(new_parent, np)
+                else:
+                    if moving_is_dir:
+                        raise FSError(Errno.ENOTDIR, new)
+                    self._dir_remove(new_parent, new_name)
+                    if tinode.links <= 1:
+                        self._shrink(tino, tinode, 0)
+                        self._free_inode(tino)
+                    else:
+                        tinode.links -= 1
+                        self._iput(tino, tinode)
+            self._dir_remove(old_parent, old_name)
+            self._dir_add(new_parent, new_name, moving_ino, ftype)
+            if moving_is_dir and old_parent != new_parent:
+                self._dir_set_dotdot(moving_ino, new_parent)
+                op = self._iget(old_parent)
+                op.links = max(op.links - 1, 0)
+                self._iput(old_parent, op)
+                np = self._iget(new_parent)
+                np.links += 1
+                self._iput(new_parent, np)
+        self._run_modifying(body)
+
+    def getdirentries(self, path: str) -> List[str]:
+        self._begin_op(modifying=False)
+        try:
+            ino = self._lookup(path, follow=True)
+            inode = self._iget(ino)
+            if not _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.ENOTDIR, path)
+            return [n for _, _, n in self._dir_entries(ino, inode)]
+        finally:
+            self._end_op(modifying=False)
+
+    def stat(self, path: str) -> StatResult:
+        self._begin_op(modifying=False)
+        try:
+            ino = self._lookup(path, follow=True)
+            return self._stat_of(ino)
+        finally:
+            self._end_op(modifying=False)
+
+    def lstat(self, path: str) -> StatResult:
+        self._begin_op(modifying=False)
+        try:
+            ino = self._lookup(path, follow=False)
+            return self._stat_of(ino)
+        finally:
+            self._end_op(modifying=False)
+
+    def statfs(self) -> StatVFS:
+        self._ensure_mounted()
+        return StatVFS(
+            block_size=self.block_size,
+            total_blocks=self.sb.total_blocks,
+            free_blocks=self.sb.free_blocks,
+            total_inodes=self.sb.num_inodes,
+            free_inodes=self.sb.free_inodes,
+        )
+
+    def chmod(self, path: str, mode: int) -> None:
+        def body():
+            ino = self._lookup(path, follow=True)
+            inode = self._iget(ino)
+            inode.mode = (inode.mode & ~0o7777) | (mode & 0o7777)
+            self._iput(ino, inode)
+        self._run_modifying(body)
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        def body():
+            ino = self._lookup(path, follow=True)
+            inode = self._iget(ino)
+            inode.uid, inode.gid = uid, gid
+            self._iput(ino, inode)
+        self._run_modifying(body)
+
+    def utimes(self, path: str, atime: float, mtime: float) -> None:
+        def body():
+            ino = self._lookup(path, follow=True)
+            inode = self._iget(ino)
+            inode.atime, inode.mtime = atime, mtime
+            self._iput(ino, inode)
+        self._run_modifying(body)
+
+    # ==================================================================
+    # Operation bodies
+    # ==================================================================
+
+    def _do_creat(self, path: str, mode: int) -> int:
+        parent_path, name = dirname_basename(self.resolve(path))
+        parent_ino = self._lookup(parent_path, follow=True)
+        parent = self._iget(parent_ino)
+        if not _stat.S_ISDIR(parent.mode):
+            raise FSError(Errno.ENOTDIR, parent_path)
+        found = self._dir_find(parent_ino, name)
+        if found is not None:
+            child_ino, _ = found
+            inode = self._iget(child_ino)
+            if _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.EISDIR, path)
+            self._shrink(child_ino, inode, 0)
+            inode.size = 0
+            self._iput(child_ino, inode)
+            return self.fdtable.allocate(child_ino, 1)
+        ino = self._alloc_inode((DEFAULT_FILE_MODE & ~0o777) | (mode & 0o777))
+        self._dir_add(parent_ino, name, ino, FT_REG)
+        return self.fdtable.allocate(ino, 1)
+
+    def _do_open(self, path: str, flags: int, mode: int) -> int:
+        resolved = self.resolve(path)
+        try:
+            ino = self._lookup(resolved, follow=True)
+        except FSError as exc:
+            if exc.errno is Errno.ENOENT and flags & O_CREAT:
+                return self._do_creat(resolved, mode)
+            raise
+        inode = self._iget(ino)
+        if _stat.S_ISDIR(inode.mode) and (flags & 0x3):
+            raise FSError(Errno.EISDIR, path)
+        if flags & O_TRUNC and not _stat.S_ISDIR(inode.mode):
+            self._shrink(ino, inode, 0)
+            inode.size = 0
+            self._iput(ino, inode)
+        return self.fdtable.allocate(ino, flags)
+
+    # ==================================================================
+    # Inodes
+    # ==================================================================
+
+    def _iget(self, ino: int) -> JFSInode:
+        if not 1 <= ino <= self.sb.num_inodes:
+            raise FSError(Errno.EUCLEAN, f"inode number {ino} out of range")
+        block, off = self.config.inode_location(ino)
+        raw = self._meta_bread(block, check="inode")
+        return JFSInode.unpack(raw[off:off + self.config.inode_size])
+
+    def _iput(self, ino: int, inode: JFSInode) -> None:
+        block, off = self.config.inode_location(ino)
+        raw = bytearray(self._meta_bread(block, check="inode"))
+        raw[off:off + self.config.inode_size] = inode.pack(self.config.inode_size)
+        # Refresh the header count.
+        count = 0
+        for slot in range(self.config.inodes_per_block):
+            o = 8 + slot * self.config.inode_size
+            if JFSInode.unpack(bytes(raw[o:o + self.config.inode_size])).is_allocated:
+                count += 1
+        import struct as _struct
+        raw[0:8] = _struct.pack("<II", count, 0)
+        self._meta_update(block, bytes(raw))
+
+    def _stat_of(self, ino: int) -> StatResult:
+        inode = self._iget(ino)
+        return StatResult(ino=ino, mode=inode.mode, nlink=inode.links,
+                          uid=inode.uid, gid=inode.gid, size=inode.size,
+                          atime=inode.atime, mtime=inode.mtime, ctime=inode.ctime)
+
+    # ==================================================================
+    # Directories
+    # ==================================================================
+
+    def _dir_blocks(self, ino: int, inode: JFSInode):
+        bs = self.block_size
+        for fb in range((inode.size + bs - 1) // bs):
+            bno = self._bmap(ino, inode, fb, allocate=False)
+            if bno:
+                yield fb, bno
+
+    def _dir_entries(self, ino: int, inode: JFSInode) -> List[Tuple[int, int, str]]:
+        out = []
+        for _, bno in self._dir_blocks(ino, inode):
+            raw = self._meta_bread(bno, check="dir")
+            out.extend(self._parse_dir(raw, bno))
+        return out
+
+    def _parse_dir(self, raw: bytes, bno: int) -> List[Tuple[int, int, str]]:
+        try:
+            return unpack_dir_block(raw, bno, self.block_size)
+        except CorruptionDetected as exc:
+            # Sanity failure: propagate and remount read-only (§5.3).
+            self.syslog.error(self.name, "sanity-fail", str(exc), block=bno)
+            self._remount_ro()
+            raise FSError(Errno.EUCLEAN, str(exc)) from exc
+
+    def _dir_find(self, ino: int, name: str) -> Optional[Tuple[int, int]]:
+        inode = self._iget(ino)
+        for _, bno in self._dir_blocks(ino, inode):
+            raw = self._meta_bread(bno, check="dir")
+            for eino, ftype, ename in self._parse_dir(raw, bno):
+                if ename == name and 0 < eino <= self.sb.num_inodes:
+                    return eino, ftype
+        return None
+
+    def _dir_add(self, ino: int, name: str, child: int, ftype: int) -> None:
+        inode = self._iget(ino)
+        entry_size = 6 + len(name.encode())
+        for _, bno in self._dir_blocks(ino, inode):
+            raw = self._meta_bread(bno, check="dir")
+            entries = self._parse_dir(raw, bno)
+            used = 8 + sum(6 + len(n.encode("latin-1", errors="replace")[:255])
+                           for _, _, n in entries)
+            if used + entry_size <= self.block_size:
+                entries.append((child, ftype, name))
+                self._meta_update(bno, pack_dir_block(entries, self.block_size))
+                return
+        fb = (inode.size + self.block_size - 1) // self.block_size
+        bno = self._bmap(ino, inode, fb, allocate=True, kind="dir")
+        self._meta_update(bno, pack_dir_block([(child, ftype, name)], self.block_size))
+        inode.size = (fb + 1) * self.block_size
+        self._iput(ino, inode)
+
+    def _dir_remove(self, ino: int, name: str) -> None:
+        inode = self._iget(ino)
+        for _, bno in self._dir_blocks(ino, inode):
+            raw = self._meta_bread(bno, check="dir")
+            entries = self._parse_dir(raw, bno)
+            kept = [(i, f, n) for i, f, n in entries if n != name]
+            if len(kept) != len(entries):
+                self._meta_update(bno, pack_dir_block(kept, self.block_size))
+                return
+        raise FSError(Errno.ENOENT, name)
+
+    def _dir_set_dotdot(self, ino: int, new_parent: int) -> None:
+        inode = self._iget(ino)
+        for _, bno in self._dir_blocks(ino, inode):
+            raw = self._meta_bread(bno, check="dir")
+            entries = self._parse_dir(raw, bno)
+            changed = False
+            for i, (eino, ftype, n) in enumerate(entries):
+                if n == "..":
+                    entries[i] = (new_parent, FT_DIR, "..")
+                    changed = True
+            if changed:
+                self._meta_update(bno, pack_dir_block(entries, self.block_size))
+                return
+
+    # ==================================================================
+    # Path lookup
+    # ==================================================================
+
+    def _lookup(self, path: str, follow: bool = True, _depth: int = 0) -> int:
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise FSError(Errno.ELOOP, path)
+        resolved = self.resolve(path)
+        parts = split_path(resolved)
+        ino = ROOT_INO
+        for i, name in enumerate(parts):
+            inode = self._iget(ino)
+            if not _stat.S_ISDIR(inode.mode):
+                raise FSError(Errno.ENOTDIR, "/" + "/".join(parts[:i]))
+            found = self._dir_find(ino, name)
+            if found is None:
+                raise FSError(Errno.ENOENT, resolved)
+            child_ino, _ = found
+            child = self._iget(child_ino)
+            is_last = i == len(parts) - 1
+            if _stat.S_ISLNK(child.mode) and (follow or not is_last):
+                data = self._read_file_block(child_ino, child, 0)
+                target = data[:child.size].decode(errors="replace")
+                if not target.startswith("/"):
+                    target = "/" + "/".join(parts[:i]) + "/" + target
+                remainder = "/".join(parts[i + 1:])
+                full = target + ("/" + remainder if remainder else "")
+                return self._lookup(full, follow=follow, _depth=_depth + 1)
+            ino = child_ino
+        return ino
+
+    # ==================================================================
+    # Extent tree (file block mapping)
+    # ==================================================================
+
+    def _bmap(self, ino: int, inode: JFSInode, idx: int, allocate: bool,
+              kind: str = "data", raw_sanity: bool = False) -> int:
+        """Map file block *idx*.  A sanity failure on an internal tree
+        block normally propagates as EUCLEAN and remounts read-only;
+        ``raw_sanity`` lets the data-read path intercept it to apply the
+        blank-page bug instead."""
+        try:
+            return self._bmap_inner(ino, inode, idx, allocate, kind)
+        except CorruptionDetected as exc:
+            if raw_sanity:
+                raise
+            self._remount_ro()
+            raise FSError(Errno.EUCLEAN, str(exc)) from exc
+
+    def _bmap_inner(self, ino: int, inode: JFSInode, idx: int, allocate: bool,
+                    kind: str = "data") -> int:
+        cfg = self.config
+        if idx < cfg.num_direct:
+            if inode.direct[idx] == 0 and allocate:
+                inode.direct[idx] = self._alloc_block(kind)
+                inode.nblocks += 1
+                self._iput(ino, inode)
+            return inode.direct[idx]
+        idx -= cfg.num_direct
+        f = cfg.tree_fanout
+        if idx >= f * f:
+            raise FSError(Errno.EFBIG, "file block beyond extent tree")
+        if inode.tree_root == 0:
+            if not allocate:
+                return 0
+            inode.tree_root = self._alloc_block("internal")
+            inode.tree_levels = 1
+            self._meta_update(inode.tree_root,
+                              pack_tree_block(1, [], self.block_size, f))
+            self._types[inode.tree_root] = "internal"
+            self._iput(ino, inode)
+        if idx >= f and inode.tree_levels == 1:
+            if not allocate:
+                return 0
+            # Grow the tree: new level-2 root over the old root.
+            new_root = self._alloc_block("internal")
+            self._meta_update(new_root, pack_tree_block(
+                2, [inode.tree_root], self.block_size, f))
+            self._types[new_root] = "internal"
+            inode.tree_root = new_root
+            inode.tree_levels = 2
+            self._iput(ino, inode)
+        return self._tree_walk(ino, inode, inode.tree_root, inode.tree_levels,
+                               idx, allocate, kind)
+
+    def _tree_walk(self, ino: int, inode: JFSInode, block: int, level: int,
+                   idx: int, allocate: bool, kind: str) -> int:
+        f = self.config.tree_fanout
+        raw = self._meta_bread(block, check="internal")
+        blevel, ptrs = self._parse_tree(raw, block)
+        if level == 1:
+            if idx < len(ptrs) and ptrs[idx]:
+                return ptrs[idx]
+            if not allocate:
+                return 0
+            while len(ptrs) <= idx:
+                ptrs.append(0)
+            new_block = self._alloc_block(kind) if level == 1 else 0
+            ptrs[idx] = new_block
+            self._meta_update(block, pack_tree_block(1, ptrs, self.block_size, f))
+            inode.nblocks += 1
+            self._iput(ino, inode)
+            return new_block
+        slot, sub = divmod(idx, f)
+        if slot >= len(ptrs) or ptrs[slot] == 0:
+            if not allocate:
+                return 0
+            child = self._alloc_block("internal")
+            self._meta_update(child, pack_tree_block(
+                level - 1, [], self.block_size, f))
+            self._types[child] = "internal"
+            while len(ptrs) <= slot:
+                ptrs.append(0)
+            ptrs[slot] = child
+            self._meta_update(block, pack_tree_block(level, ptrs, self.block_size, f))
+        return self._tree_walk(ino, inode, ptrs[slot], level - 1, sub, allocate, kind)
+
+    def _parse_tree(self, raw: bytes, block: int) -> Tuple[int, List[int]]:
+        try:
+            return unpack_tree_block(raw, block, self.config.tree_fanout)
+        except CorruptionDetected as exc:
+            self.syslog.error(self.name, "sanity-fail", str(exc), block=block)
+            raise
+
+    def _read_file_block(self, ino: int, inode: JFSInode, fb: int) -> bytes:
+        bs = self.block_size
+        try:
+            bno = self._bmap(ino, inode, fb, allocate=False, raw_sanity=True)
+        except CorruptionDetected:
+            # The paper's bug (§5.3): a failed sanity check on an
+            # internal tree block returns a *blank page* to the user
+            # (R_guess) instead of an error.
+            return b"\x00" * bs
+        if bno == 0:
+            return b"\x00" * bs
+        cached = self.journal.cached(bno) if self.journal else None
+        if cached is not None:
+            return cached
+        try:
+            return self.buf.bread(bno)
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error",
+                              f"data read failed: {exc}", block=bno)
+            raise FSError(Errno.EIO, f"data block {bno} unreadable") from exc
+
+    def _shrink(self, ino: int, inode: JFSInode, new_size: int, kind: str = "data") -> None:
+        bs = self.block_size
+        keep = (new_size + bs - 1) // bs
+        cfg = self.config
+        for i in range(keep, cfg.num_direct):
+            if inode.direct[i]:
+                self._free_block(inode.direct[i])
+                inode.direct[i] = 0
+                inode.nblocks = max(inode.nblocks - 1, 0)
+        if inode.tree_root and keep <= cfg.num_direct:
+            try:
+                self._free_tree(inode.tree_root, inode.tree_levels)
+            except FSError:
+                self.syslog.warning(self.name, "ignored-error",
+                                    "tree read failure during shrink; blocks leaked")
+            inode.tree_root = 0
+            inode.tree_levels = 0
+        self._iput(ino, inode)
+
+    def _free_tree(self, block: int, level: int) -> None:
+        raw = self._meta_bread(block, check="internal")
+        try:
+            _, ptrs = unpack_tree_block(raw, block, self.config.tree_fanout)
+        except CorruptionDetected:
+            ptrs = []
+        for ptr in ptrs:
+            if not ptr:
+                continue
+            if level > 1:
+                self._free_tree(ptr, level - 1)
+            else:
+                self._free_block(ptr)
+        self._free_block(block)
+
+    # ==================================================================
+    # Read / update policy
+    # ==================================================================
+
+    def _meta_bread(self, block: int, check: Optional[str] = None) -> bytes:
+        cached = self.journal.cached(block) if self.journal else None
+        if cached is not None:
+            raw = cached
+        else:
+            try:
+                # All metadata reads go through the generic layer, which
+                # retries once (§5.3).
+                raw = self.buf.bread(block)
+            except DiskError as exc:
+                btype = self.block_type(block)
+                self.syslog.error(self.name, "read-error",
+                                  f"metadata read failed: {exc}", block=block)
+                if btype in ("bmap", "imap"):
+                    # Allocation-map read failure crashes the system (§5.3).
+                    raise KernelPanic("jfs", f"cannot read allocation map block {block}") from exc
+                raise FSError(Errno.EIO, f"metadata block {block} unreadable") from exc
+        if check == "inode":
+            try:
+                check_inode_block(raw, block, self.config.inodes_per_block)
+            except CorruptionDetected as exc:
+                self.syslog.error(self.name, "sanity-fail", str(exc), block=block)
+                self._remount_ro()
+                raise FSError(Errno.EUCLEAN, str(exc)) from exc
+        return raw
+
+    def _meta_update(self, block: int, new_payload: bytes) -> None:
+        old: Optional[bytes] = None
+        cached = self.journal.cached(block)
+        if cached is not None:
+            old = cached
+        else:
+            try:
+                old = self.buf.bread(block, retries=0)
+            except DiskError:
+                old = None
+        self.journal.log(block, new_payload, old)
+
+    def _remount_ro(self) -> None:
+        if self._read_only:
+            return
+        self._read_only = True
+        if self.journal is not None:
+            self.journal.abort()
+        self.syslog.error(self.name, "remount-ro", "remounting file system read-only")
+
+    # ==================================================================
+    # Allocation
+    # ==================================================================
+
+    def _map_bits_per_block(self) -> int:
+        return (self.block_size - 16) * 8
+
+    def _read_map(self, block: int, nbits: int) -> Bitmap:
+        raw = self._meta_bread(block)
+        try:
+            return unpack_map_block(raw, block, nbits)
+        except CorruptionDetected as exc:
+            # JFS's equality check caught map corruption (§5.3).
+            self.syslog.error(self.name, "sanity-fail", str(exc), block=block)
+            self._remount_ro()
+            raise FSError(Errno.EUCLEAN, str(exc)) from exc
+
+    def _alloc_block(self, kind: str) -> int:
+        cfg = self.config
+        bits = self._map_bits_per_block()
+        for page in range(cfg.bmap_blocks):
+            map_block = cfg.bmap_start + page
+            bmp = self._read_map(map_block, bits)
+            start = max(cfg.data_start - page * bits, 0)
+            bit = bmp.find_free(start)
+            if bit is None:
+                continue
+            absolute = page * bits + bit
+            if absolute >= cfg.total_blocks:
+                continue
+            bmp.set(bit)
+            self._meta_update(map_block, pack_map_block(bmp, self.block_size))
+            self.sb.free_blocks -= 1
+            self._flush_super()
+            self._types[absolute] = kind
+            return absolute
+        raise FSError(Errno.ENOSPC, "out of disk space")
+
+    def _free_block(self, block: int) -> None:
+        cfg = self.config
+        if not cfg.data_start <= block < cfg.total_blocks:
+            return
+        bits = self._map_bits_per_block()
+        page, bit = divmod(block, bits)
+        map_block = cfg.bmap_start + page
+        bmp = self._read_map(map_block, bits)
+        if bmp.test(bit):
+            bmp.clear(bit)
+            self._meta_update(map_block, pack_map_block(bmp, self.block_size))
+            self.sb.free_blocks += 1
+            self._flush_super()
+        self._types.pop(block, None)
+
+    def _alloc_inode(self, mode: int) -> int:
+        cfg = self.config
+        # The paper's bug (§5.3): the generic layer detects and retries a
+        # failed inode-map-control read, but JFS ignores the error and
+        # proceeds with a zeroed buffer, corrupting the file system.
+        try:
+            self.buf.bread(cfg.imap_control_block)
+        except DiskError:
+            pass  # error deliberately ignored (the bug)
+        bits = self._map_bits_per_block()
+        for page in range(cfg.imap_blocks):
+            map_block = cfg.imap_start + page
+            bmp = self._read_map(map_block, bits)
+            bit = bmp.find_free()
+            if bit is None:
+                continue
+            idx = page * bits + bit
+            if idx >= cfg.num_inodes:
+                continue
+            bmp.set(bit)
+            self._meta_update(map_block, pack_map_block(bmp, self.block_size))
+            self.sb.free_inodes -= 1
+            self._flush_super()
+            self._update_imap_control()
+            ino = idx + 1
+            inode = JFSInode(mode=mode, links=1, atime=1.0, mtime=1.0, ctime=1.0)
+            self._iput(ino, inode)
+            return ino
+        raise FSError(Errno.ENOSPC, "out of inodes")
+
+    def _free_inode(self, ino: int) -> None:
+        cfg = self.config
+        bits = self._map_bits_per_block()
+        page, bit = divmod(ino - 1, bits)
+        map_block = cfg.imap_start + page
+        bmp = self._read_map(map_block, bits)
+        if bmp.test(bit):
+            bmp.clear(bit)
+            self._meta_update(map_block, pack_map_block(bmp, self.block_size))
+            self.sb.free_inodes += 1
+            self._flush_super()
+        self._iput(ino, JFSInode())
+        self._update_imap_control()
+
+    def _update_imap_control(self) -> None:
+        from repro.fs.jfs.structures import pack_imap_control
+        self._meta_update(self.config.imap_control_block, pack_imap_control(
+            self.sb.num_inodes, self.sb.free_inodes, 0, self.block_size))
+
+    def _flush_super(self) -> None:
+        # Only the primary superblock is kept current; the secondary
+        # was written at mkfs time.
+        self._meta_update(0, self.sb.pack(self.block_size))
+
+    # ==================================================================
+    # Gray-box: block-type oracle
+    # ==================================================================
+
+    def block_type(self, block: int) -> Optional[str]:
+        cfg = self.config
+        if cfg is None:
+            return None
+        if block in (0, 1):
+            return "super"
+        if block == cfg.journal_super:
+            return "j-super"
+        if cfg.journal_data_start <= block < cfg.journal_data_start + cfg.journal_blocks:
+            return "j-data"
+        if block in (cfg.aggr_inode_block, cfg.aggr_inode_secondary):
+            return "aggr-inode"
+        if block == cfg.bmap_desc_block:
+            return "bmap-desc"
+        if cfg.bmap_start <= block < cfg.bmap_start + cfg.bmap_blocks:
+            return "bmap"
+        if block == cfg.imap_control_block:
+            return "imap-cntl"
+        if cfg.imap_start <= block < cfg.imap_start + cfg.imap_blocks:
+            return "imap"
+        if cfg.inode_table_start <= block < cfg.inode_table_start + cfg.inode_table_blocks:
+            return "inode"
+        return self._types.get(block)
+
+    def _set_type(self, block: int, jtype: str) -> None:
+        # Journal region roles are fixed by layout; nothing dynamic.
+        pass
+
+    def redundancy_types(self) -> List[str]:
+        return ["super"]
+
+    def _rebuild_types(self) -> None:
+        cfg = self.config
+        self._types = {}
+        for ino in range(1, cfg.num_inodes + 1):
+            block, off = cfg.inode_location(ino)
+            inode = JFSInode.unpack(self._peek(block)[off:off + cfg.inode_size])
+            if not inode.is_allocated:
+                continue
+            kind = "dir" if _stat.S_ISDIR(inode.mode) else "data"
+            for bno in inode.direct:
+                if bno:
+                    self._types[bno] = kind
+            if inode.tree_root:
+                self._label_tree(inode.tree_root, inode.tree_levels, kind)
+
+    def _label_tree(self, block: int, level: int, kind: str) -> None:
+        if not 0 < block < self.device.num_blocks or level <= 0:
+            return
+        self._types[block] = "internal"
+        try:
+            _, ptrs = unpack_tree_block(self._peek(block), block, self.config.tree_fanout)
+        except CorruptionDetected:
+            return
+        for ptr in ptrs:
+            if not 0 < ptr < self.device.num_blocks:
+                continue
+            if level > 1:
+                self._label_tree(ptr, level - 1, kind)
+            else:
+                self._types[ptr] = kind

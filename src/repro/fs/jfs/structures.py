@@ -1,0 +1,253 @@
+"""JFS on-disk structures.
+
+Most JFS metadata blocks carry an entry count that the file system
+sanity-checks against the maximum possible for the block type (§5.3);
+the block allocation map additionally stores its free count *twice*
+and verifies the two fields agree (the paper's "equality check on a
+field").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.bitmap import Bitmap
+from repro.common.errors import CorruptionDetected
+
+JFS_MAGIC = 0x3153464A  # "JFS1"
+JFS_VERSION = 2
+
+_SB_FMT = "<IIIIIIIIIIII"
+
+
+@dataclass
+class JFSSuper:
+    """Contains info about file system (Table 4)."""
+
+    magic: int
+    version: int
+    block_size: int
+    total_blocks: int
+    free_blocks: int
+    free_inodes: int
+    num_inodes: int
+    journal_blocks: int
+    num_direct: int
+    tree_fanout: int
+    state: int = 0
+    generation: int = 0
+
+    def pack(self, block_size: int) -> bytes:
+        payload = struct.pack(
+            _SB_FMT, self.magic, self.version, self.block_size,
+            self.total_blocks, self.free_blocks, self.free_inodes,
+            self.num_inodes, self.journal_blocks, self.num_direct,
+            self.tree_fanout, self.state, self.generation,
+        )
+        return payload + b"\x00" * (block_size - len(payload))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "JFSSuper":
+        return cls(*struct.unpack_from(_SB_FMT, data))
+
+    def is_valid(self) -> bool:
+        """Magic and version check (D_sanity, §5.3)."""
+        return (
+            self.magic == JFS_MAGIC
+            and self.version == JFS_VERSION
+            and self.block_size >= 512
+            and self.total_blocks > 0
+        )
+
+
+_INODE_FMT = "<HHHHQddd8IIII"
+INODE_USED = struct.calcsize(_INODE_FMT)
+
+
+@dataclass
+class JFSInode:
+    """Info about files and directories (Table 4)."""
+
+    mode: int = 0
+    links: int = 0
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    direct: List[int] = field(default_factory=lambda: [0] * 8)
+    tree_root: int = 0
+    tree_levels: int = 0
+    nblocks: int = 0
+
+    def pack(self, inode_size: int) -> bytes:
+        payload = struct.pack(
+            _INODE_FMT, self.mode, self.links, self.uid, self.gid,
+            self.size, self.atime, self.mtime, self.ctime,
+            *self.direct, self.tree_root, self.tree_levels, self.nblocks,
+        )
+        return payload + b"\x00" * (inode_size - len(payload))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "JFSInode":
+        f = struct.unpack_from(_INODE_FMT, data)
+        return cls(
+            mode=f[0], links=f[1], uid=f[2], gid=f[3], size=f[4],
+            atime=f[5], mtime=f[6], ctime=f[7], direct=list(f[8:16]),
+            tree_root=f[16], tree_levels=f[17], nblocks=f[18],
+        )
+
+    @property
+    def is_allocated(self) -> bool:
+        return self.links > 0 or self.mode != 0
+
+
+def pack_inode_block(inodes: List[Optional[JFSInode]], block_size: int,
+                     inode_size: int) -> bytes:
+    """Inode extent block: header carries the used-slot count, which
+    JFS sanity-checks against the maximum (§5.3)."""
+    count = sum(1 for i in inodes if i is not None and i.is_allocated)
+    out = bytearray(struct.pack("<II", count, 0))
+    for inode in inodes:
+        raw = (inode or JFSInode()).pack(inode_size)
+        out += raw
+    out += b"\x00" * (block_size - len(out))
+    return bytes(out)
+
+
+def check_inode_block(data: bytes, block: int, inodes_per_block: int) -> None:
+    count, _ = struct.unpack_from("<II", data)
+    if count > inodes_per_block:
+        raise CorruptionDetected(block, f"inode block count {count} exceeds maximum")
+
+
+DIR_HDR = "<II"  # nentries, pad
+
+
+def pack_dir_block(entries: List[Tuple[int, int, str]], block_size: int) -> bytes:
+    """Directory block: header count + (ino, ftype, name) entries."""
+    out = bytearray(struct.pack(DIR_HDR, len(entries), 0))
+    for ino, ftype, name in entries:
+        raw = name.encode("latin-1", errors="replace")[:255]
+        out += struct.pack("<IBB", ino, ftype & 0xFF, len(raw)) + raw
+    if len(out) > block_size:
+        raise ValueError("directory block overflow")
+    return bytes(out) + b"\x00" * (block_size - len(out))
+
+
+def unpack_dir_block(data: bytes, block: int, block_size: int) -> List[Tuple[int, int, str]]:
+    """Parse a directory block, sanity-checking the entry count (§5.3)."""
+    nentries, _ = struct.unpack_from(DIR_HDR, data)
+    max_entries = (block_size - 8) // 6
+    if nentries > max_entries:
+        raise CorruptionDetected(block, f"directory entry count {nentries} exceeds maximum")
+    out: List[Tuple[int, int, str]] = []
+    off = 8
+    for _ in range(nentries):
+        if off + 6 > len(data):
+            raise CorruptionDetected(block, "directory entry runs off the block")
+        ino, ftype, nlen = struct.unpack_from("<IBB", data, off)
+        off += 6
+        name = data[off:off + nlen].decode("latin-1")
+        off += nlen
+        out.append((ino, ftype, name))
+    return out
+
+
+TREE_HDR = "<HHI"  # level, count, pad
+
+
+def pack_tree_block(level: int, pointers: List[int], block_size: int,
+                    fanout: int) -> bytes:
+    """Internal (extent tree) block: level + pointer count + pointers."""
+    if len(pointers) > fanout:
+        raise ValueError("tree block overflow")
+    out = bytearray(struct.pack(TREE_HDR, level, len(pointers), 0))
+    out += struct.pack(f"<{len(pointers)}I", *pointers)
+    return bytes(out) + b"\x00" * (block_size - len(out))
+
+
+def unpack_tree_block(data: bytes, block: int, fanout: int) -> Tuple[int, List[int]]:
+    """Parse an internal block, checking the pointer count (§5.3)."""
+    level, count, _ = struct.unpack_from(TREE_HDR, data)
+    if count > fanout or level == 0 or level > 4:
+        raise CorruptionDetected(block, f"tree block level={level} count={count} invalid")
+    ptrs = list(struct.unpack_from(f"<{count}I", data, 8))
+    return level, ptrs
+
+
+MAP_HDR = "<II"  # free count, free count copy (equality-checked)
+
+
+def pack_map_block(bmp: Bitmap, block_size: int) -> bytes:
+    free = bmp.count_free()
+    return struct.pack(MAP_HDR, free, free) + bmp.to_bytes(pad_to=block_size - 8)
+
+
+def unpack_map_block(data: bytes, block: int, nbits: int) -> Bitmap:
+    """Parse an allocation-map page, performing JFS's equality check on
+    the duplicated free-count field (§5.3)."""
+    free_a, free_b = struct.unpack_from(MAP_HDR, data)
+    if free_a != free_b:
+        raise CorruptionDetected(block, "allocation map free-count fields disagree")
+    bmp = Bitmap(nbits, data[8:])
+    if bmp.count_free() != free_a:
+        raise CorruptionDetected(block, "allocation map free count does not match bits")
+    return bmp
+
+
+_AGGR_FMT = "<IIIII"  # magic, bmap_desc, imap_cntl, log_start, generation
+AGGR_MAGIC = 0x41475232  # "AGR2"
+
+
+@dataclass
+class AggregateInode:
+    """Special inode describing the disk partition (Table 4): locates
+    the allocation maps and the journal."""
+
+    magic: int
+    bmap_desc: int
+    imap_cntl: int
+    log_start: int
+    generation: int = 0
+
+    def pack(self, block_size: int) -> bytes:
+        payload = struct.pack(_AGGR_FMT, self.magic, self.bmap_desc,
+                              self.imap_cntl, self.log_start, self.generation)
+        return payload + b"\x00" * (block_size - len(payload))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "AggregateInode":
+        return cls(*struct.unpack_from(_AGGR_FMT, data))
+
+    def is_valid(self) -> bool:
+        return self.magic == AGGR_MAGIC
+
+
+_BMAPDESC_FMT = "<III"  # total blocks, nmaps, pad
+
+
+def pack_bmap_desc(total_blocks: int, nmaps: int, block_size: int) -> bytes:
+    payload = struct.pack(_BMAPDESC_FMT, total_blocks, nmaps, 0)
+    return payload + b"\x00" * (block_size - len(payload))
+
+
+def unpack_bmap_desc(data: bytes) -> Tuple[int, int]:
+    total, nmaps, _ = struct.unpack_from(_BMAPDESC_FMT, data)
+    return total, nmaps
+
+
+_IMAPCTL_FMT = "<III"  # num inodes, free inodes, next search hint
+
+
+def pack_imap_control(num_inodes: int, free_inodes: int, hint: int,
+                      block_size: int) -> bytes:
+    payload = struct.pack(_IMAPCTL_FMT, num_inodes, free_inodes, hint)
+    return payload + b"\x00" * (block_size - len(payload))
+
+
+def unpack_imap_control(data: bytes) -> Tuple[int, int, int]:
+    return struct.unpack_from(_IMAPCTL_FMT, data)

@@ -1,0 +1,7 @@
+"""Windows NTFS (§5.4): MFT records, index blocks, aggressive retries."""
+
+from repro.fs.ntfs.mkfs import NTFSConfig, mkfs_ntfs
+from repro.fs.ntfs.ntfs import NTFS
+from repro.fs.ntfs.structures import BootFile, MFTRecord
+
+__all__ = ["BootFile", "MFTRecord", "NTFS", "NTFSConfig", "mkfs_ntfs"]

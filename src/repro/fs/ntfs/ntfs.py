@@ -1,0 +1,838 @@
+"""Windows NTFS, as characterized by the study (§5.4) — "persistence
+is a virtue".  Simplified (the paper's own NTFS analysis is partial).
+
+* **Reads**: error codes checked; failed reads are retried
+  aggressively — up to seven attempts — then propagated.
+* **Writes**: retried (three attempts for data blocks, two for MFT and
+  other metadata).  A data-block write failure is ultimately *recorded
+  but not used* (effective ``D_zero``); metadata write failures
+  propagate.
+* **Sanity**: strong checks on metadata blocks — every MFT record and
+  index block carries a magic number, and the volume becomes
+  unmountable when any metadata block except the journal is corrupted.
+  Block *pointers* are not validated: a corrupted run pointer silently
+  reads or overwrites whatever it names (§5.4).
+"""
+
+from __future__ import annotations
+
+import stat as _stat
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.bitmap import Bitmap
+from repro.common.errors import (
+    CorruptionDetected,
+    DiskError,
+    Errno,
+    FSError,
+    KernelPanic,
+)
+from repro.fs.base import JournaledFS
+from repro.fs.ext3.journal import Journal
+from repro.fs.ntfs.structures import (
+    BootFile,
+    FLAG_IN_USE,
+    FLAG_IS_DIR,
+    MFTRecord,
+    NUM_RUNS,
+    ROOT_MFT,
+    FIRST_USER_MFT,
+    pack_index_block,
+    unpack_index_block,
+)
+from repro.vfs.fdtable import O_APPEND, O_CREAT, O_TRUNC
+from repro.vfs.paths import MAX_SYMLINK_DEPTH, dirname_basename, is_ancestor, split_path
+from repro.vfs.stat import (
+    DEFAULT_DIR_MODE,
+    DEFAULT_FILE_MODE,
+    DEFAULT_LINK_MODE,
+    StatResult,
+    StatVFS,
+)
+
+FT_REG, FT_DIR, FT_SYMLINK = 1, 2, 7
+
+
+class NTFS(JournaledFS):
+    """NTFS over a :class:`BlockDevice`."""
+
+    name = "ntfs"
+
+    #: Table 4: NTFS on-disk structures.
+    BLOCK_TYPES: Dict[str, str] = {
+        "MFT": "Info about files/directories",
+        "directory": "List of files in directory",
+        "volume-bitmap": "Tracks free logical clusters",
+        "MFT-bitmap": "Tracks unused MFT records",
+        "logfile": "The transaction log file",
+        "data": "Holds user data",
+        "boot": "Contains info about NTFS volume",
+    }
+
+    #: Aggressive retry: up to seven read attempts (§5.4).
+    GENERIC_READ_RETRIES = 6
+    DATA_WRITE_ATTEMPTS = 3
+    META_WRITE_ATTEMPTS = 2
+
+    def __init__(self, device, sync_mode: bool = True, commit_every: int = 64,
+                 commit_stall_s: Optional[float] = None):
+        super().__init__(device, sync_mode=sync_mode, commit_every=commit_every,
+                         commit_stall_s=commit_stall_s)
+        self.boot: Optional[BootFile] = None
+        self._types: Dict[int, str] = {}
+
+    # ==================================================================
+    # Failure-policy hooks
+    # ==================================================================
+
+    def _write_meta(self, block: int, data: bytes) -> None:
+        try:
+            self.buf.bwrite(block, data, retries=self.META_WRITE_ATTEMPTS - 1)
+        except DiskError as exc:
+            self.syslog.error(self.name, "write-error",
+                              f"metadata write failed after retries: {exc}", block=block)
+            raise FSError(Errno.EIO, f"cannot write block {block}") from exc
+
+    def _write_data(self, block: int, data: bytes) -> None:
+        try:
+            self.buf.bwrite(block, data, retries=self.DATA_WRITE_ATTEMPTS - 1)
+        except DiskError:
+            # The error code is recorded but never used (§5.4) —
+            # effective D_zero for user data.
+            pass
+
+    def _meta_bread(self, block: int) -> bytes:
+        cached = self.journal.cached(block) if self.journal else None
+        if cached is not None:
+            return cached
+        try:
+            return self.buf.bread(block)
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error",
+                              f"read failed after retries: {exc}", block=block)
+            raise FSError(Errno.EIO, f"block {block} unreadable") from exc
+
+    def _sanity_violation(self, exc: CorruptionDetected) -> FSError:
+        self.syslog.error(self.name, "sanity-fail", str(exc), block=exc.block)
+        self.syslog.error(self.name, "unmountable", "volume marked dirty/unmountable")
+        self._read_only = True
+        if self.journal is not None:
+            self.journal.abort()
+        return FSError(Errno.EUCLEAN, str(exc))
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+
+    def mount(self) -> None:
+        if self._mounted:
+            raise FSError(Errno.EINVAL, "already mounted")
+        try:
+            raw = self.buf.bread(0)
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error", f"boot file unreadable: {exc}", block=0)
+            raise FSError(Errno.EIO, "cannot read boot file") from exc
+        boot = BootFile.unpack(raw)
+        if not boot.is_valid():
+            self.syslog.error(self.name, "sanity-fail", "boot file magic invalid", block=0)
+            self.syslog.error(self.name, "unmountable", "volume not mountable")
+            raise FSError(Errno.EUCLEAN, "bad boot file")
+        self.boot = boot
+        self.journal = Journal(
+            start=boot.logfile_start,
+            nblocks=boot.logfile_blocks,
+            block_size=self.block_size,
+            syslog=self.syslog,
+            journal_write=self._write_meta_swallowing,
+            home_write=self._write_meta_swallowing,
+            ordered_write=self._write_data,
+            read_block=self.buf.bread,
+            set_type=lambda b, t: None,  # the whole region is 'logfile'
+            stall=self._stall,
+            commit_stall_s=self.commit_stall_s,
+            txn_checksum=False,
+        )
+        self._rebuild_types()
+        try:
+            self.journal.recover()
+        except CorruptionDetected as exc:
+            # The journal is the one structure whose corruption does not
+            # make the volume unmountable (§5.4): reset the log.
+            self.syslog.warning(self.name, "log-reset",
+                                f"logfile invalid, reinitializing: {exc}")
+            self.journal.checkpoint()
+        except DiskError as exc:
+            self.syslog.error(self.name, "read-error",
+                              f"logfile unreadable: {exc}")
+            raise FSError(Errno.EIO, "cannot replay logfile") from exc
+        self._mounted = True
+        self._rebuild_types()
+
+    def _write_meta_swallowing(self, block: int, data: bytes) -> None:
+        """Journal/checkpoint writes: retried, then logged; the commit
+        machinery is not unwound mid-flight."""
+        try:
+            self.buf.bwrite(block, data, retries=self.META_WRITE_ATTEMPTS - 1)
+        except DiskError as exc:
+            self.syslog.error(self.name, "write-error",
+                              f"metadata write failed after retries: {exc}", block=block)
+
+    def unmount(self) -> None:
+        self._ensure_mounted()
+        if not self._read_only:
+            self.journal.commit()
+            self.journal.checkpoint()
+        self.fdtable.close_all()
+        self._mounted = False
+
+    # ==================================================================
+    # MFT records
+    # ==================================================================
+
+    def _mft_block(self, mft: int) -> int:
+        if not 0 <= mft < self.boot.mft_records:
+            raise FSError(Errno.EUCLEAN, f"MFT number {mft} out of range")
+        return self.boot.mft_start + mft
+
+    def _rget(self, mft: int) -> MFTRecord:
+        raw = self._meta_bread(self._mft_block(mft))
+        try:
+            return MFTRecord.unpack(raw, self._mft_block(mft))
+        except CorruptionDetected as exc:
+            raise self._sanity_violation(exc) from exc
+
+    def _rput(self, mft: int, record: MFTRecord) -> None:
+        self.journal.add_meta(self._mft_block(mft), record.pack(self.block_size))
+
+    # ==================================================================
+    # Namespace operations
+    # ==================================================================
+
+    def creat(self, path: str, mode: int = 0o644) -> int:
+        return self._run_modifying(lambda: self._do_creat(path, mode))
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> int:
+        modifying = bool(flags & (O_CREAT | O_TRUNC))
+        self._begin_op(modifying=modifying)
+        try:
+            fd = self._do_open(path, flags, mode)
+        except KernelPanic:
+            self._mounted = False
+            raise
+        except Exception:
+            self._end_op(modifying=modifying)
+            raise
+        self._end_op(modifying=modifying)
+        return fd
+
+    def close(self, fd: int) -> None:
+        self._ensure_mounted()
+        self.fdtable.close(fd)
+
+    def read(self, fd: int, size: int, offset: Optional[int] = None) -> bytes:
+        self._begin_op(modifying=False)
+        try:
+            of = self.fdtable.get(fd)
+            if not of.readable:
+                raise FSError(Errno.EBADF, "fd not open for reading")
+            rec = self._rget(of.ino)
+            pos = of.offset if offset is None else offset
+            end = min(pos + size, rec.size)
+            if end <= pos:
+                return b""
+            bs = self.block_size
+            chunks = []
+            for fb in range(pos // bs, (end - 1) // bs + 1):
+                bno = rec.runs[fb] if fb < NUM_RUNS else 0
+                chunk = self._meta_bread(bno) if bno else b"\x00" * bs
+                lo = pos - fb * bs if fb == pos // bs else 0
+                hi = end - fb * bs if fb == (end - 1) // bs else bs
+                chunks.append(chunk[lo:hi])
+            if offset is None:
+                of.offset = end
+            return b"".join(chunks)
+        finally:
+            self._end_op(modifying=False)
+
+    def write(self, fd: int, data: bytes, offset: Optional[int] = None) -> int:
+        def body():
+            of = self.fdtable.get(fd)
+            if not of.writable:
+                raise FSError(Errno.EBADF, "fd not open for writing")
+            if not data:
+                return 0
+            rec = self._rget(of.ino)
+            pos = rec.size if of.flags & O_APPEND else (
+                of.offset if offset is None else offset
+            )
+            end = pos + len(data)
+            bs = self.block_size
+            if end > NUM_RUNS * bs:
+                raise FSError(Errno.EFBIG, "file exceeds run capacity")
+            written = 0
+            dirty = False
+            for fb in range(pos // bs, max(pos, end - 1) // bs + 1):
+                lo = pos - fb * bs if fb == pos // bs else 0
+                hi = end - fb * bs if fb == (end - 1) // bs else bs
+                piece = data[written:written + (hi - lo)]
+                if rec.runs[fb] == 0:
+                    rec.runs[fb] = self._alloc_block("data")
+                    dirty = True
+                bno = rec.runs[fb]
+                if lo == 0 and hi == bs:
+                    payload = piece
+                else:
+                    base = bytearray(self._meta_bread(bno)
+                                     if fb * bs < rec.size else bytes(bs))
+                    base[lo:hi] = piece
+                    payload = bytes(base)
+                self._types[bno] = "data"
+                self.journal.add_ordered(bno, payload)
+                written += hi - lo
+            if end > rec.size:
+                rec.size = end
+                dirty = True
+            rec.mtime += 1.0
+            self._rput(of.ino, rec)
+            if offset is None or of.flags & O_APPEND:
+                of.offset = end
+            return written
+        return self._run_modifying(body)
+
+    def truncate(self, path: str, size: int) -> None:
+        def body():
+            mft = self._lookup(path, follow=True)
+            rec = self._rget(mft)
+            if rec.is_dir:
+                raise FSError(Errno.EISDIR, path)
+            if size < rec.size:
+                bs = self.block_size
+                keep = (size + bs - 1) // bs
+                for i in range(keep, NUM_RUNS):
+                    if rec.runs[i]:
+                        self._free_block(rec.runs[i])
+                        rec.runs[i] = 0
+            rec.size = size
+            rec.mtime += 1.0
+            self._rput(mft, rec)
+        self._run_modifying(body)
+
+    def link(self, existing: str, new: str) -> None:
+        def body():
+            src = self._lookup(existing, follow=False)
+            rec = self._rget(src)
+            if rec.is_dir:
+                raise FSError(Errno.EPERM, "hard links to directories are not allowed")
+            parent_path, name = dirname_basename(self.resolve(new))
+            parent = self._lookup(parent_path, follow=True)
+            if self._dir_find(parent, name) is not None:
+                raise FSError(Errno.EEXIST, new)
+            self._dir_add(parent, name, src, FT_REG)
+            rec.links += 1
+            self._rput(src, rec)
+        self._run_modifying(body)
+
+    def unlink(self, path: str) -> None:
+        def body():
+            parent_path, name = dirname_basename(self.resolve(path))
+            parent = self._lookup(parent_path, follow=True)
+            found = self._dir_find(parent, name)
+            if found is None:
+                raise FSError(Errno.ENOENT, path)
+            mft, _ = found
+            rec = self._rget(mft)
+            if rec.is_dir:
+                raise FSError(Errno.EISDIR, path)
+            self._dir_remove(parent, name)
+            if rec.links <= 1:
+                for bno in rec.runs:
+                    if bno:
+                        self._free_block(bno)
+                self._free_mft(mft)
+            else:
+                rec.links -= 1
+                self._rput(mft, rec)
+        self._run_modifying(body)
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        def body():
+            if len(target.encode()) > self.block_size:
+                raise FSError(Errno.ENAMETOOLONG, "symlink target too long")
+            parent_path, name = dirname_basename(self.resolve(linkpath))
+            parent = self._lookup(parent_path, follow=True)
+            if self._dir_find(parent, name) is not None:
+                raise FSError(Errno.EEXIST, linkpath)
+            mft = self._alloc_mft(DEFAULT_LINK_MODE, is_dir=False)
+            rec = self._rget(mft)
+            bno = self._alloc_block("data")
+            rec.runs[0] = bno
+            raw = target.encode()
+            self.journal.add_ordered(bno, raw + b"\x00" * (self.block_size - len(raw)))
+            rec.size = len(raw)
+            self._rput(mft, rec)
+            self._dir_add(parent, name, mft, FT_SYMLINK)
+        self._run_modifying(body)
+
+    def readlink(self, path: str) -> str:
+        self._begin_op(modifying=False)
+        try:
+            mft = self._lookup(path, follow=False)
+            rec = self._rget(mft)
+            if not _stat.S_ISLNK(rec.mode):
+                raise FSError(Errno.EINVAL, "not a symlink")
+            if rec.runs[0] == 0:
+                return ""
+            data = self._meta_bread(rec.runs[0])
+            return data[:rec.size].decode(errors="replace")
+        finally:
+            self._end_op(modifying=False)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        def body():
+            parent_path, name = dirname_basename(self.resolve(path))
+            parent = self._lookup(parent_path, follow=True)
+            prec = self._rget(parent)
+            if not prec.is_dir:
+                raise FSError(Errno.ENOTDIR, parent_path)
+            if self._dir_find(parent, name) is not None:
+                raise FSError(Errno.EEXIST, path)
+            mft = self._alloc_mft((DEFAULT_DIR_MODE & ~0o777) | (mode & 0o777),
+                                  is_dir=True)
+            rec = self._rget(mft)
+            rec.links = 2
+            bno = self._alloc_block("directory")
+            rec.runs[0] = bno
+            self.journal.add_meta(bno, pack_index_block(
+                [(mft, FT_DIR, "."), (parent, FT_DIR, "..")], self.block_size))
+            rec.size = self.block_size
+            self._rput(mft, rec)
+            self._dir_add(parent, name, mft, FT_DIR)
+            prec = self._rget(parent)
+            prec.links += 1
+            self._rput(parent, prec)
+        self._run_modifying(body)
+
+    def rmdir(self, path: str) -> None:
+        def body():
+            resolved = self.resolve(path)
+            if resolved == "/":
+                raise FSError(Errno.EINVAL, "cannot remove root")
+            parent_path, name = dirname_basename(resolved)
+            parent = self._lookup(parent_path, follow=True)
+            found = self._dir_find(parent, name)
+            if found is None:
+                raise FSError(Errno.ENOENT, path)
+            mft, _ = found
+            rec = self._rget(mft)
+            if not rec.is_dir:
+                raise FSError(Errno.ENOTDIR, path)
+            if any(n not in (".", "..") for _, _, n in self._dir_entries(mft, rec)):
+                raise FSError(Errno.ENOTEMPTY, path)
+            self._dir_remove(parent, name)
+            for bno in rec.runs:
+                if bno:
+                    self._free_block(bno)
+            self._free_mft(mft)
+            prec = self._rget(parent)
+            prec.links = max(prec.links - 1, 0)
+            self._rput(parent, prec)
+        self._run_modifying(body)
+
+    def rename(self, old: str, new: str) -> None:
+        def body():
+            old_r, new_r = self.resolve(old), self.resolve(new)
+            if is_ancestor(old_r, new_r) and old_r != new_r:
+                raise FSError(Errno.EINVAL, "cannot move a directory into itself")
+            old_pp, old_name = dirname_basename(old_r)
+            new_pp, new_name = dirname_basename(new_r)
+            old_parent = self._lookup(old_pp, follow=True)
+            found = self._dir_find(old_parent, old_name)
+            if found is None:
+                raise FSError(Errno.ENOENT, old)
+            if old_r == new_r:
+                return  # renaming an existing name onto itself: no-op
+            moving, ftype = found
+            mrec = self._rget(moving)
+            new_parent = self._lookup(new_pp, follow=True)
+            target = self._dir_find(new_parent, new_name)
+            if target is not None:
+                tmft, _ = target
+                trec = self._rget(tmft)
+                if trec.is_dir:
+                    if not mrec.is_dir:
+                        raise FSError(Errno.EISDIR, new)
+                    if any(n not in (".", "..") for _, _, n in self._dir_entries(tmft, trec)):
+                        raise FSError(Errno.ENOTEMPTY, new)
+                    self._dir_remove(new_parent, new_name)
+                    for bno in trec.runs:
+                        if bno:
+                            self._free_block(bno)
+                    self._free_mft(tmft)
+                    np = self._rget(new_parent)
+                    np.links = max(np.links - 1, 0)
+                    self._rput(new_parent, np)
+                else:
+                    if mrec.is_dir:
+                        raise FSError(Errno.ENOTDIR, new)
+                    self._dir_remove(new_parent, new_name)
+                    if trec.links <= 1:
+                        for bno in trec.runs:
+                            if bno:
+                                self._free_block(bno)
+                        self._free_mft(tmft)
+                    else:
+                        trec.links -= 1
+                        self._rput(tmft, trec)
+            self._dir_remove(old_parent, old_name)
+            self._dir_add(new_parent, new_name, moving, ftype)
+            if mrec.is_dir and old_parent != new_parent:
+                self._dir_set_dotdot(moving, new_parent)
+                op = self._rget(old_parent)
+                op.links = max(op.links - 1, 0)
+                self._rput(old_parent, op)
+                np = self._rget(new_parent)
+                np.links += 1
+                self._rput(new_parent, np)
+        self._run_modifying(body)
+
+    def getdirentries(self, path: str) -> List[str]:
+        self._begin_op(modifying=False)
+        try:
+            mft = self._lookup(path, follow=True)
+            rec = self._rget(mft)
+            if not rec.is_dir:
+                raise FSError(Errno.ENOTDIR, path)
+            return [n for _, _, n in self._dir_entries(mft, rec)]
+        finally:
+            self._end_op(modifying=False)
+
+    def stat(self, path: str) -> StatResult:
+        self._begin_op(modifying=False)
+        try:
+            return self._stat_of(self._lookup(path, follow=True))
+        finally:
+            self._end_op(modifying=False)
+
+    def lstat(self, path: str) -> StatResult:
+        self._begin_op(modifying=False)
+        try:
+            return self._stat_of(self._lookup(path, follow=False))
+        finally:
+            self._end_op(modifying=False)
+
+    def statfs(self) -> StatVFS:
+        self._ensure_mounted()
+        free_blocks = self._count_free_blocks()
+        free_mft = self._count_free_mft()
+        return StatVFS(
+            block_size=self.block_size,
+            total_blocks=self.boot.total_blocks,
+            free_blocks=free_blocks,
+            total_inodes=self.boot.mft_records,
+            free_inodes=free_mft,
+        )
+
+    def chmod(self, path: str, mode: int) -> None:
+        def body():
+            mft = self._lookup(path, follow=True)
+            rec = self._rget(mft)
+            rec.mode = (rec.mode & ~0o7777) | (mode & 0o7777)
+            self._rput(mft, rec)
+        self._run_modifying(body)
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        def body():
+            mft = self._lookup(path, follow=True)
+            rec = self._rget(mft)
+            rec.uid, rec.gid = uid, gid
+            self._rput(mft, rec)
+        self._run_modifying(body)
+
+    def utimes(self, path: str, atime: float, mtime: float) -> None:
+        def body():
+            mft = self._lookup(path, follow=True)
+            rec = self._rget(mft)
+            rec.atime, rec.mtime = atime, mtime
+            self._rput(mft, rec)
+        self._run_modifying(body)
+
+    # ==================================================================
+    # Bodies / helpers
+    # ==================================================================
+
+    def _do_creat(self, path: str, mode: int) -> int:
+        parent_path, name = dirname_basename(self.resolve(path))
+        parent = self._lookup(parent_path, follow=True)
+        prec = self._rget(parent)
+        if not prec.is_dir:
+            raise FSError(Errno.ENOTDIR, parent_path)
+        found = self._dir_find(parent, name)
+        if found is not None:
+            mft, _ = found
+            rec = self._rget(mft)
+            if rec.is_dir:
+                raise FSError(Errno.EISDIR, path)
+            for bno in rec.runs:
+                if bno:
+                    self._free_block(bno)
+            rec.runs = [0] * NUM_RUNS
+            rec.size = 0
+            self._rput(mft, rec)
+            return self.fdtable.allocate(mft, 1)
+        mft = self._alloc_mft((DEFAULT_FILE_MODE & ~0o777) | (mode & 0o777),
+                              is_dir=False)
+        self._dir_add(parent, name, mft, FT_REG)
+        return self.fdtable.allocate(mft, 1)
+
+    def _do_open(self, path: str, flags: int, mode: int) -> int:
+        resolved = self.resolve(path)
+        try:
+            mft = self._lookup(resolved, follow=True)
+        except FSError as exc:
+            if exc.errno is Errno.ENOENT and flags & O_CREAT:
+                return self._do_creat(resolved, mode)
+            raise
+        rec = self._rget(mft)
+        if rec.is_dir and (flags & 0x3):
+            raise FSError(Errno.EISDIR, path)
+        if flags & O_TRUNC and not rec.is_dir:
+            for bno in rec.runs:
+                if bno:
+                    self._free_block(bno)
+            rec.runs = [0] * NUM_RUNS
+            rec.size = 0
+            self._rput(mft, rec)
+        return self.fdtable.allocate(mft, flags)
+
+    def _stat_of(self, mft: int) -> StatResult:
+        rec = self._rget(mft)
+        mode = rec.mode
+        if rec.is_dir and not _stat.S_ISDIR(mode):
+            mode |= _stat.S_IFDIR
+        return StatResult(ino=mft, mode=mode, nlink=rec.links, uid=rec.uid,
+                          gid=rec.gid, size=rec.size, atime=rec.atime,
+                          mtime=rec.mtime, ctime=rec.ctime)
+
+    # -- directories --------------------------------------------------------
+
+    def _dir_entries(self, mft: int, rec: MFTRecord) -> List[Tuple[int, int, str]]:
+        out = []
+        bs = self.block_size
+        for fb in range((rec.size + bs - 1) // bs):
+            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+            if not bno:
+                continue
+            raw = self._meta_bread(bno)
+            try:
+                out.extend(unpack_index_block(raw, bno, bs))
+            except CorruptionDetected as exc:
+                raise self._sanity_violation(exc) from exc
+        return out
+
+    def _dir_find(self, mft: int, name: str) -> Optional[Tuple[int, int]]:
+        rec = self._rget(mft)
+        for emft, ftype, ename in self._dir_entries(mft, rec):
+            if ename == name and 0 < emft < self.boot.mft_records:
+                return emft, ftype
+        return None
+
+    def _dir_add(self, mft: int, name: str, child: int, ftype: int) -> None:
+        rec = self._rget(mft)
+        bs = self.block_size
+        need = 6 + len(name.encode())
+        for fb in range((rec.size + bs - 1) // bs):
+            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+            if not bno:
+                continue
+            raw = self._meta_bread(bno)
+            try:
+                entries = unpack_index_block(raw, bno, bs)
+            except CorruptionDetected as exc:
+                raise self._sanity_violation(exc) from exc
+            used = 12 + sum(6 + len(n.encode("latin-1", errors="replace")[:255])
+                            for _, _, n in entries)
+            if used + need <= bs:
+                entries.append((child, ftype, name))
+                self.journal.add_meta(bno, pack_index_block(entries, bs))
+                return
+        fb = (rec.size + bs - 1) // bs
+        if fb >= NUM_RUNS:
+            raise FSError(Errno.ENOSPC, "directory full")
+        bno = self._alloc_block("directory")
+        rec.runs[fb] = bno
+        self.journal.add_meta(bno, pack_index_block([(child, ftype, name)], bs))
+        rec.size = (fb + 1) * bs
+        self._rput(mft, rec)
+
+    def _dir_remove(self, mft: int, name: str) -> None:
+        rec = self._rget(mft)
+        bs = self.block_size
+        for fb in range((rec.size + bs - 1) // bs):
+            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+            if not bno:
+                continue
+            raw = self._meta_bread(bno)
+            try:
+                entries = unpack_index_block(raw, bno, bs)
+            except CorruptionDetected as exc:
+                raise self._sanity_violation(exc) from exc
+            kept = [(m, f, n) for m, f, n in entries if n != name]
+            if len(kept) != len(entries):
+                self.journal.add_meta(bno, pack_index_block(kept, bs))
+                return
+        raise FSError(Errno.ENOENT, name)
+
+    def _dir_set_dotdot(self, mft: int, new_parent: int) -> None:
+        rec = self._rget(mft)
+        bs = self.block_size
+        for fb in range((rec.size + bs - 1) // bs):
+            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+            if not bno:
+                continue
+            raw = self._meta_bread(bno)
+            try:
+                entries = unpack_index_block(raw, bno, bs)
+            except CorruptionDetected as exc:
+                raise self._sanity_violation(exc) from exc
+            changed = False
+            for i, (m, f, n) in enumerate(entries):
+                if n == "..":
+                    entries[i] = (new_parent, FT_DIR, "..")
+                    changed = True
+            if changed:
+                self.journal.add_meta(bno, pack_index_block(entries, bs))
+                return
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _lookup(self, path: str, follow: bool = True, _depth: int = 0) -> int:
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise FSError(Errno.ELOOP, path)
+        resolved = self.resolve(path)
+        parts = split_path(resolved)
+        mft = ROOT_MFT
+        for i, name in enumerate(parts):
+            rec = self._rget(mft)
+            if not rec.is_dir:
+                raise FSError(Errno.ENOTDIR, "/" + "/".join(parts[:i]))
+            found = self._dir_find(mft, name)
+            if found is None:
+                raise FSError(Errno.ENOENT, resolved)
+            child, _ = found
+            crec = self._rget(child)
+            is_last = i == len(parts) - 1
+            if _stat.S_ISLNK(crec.mode) and (follow or not is_last):
+                if crec.runs[0] == 0:
+                    raise FSError(Errno.ENOENT, "dangling symlink")
+                data = self._meta_bread(crec.runs[0])
+                target = data[:crec.size].decode(errors="replace")
+                if not target.startswith("/"):
+                    target = "/" + "/".join(parts[:i]) + "/" + target
+                remainder = "/".join(parts[i + 1:])
+                full = target + ("/" + remainder if remainder else "")
+                return self._lookup(full, follow=follow, _depth=_depth + 1)
+            mft = child
+        return mft
+
+    # -- allocation --------------------------------------------------------------
+
+    def _read_bitmap(self, block: int, nbits: int) -> Bitmap:
+        raw = self._meta_bread(block)
+        return Bitmap(nbits, raw)  # bitmaps carry no structure to check
+
+    def _alloc_block(self, kind: str) -> int:
+        boot = self.boot
+        data_start = boot.mft_start + boot.mft_records
+        bmp = self._read_bitmap(boot.vol_bitmap_start, boot.total_blocks - data_start)
+        bit = bmp.find_free()
+        if bit is None:
+            raise FSError(Errno.ENOSPC, "out of disk space")
+        bmp.set(bit)
+        self.journal.add_meta(boot.vol_bitmap_start,
+                              bmp.to_bytes(pad_to=self.block_size))
+        bno = data_start + bit
+        self._types[bno] = kind
+        return bno
+
+    def _free_block(self, bno: int) -> None:
+        boot = self.boot
+        data_start = boot.mft_start + boot.mft_records
+        if not data_start <= bno < boot.total_blocks:
+            return
+        bmp = self._read_bitmap(boot.vol_bitmap_start, boot.total_blocks - data_start)
+        if bmp.test(bno - data_start):
+            bmp.clear(bno - data_start)
+            self.journal.add_meta(boot.vol_bitmap_start,
+                                  bmp.to_bytes(pad_to=self.block_size))
+        self.journal.revoke(bno)
+        self._types.pop(bno, None)
+
+    def _alloc_mft(self, mode: int, is_dir: bool) -> int:
+        boot = self.boot
+        bmp = self._read_bitmap(boot.mft_bitmap_block, boot.mft_records)
+        bit = bmp.find_free(FIRST_USER_MFT)
+        if bit is None:
+            raise FSError(Errno.ENOSPC, "MFT full")
+        bmp.set(bit)
+        self.journal.add_meta(boot.mft_bitmap_block,
+                              bmp.to_bytes(pad_to=self.block_size))
+        flags = FLAG_IN_USE | (FLAG_IS_DIR if is_dir else 0)
+        rec = MFTRecord(flags=flags, links=1, mode=mode,
+                        atime=1.0, mtime=1.0, ctime=1.0)
+        self._rput(bit, rec)
+        return bit
+
+    def _free_mft(self, mft: int) -> None:
+        boot = self.boot
+        bmp = self._read_bitmap(boot.mft_bitmap_block, boot.mft_records)
+        if bmp.test(mft):
+            bmp.clear(mft)
+            self.journal.add_meta(boot.mft_bitmap_block,
+                                  bmp.to_bytes(pad_to=self.block_size))
+        self._rput(mft, MFTRecord(flags=0))
+
+    def _count_free_blocks(self) -> int:
+        boot = self.boot
+        data_start = boot.mft_start + boot.mft_records
+        bmp = self._read_bitmap(boot.vol_bitmap_start, boot.total_blocks - data_start)
+        return bmp.count_free()
+
+    def _count_free_mft(self) -> int:
+        bmp = self._read_bitmap(self.boot.mft_bitmap_block, self.boot.mft_records)
+        return bmp.count_free()
+
+    # ==================================================================
+    # Gray-box: block-type oracle
+    # ==================================================================
+
+    def block_type(self, block: int) -> Optional[str]:
+        boot = self.boot
+        if boot is None:
+            return None
+        if block == 0:
+            return "boot"
+        if boot.logfile_start <= block < boot.logfile_start + boot.logfile_blocks:
+            return "logfile"
+        if block == boot.vol_bitmap_start:
+            return "volume-bitmap"
+        if block == boot.mft_bitmap_block:
+            return "MFT-bitmap"
+        if boot.mft_start <= block < boot.mft_start + boot.mft_records:
+            return "MFT"
+        return self._types.get(block)
+
+    def _rebuild_types(self) -> None:
+        boot = self.boot
+        self._types = {}
+        for mft in range(boot.mft_records):
+            try:
+                rec = MFTRecord.unpack(self._peek(boot.mft_start + mft),
+                                       boot.mft_start + mft)
+            except CorruptionDetected:
+                continue
+            if not rec.in_use:
+                continue
+            kind = "directory" if rec.is_dir else "data"
+            for bno in rec.runs:
+                if 0 < bno < self.device.num_blocks:
+                    self._types[bno] = kind

@@ -1,0 +1,142 @@
+"""NTFS on-disk structures (simplified; the paper's own analysis of
+NTFS is partial because it is closed-source, §5.4).
+
+Every metadata block carries a magic number — NTFS performs strong
+sanity checking on metadata and the volume becomes unmountable if any
+metadata block other than the journal is corrupted.  Block *pointers*,
+however, are not validated: a corrupted run pointer silently targets
+whatever it happens to name (§5.4).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.common.errors import CorruptionDetected
+
+BOOT_MAGIC = b"NTFS    "
+FILE_MAGIC = b"FILE"
+INDX_MAGIC = b"INDX"
+
+#: MFT record numbers 0-15 are reserved for system files; 5 is the
+#: root directory, as on real NTFS.
+ROOT_MFT = 5
+FIRST_USER_MFT = 16
+
+#: Data runs stored inline in an MFT record.
+NUM_RUNS = 48
+
+_BOOT_FMT = "<8sIIIIIIII"
+
+
+@dataclass
+class BootFile:
+    """Contains info about the NTFS volume (Table 4)."""
+
+    magic: bytes
+    block_size: int
+    total_blocks: int
+    mft_start: int
+    mft_records: int
+    logfile_start: int
+    logfile_blocks: int
+    vol_bitmap_start: int
+    mft_bitmap_block: int
+
+    def pack(self, block_size: int) -> bytes:
+        payload = struct.pack(
+            _BOOT_FMT, self.magic, self.block_size, self.total_blocks,
+            self.mft_start, self.mft_records, self.logfile_start,
+            self.logfile_blocks, self.vol_bitmap_start, self.mft_bitmap_block,
+        )
+        return payload + b"\x00" * (block_size - len(payload))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "BootFile":
+        return cls(*struct.unpack_from(_BOOT_FMT, data))
+
+    def is_valid(self) -> bool:
+        return self.magic == BOOT_MAGIC and self.block_size >= 512
+
+
+FLAG_IN_USE = 1
+FLAG_IS_DIR = 2
+
+_MFT_FMT = "<4sHHHHIIQddd" + f"{NUM_RUNS}I"
+
+
+@dataclass
+class MFTRecord:
+    """Info about files/directories (Table 4).  One record per block."""
+
+    flags: int = 0
+    links: int = 0
+    mode: int = 0
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    runs: List[int] = field(default_factory=lambda: [0] * NUM_RUNS)
+
+    def pack(self, block_size: int) -> bytes:
+        payload = struct.pack(
+            _MFT_FMT, FILE_MAGIC, self.flags, self.links, self.uid, self.gid,
+            self.mode, 0, self.size, self.atime, self.mtime, self.ctime,
+            *self.runs,
+        )
+        return payload + b"\x00" * (block_size - len(payload))
+
+    @classmethod
+    def unpack(cls, data: bytes, block: int) -> "MFTRecord":
+        f = struct.unpack_from(_MFT_FMT, data)
+        if f[0] != FILE_MAGIC:
+            raise CorruptionDetected(block, "MFT record magic invalid")
+        return cls(flags=f[1], links=f[2], uid=f[3], gid=f[4], mode=f[5],
+                   size=f[7], atime=f[8], mtime=f[9], ctime=f[10],
+                   runs=list(f[11:11 + NUM_RUNS]))
+
+    @property
+    def in_use(self) -> bool:
+        return bool(self.flags & FLAG_IN_USE)
+
+    @property
+    def is_dir(self) -> bool:
+        return bool(self.flags & FLAG_IS_DIR)
+
+
+_INDX_HDR = "<4sII"  # magic, nentries, pad
+
+
+def pack_index_block(entries: List[Tuple[int, int, str]], block_size: int) -> bytes:
+    """Directory index block: INDX magic + entries of (mft#, ftype, name)."""
+    out = bytearray(struct.pack(_INDX_HDR, INDX_MAGIC, len(entries), 0))
+    for mft, ftype, name in entries:
+        raw = name.encode("latin-1", errors="replace")[:255]
+        out += struct.pack("<IBB", mft, ftype & 0xFF, len(raw)) + raw
+    if len(out) > block_size:
+        raise ValueError("index block overflow")
+    return bytes(out) + b"\x00" * (block_size - len(out))
+
+
+def unpack_index_block(data: bytes, block: int, block_size: int) -> List[Tuple[int, int, str]]:
+    magic, nentries, _ = struct.unpack_from(_INDX_HDR, data)
+    if magic != INDX_MAGIC:
+        raise CorruptionDetected(block, "index block magic invalid")
+    max_entries = (block_size - 12) // 6
+    if nentries > max_entries:
+        raise CorruptionDetected(block, f"index entry count {nentries} impossible")
+    out: List[Tuple[int, int, str]] = []
+    off = 12
+    for _ in range(nentries):
+        if off + 6 > len(data):
+            raise CorruptionDetected(block, "index entry runs off the block")
+        mft, ftype, nlen = struct.unpack_from("<IBB", data, off)
+        off += 6
+        name = data[off:off + nlen].decode("latin-1")
+        off += nlen
+        out.append((mft, ftype, name))
+    return out

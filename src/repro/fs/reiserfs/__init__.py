@@ -1,0 +1,18 @@
+"""ReiserFS v3 (§5.2): one balanced tree for metadata and data."""
+
+from repro.fs.reiserfs.btree import BTree, Item, Node
+from repro.fs.reiserfs.config import ReiserConfig
+from repro.fs.reiserfs.mkfs import mkfs_reiserfs
+from repro.fs.reiserfs.reiserfs import ReiserFS
+from repro.fs.reiserfs.structures import ReiserSuper, StatBody
+
+__all__ = [
+    "BTree",
+    "Item",
+    "Node",
+    "ReiserConfig",
+    "ReiserFS",
+    "ReiserSuper",
+    "StatBody",
+    "mkfs_reiserfs",
+]

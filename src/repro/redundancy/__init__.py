@@ -1,0 +1,5 @@
+"""Redundancy codes beyond single parity (§3.3's future exploration)."""
+
+from repro.redundancy.rdp import RDPStripe, encode_blocks, is_prime
+
+__all__ = ["RDPStripe", "encode_blocks", "is_prime"]

@@ -1,0 +1,25 @@
+"""The IRON taxonomy: detection levels, recovery levels, failure policy."""
+
+from repro.taxonomy.detection import Detection, render_detection_table
+from repro.taxonomy.policy import (
+    FAULT_CLASSES,
+    PolicyMatrix,
+    PolicyObservation,
+    relative_frequency_marks,
+)
+from repro.taxonomy.recovery import Recovery, render_recovery_table
+from repro.taxonomy.render import render_full_figure, render_key, render_matrix
+
+__all__ = [
+    "Detection",
+    "FAULT_CLASSES",
+    "PolicyMatrix",
+    "PolicyObservation",
+    "Recovery",
+    "relative_frequency_marks",
+    "render_detection_table",
+    "render_full_figure",
+    "render_key",
+    "render_matrix",
+    "render_recovery_table",
+]

@@ -1,0 +1,57 @@
+"""The IRON detection taxonomy (Table 1)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Detection(enum.Enum):
+    """Levels of the detection taxonomy, ordered from weakest to
+    strongest.  The symbols match Figure 2's key."""
+
+    ZERO = "D_zero"
+    ERROR_CODE = "D_errorcode"
+    SANITY = "D_sanity"
+    REDUNDANCY = "D_redundancy"
+
+    @property
+    def symbol(self) -> str:
+        return _SYMBOLS[self]
+
+    @property
+    def technique(self) -> str:
+        return _TECHNIQUES[self]
+
+    @property
+    def comment(self) -> str:
+        return _COMMENTS[self]
+
+
+_SYMBOLS = {
+    Detection.ZERO: " ",
+    Detection.ERROR_CODE: "-",
+    Detection.SANITY: "|",
+    Detection.REDUNDANCY: "\\",
+}
+
+_TECHNIQUES = {
+    Detection.ZERO: "No detection",
+    Detection.ERROR_CODE: "Check return codes from lower levels",
+    Detection.SANITY: "Check data structures for consistency",
+    Detection.REDUNDANCY: "Redundancy over one or more blocks",
+}
+
+_COMMENTS = {
+    Detection.ZERO: "Assumes disk works",
+    Detection.ERROR_CODE: "Assumes lower level can detect errors",
+    Detection.SANITY: "May require extra space per block",
+    Detection.REDUNDANCY: "Detect corruption in end-to-end way",
+}
+
+
+def render_detection_table() -> str:
+    """Regenerate Table 1."""
+    lines = [f"{'Level':14} {'Technique':42} Comment"]
+    for level in Detection:
+        lines.append(f"{level.value:14} {level.technique:42} {level.comment}")
+    return "\n".join(lines)

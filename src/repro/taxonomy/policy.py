@@ -1,0 +1,134 @@
+"""Failure-policy representation.
+
+With the IRON taxonomy in hand, a file system's failure policy can be
+described the way one describes a cache-replacement policy (§3): as a
+mapping from (fault class, block type, workload) to the sets of
+detection and recovery techniques observed.  This module holds that
+mapping plus the Figure-2/Figure-3-style renderer and the Table-5
+aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.taxonomy.detection import Detection
+from repro.taxonomy.recovery import Recovery
+
+#: The three fault classes of Figure 2's column groups.
+FAULT_CLASSES = ("read-failure", "write-failure", "corruption")
+
+
+@dataclass(frozen=True)
+class PolicyObservation:
+    """What fingerprinting observed for one (fault, block, workload) cell."""
+
+    detection: FrozenSet[Detection]
+    recovery: FrozenSet[Recovery]
+    notes: Tuple[str, ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        detection: Iterable[Detection] = (),
+        recovery: Iterable[Recovery] = (),
+        notes: Sequence[str] = (),
+    ) -> "PolicyObservation":
+        return cls(frozenset(detection), frozenset(recovery), tuple(notes))
+
+    def detection_symbols(self) -> str:
+        """Superimposed symbols, as Figure 2 overlays multiple mechanisms."""
+        marks = sorted(d.symbol for d in self.detection if d is not Detection.ZERO)
+        return "".join(marks) if marks else " "
+
+    def recovery_symbols(self) -> str:
+        marks = sorted(r.symbol for r in self.recovery if r is not Recovery.ZERO)
+        return "".join(marks) if marks else " "
+
+    def is_zero(self) -> bool:
+        """True when nothing was detected and nothing recovered."""
+        effective_d = self.detection - {Detection.ZERO}
+        effective_r = self.recovery - {Recovery.ZERO}
+        return not effective_d and not effective_r
+
+
+Key = Tuple[str, str, str]  # (fault_class, block_type, workload)
+
+
+@dataclass
+class PolicyMatrix:
+    """A full fingerprint for one file system: Figure 2 (or 3) as data."""
+
+    fs_name: str
+    block_types: List[str]
+    workloads: List[str]
+    cells: Dict[Key, PolicyObservation] = field(default_factory=dict)
+    #: Cells that are grayed out in the figure (workload not applicable
+    #: for the block type — e.g. no journal traffic from ``stat``).
+    not_applicable: Set[Key] = field(default_factory=set)
+
+    def put(
+        self,
+        fault_class: str,
+        block_type: str,
+        workload: str,
+        observation: PolicyObservation,
+    ) -> None:
+        self._validate(fault_class, block_type, workload)
+        self.cells[(fault_class, block_type, workload)] = observation
+
+    def mark_not_applicable(self, fault_class: str, block_type: str, workload: str) -> None:
+        self._validate(fault_class, block_type, workload)
+        self.not_applicable.add((fault_class, block_type, workload))
+
+    def get(self, fault_class: str, block_type: str, workload: str) -> Optional[PolicyObservation]:
+        return self.cells.get((fault_class, block_type, workload))
+
+    def _validate(self, fault_class: str, block_type: str, workload: str) -> None:
+        if fault_class not in FAULT_CLASSES:
+            raise ValueError(f"unknown fault class {fault_class!r}")
+        if block_type not in self.block_types:
+            raise ValueError(f"unknown block type {block_type!r} for {self.fs_name}")
+        if workload not in self.workloads:
+            raise ValueError(f"unknown workload {workload!r}")
+
+    # -- aggregation (Table 5) ---------------------------------------------
+
+    def technique_counts(self) -> Dict[object, int]:
+        """How often each detection/recovery level was observed."""
+        counts: Dict[object, int] = {}
+        for obs in self.cells.values():
+            for d in obs.detection:
+                counts[d] = counts.get(d, 0) + 1
+            for r in obs.recovery:
+                counts[r] = counts.get(r, 0) + 1
+        return counts
+
+    def coverage(self) -> Tuple[int, int]:
+        """(cells with any detection-or-recovery, total applicable cells)."""
+        total = len(self.cells)
+        covered = sum(1 for obs in self.cells.values() if not obs.is_zero())
+        return covered, total
+
+
+def relative_frequency_marks(counts: Mapping[object, int], total_cells: int) -> Dict[object, str]:
+    """Convert raw counts into Table-5-style check-mark strings.
+
+    More checks mean higher *relative* frequency of use; absent means the
+    technique was never observed.
+    """
+    marks: Dict[object, str] = {}
+    for level, count in counts.items():
+        if count == 0 or total_cells == 0:
+            continue
+        fraction = count / total_cells
+        if fraction >= 0.5:
+            marks[level] = "****"
+        elif fraction >= 0.25:
+            marks[level] = "***"
+        elif fraction >= 0.08:
+            marks[level] = "**"
+        else:
+            marks[level] = "*"
+    return marks

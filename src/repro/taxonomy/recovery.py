@@ -1,0 +1,73 @@
+"""The IRON recovery taxonomy (Table 2)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Recovery(enum.Enum):
+    """Levels of the recovery taxonomy.  Symbols match Figure 2's key;
+    levels without a Figure-2 symbol are annotated textually in reports."""
+
+    ZERO = "R_zero"
+    PROPAGATE = "R_propagate"
+    STOP = "R_stop"
+    GUESS = "R_guess"
+    RETRY = "R_retry"
+    REPAIR = "R_repair"
+    REMAP = "R_remap"
+    REDUNDANCY = "R_redundancy"
+
+    @property
+    def symbol(self) -> str:
+        return _SYMBOLS[self]
+
+    @property
+    def technique(self) -> str:
+        return _TECHNIQUES[self]
+
+    @property
+    def comment(self) -> str:
+        return _COMMENTS[self]
+
+
+_SYMBOLS = {
+    Recovery.ZERO: " ",
+    Recovery.PROPAGATE: "-",
+    Recovery.STOP: "|",
+    Recovery.GUESS: "?",
+    Recovery.RETRY: "/",
+    Recovery.REPAIR: "+",
+    Recovery.REMAP: ">",
+    Recovery.REDUNDANCY: "\\",
+}
+
+_TECHNIQUES = {
+    Recovery.ZERO: "No recovery",
+    Recovery.PROPAGATE: "Propagate error",
+    Recovery.STOP: "Stop activity (crash, prevent writes)",
+    Recovery.GUESS: "Return 'guess' at block contents",
+    Recovery.RETRY: "Retry read or write",
+    Recovery.REPAIR: "Repair data structs",
+    Recovery.REMAP: "Remaps block or file to different locale",
+    Recovery.REDUNDANCY: "Block replication or other forms",
+}
+
+_COMMENTS = {
+    Recovery.ZERO: "Assumes disk works",
+    Recovery.PROPAGATE: "Informs user",
+    Recovery.STOP: "Limit amount of damage",
+    Recovery.GUESS: "Could be wrong; failure hidden",
+    Recovery.RETRY: "Handles failures that are transient",
+    Recovery.REPAIR: "Could lose data",
+    Recovery.REMAP: "Assumes disk informs FS of failures",
+    Recovery.REDUNDANCY: "Enables recovery from loss/corruption",
+}
+
+
+def render_recovery_table() -> str:
+    """Regenerate Table 2."""
+    lines = [f"{'Level':14} {'Technique':44} Comment"]
+    for level in Recovery:
+        lines.append(f"{level.value:14} {level.technique:44} {level.comment}")
+    return "\n".join(lines)

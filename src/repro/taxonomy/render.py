@@ -1,0 +1,79 @@
+"""ASCII renderers for Figure-2/Figure-3-style policy matrices."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.taxonomy.detection import Detection
+from repro.taxonomy.policy import FAULT_CLASSES, PolicyMatrix
+from repro.taxonomy.recovery import Recovery
+
+_CELL_WIDTH = 3
+
+
+def render_matrix(matrix: PolicyMatrix, aspect: str, fault_class: str) -> str:
+    """Render one panel: *aspect* is ``"detection"`` or ``"recovery"``,
+    *fault_class* one of read-failure / write-failure / corruption.
+
+    Cells show superimposed technique symbols; ``.`` marks a
+    not-applicable (grayed) cell; blank means level Zero.
+    """
+    if aspect not in ("detection", "recovery"):
+        raise ValueError("aspect must be 'detection' or 'recovery'")
+    if fault_class not in FAULT_CLASSES:
+        raise ValueError(f"unknown fault class {fault_class!r}")
+
+    workload_letters = [chr(ord("a") + i) for i in range(len(matrix.workloads))]
+    header = " " * 14 + " ".join(f"{w:>{_CELL_WIDTH - 1}}" for w in workload_letters)
+    lines = [
+        f"{matrix.fs_name} {aspect.capitalize()} — {fault_class}",
+        header,
+    ]
+    for btype in matrix.block_types:
+        row: List[str] = [f"{btype:13}"]
+        for workload in matrix.workloads:
+            key = (fault_class, btype, workload)
+            if key in matrix.not_applicable:
+                row.append(f"{'.':>{_CELL_WIDTH - 1}}")
+                continue
+            obs = matrix.cells.get(key)
+            if obs is None:
+                row.append(f"{'.':>{_CELL_WIDTH - 1}}")
+                continue
+            syms = obs.detection_symbols() if aspect == "detection" else obs.recovery_symbols()
+            row.append(f"{syms.strip() or ' ':>{_CELL_WIDTH - 1}}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_full_figure(matrix: PolicyMatrix) -> str:
+    """Render all six panels (2 aspects x 3 fault classes) plus the key,
+    mirroring the layout of Figure 2 / Figure 3."""
+    panels = []
+    for aspect in ("detection", "recovery"):
+        for fault_class in FAULT_CLASSES:
+            panels.append(render_matrix(matrix, aspect, fault_class))
+    panels.append(render_key())
+    panels.append(_render_workload_legend(matrix))
+    return "\n\n".join(panels)
+
+
+def render_key() -> str:
+    det = ", ".join(
+        f"'{d.symbol}' = {d.value}" for d in Detection if d is not Detection.ZERO
+    )
+    rec = ", ".join(
+        f"'{r.symbol}' = {r.value}" for r in Recovery if r is not Recovery.ZERO
+    )
+    return (
+        "Key for Detection: (blank) = D_zero, " + det + "\n"
+        "Key for Recovery:  (blank) = R_zero, " + rec + "\n"
+        "'.' = workload not applicable for this block type"
+    )
+
+
+def _render_workload_legend(matrix: PolicyMatrix) -> str:
+    pairs = [
+        f"{chr(ord('a') + i)}: {name}" for i, name in enumerate(matrix.workloads)
+    ]
+    return "Workloads — " + "  ".join(pairs)

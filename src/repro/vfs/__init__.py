@@ -1,0 +1,60 @@
+"""The VFS layer: abstract FS API, paths, fd table, generic buffer layer."""
+
+from repro.vfs.api import FileSystem
+from repro.vfs.fdtable import (
+    FDTable,
+    O_ACCMODE,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    OpenFile,
+)
+from repro.vfs.generic import BufferLayer
+from repro.vfs.paths import dirname_basename, is_ancestor, normalize, split_path
+from repro.vfs.stat import (
+    DEFAULT_DIR_MODE,
+    DEFAULT_FILE_MODE,
+    DEFAULT_LINK_MODE,
+    F_OK,
+    R_OK,
+    S_IFDIR,
+    S_IFLNK,
+    S_IFREG,
+    StatResult,
+    StatVFS,
+    W_OK,
+    X_OK,
+)
+
+__all__ = [
+    "BufferLayer",
+    "DEFAULT_DIR_MODE",
+    "DEFAULT_FILE_MODE",
+    "DEFAULT_LINK_MODE",
+    "FDTable",
+    "F_OK",
+    "FileSystem",
+    "O_ACCMODE",
+    "O_APPEND",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "OpenFile",
+    "R_OK",
+    "S_IFDIR",
+    "S_IFLNK",
+    "S_IFREG",
+    "StatResult",
+    "StatVFS",
+    "W_OK",
+    "X_OK",
+    "dirname_basename",
+    "is_ancestor",
+    "normalize",
+    "split_path",
+]

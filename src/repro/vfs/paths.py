@@ -1,0 +1,59 @@
+"""Path handling for the simulated file systems.
+
+Path traversal is one of the paper's *generic* workloads (Table 3):
+every pathname lookup walks directory blocks and inodes, so faults in
+those structures surface through any call that takes a path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import Errno, FSError
+
+MAX_NAME_LEN = 255
+MAX_SYMLINK_DEPTH = 8
+
+
+def split_path(path: str) -> List[str]:
+    """Split *path* into components, validating each name."""
+    if not path:
+        raise FSError(Errno.ENOENT, "empty path")
+    parts = [p for p in path.split("/") if p not in ("", ".")]
+    for name in parts:
+        if len(name) > MAX_NAME_LEN:
+            raise FSError(Errno.ENAMETOOLONG, name)
+    return parts
+
+
+def normalize(path: str, cwd: str = "/") -> str:
+    """Resolve *path* against *cwd*, collapsing ``.`` and ``..`` lexically."""
+    if not path.startswith("/"):
+        path = cwd.rstrip("/") + "/" + path
+    stack: List[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if stack:
+                stack.pop()
+            continue
+        stack.append(part)
+    return "/" + "/".join(stack)
+
+
+def dirname_basename(path: str) -> Tuple[str, str]:
+    """Split into (parent path, final component); final must exist."""
+    parts = split_path(path)
+    if not parts:
+        raise FSError(Errno.EINVAL, f"path {path!r} has no final component")
+    parent = "/" + "/".join(parts[:-1])
+    return parent, parts[-1]
+
+
+def is_ancestor(ancestor: str, path: str) -> bool:
+    """True when *ancestor* is a (non-strict) prefix directory of *path*.
+    Used by ``rename`` to refuse moving a directory into itself."""
+    a = normalize(ancestor)
+    p = normalize(path)
+    return p == a or p.startswith(a.rstrip("/") + "/")

@@ -1,0 +1,129 @@
+"""Shared fixtures: freshly formatted volumes for every file system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk import FaultInjector, make_disk
+from repro.fs.ext3 import Ext3, Ext3Config, mkfs_ext3
+from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
+from repro.fs.jfs import JFS, JFSConfig, mkfs_jfs
+from repro.fs.ntfs import NTFS, NTFSConfig, mkfs_ntfs
+from repro.fs.reiserfs import ReiserConfig, ReiserFS, mkfs_reiserfs
+
+EXT3_CFG = Ext3Config(block_size=1024, blocks_per_group=256, inodes_per_group=64,
+                      num_groups=2, journal_blocks=64, ptrs_per_block=8)
+REISER_CFG = ReiserConfig(block_size=1024, total_blocks=768, journal_blocks=64)
+JFS_CFG = JFSConfig()
+NTFS_CFG = NTFSConfig()
+IXT3_BASE = EXT3_CFG
+IXT3_CFG = ixt3_config(IXT3_BASE)
+
+
+def make_ext3():
+    disk = make_disk(EXT3_CFG.total_blocks, EXT3_CFG.block_size)
+    mkfs_ext3(disk, EXT3_CFG)
+    return disk, Ext3(disk)
+
+
+def make_reiserfs():
+    disk = make_disk(REISER_CFG.total_blocks, REISER_CFG.block_size)
+    mkfs_reiserfs(disk, REISER_CFG)
+    return disk, ReiserFS(disk)
+
+
+def make_jfs():
+    disk = make_disk(JFS_CFG.total_blocks, JFS_CFG.block_size)
+    mkfs_jfs(disk, JFS_CFG)
+    return disk, JFS(disk)
+
+
+def make_ntfs():
+    disk = make_disk(NTFS_CFG.total_blocks, NTFS_CFG.block_size)
+    mkfs_ntfs(disk, NTFS_CFG)
+    return disk, NTFS(disk)
+
+
+def make_ixt3():
+    disk = make_disk(IXT3_CFG.total_blocks, IXT3_CFG.block_size)
+    mkfs_ixt3(disk, IXT3_BASE, config=IXT3_CFG)
+    return disk, Ixt3(disk)
+
+
+FS_FACTORIES = {
+    "ext3": make_ext3,
+    "reiserfs": make_reiserfs,
+    "jfs": make_jfs,
+    "ntfs": make_ntfs,
+    "ixt3": make_ixt3,
+}
+
+FS_CLASSES = {
+    "ext3": Ext3,
+    "reiserfs": ReiserFS,
+    "jfs": JFS,
+    "ntfs": NTFS,
+    "ixt3": Ixt3,
+}
+
+
+@pytest.fixture(params=sorted(FS_FACTORIES))
+def any_fs(request):
+    """A mounted, freshly formatted file system of each kind."""
+    disk, fs = FS_FACTORIES[request.param]()
+    fs.mount()
+    yield fs
+    if fs.mounted and not fs.read_only:
+        fs.unmount()
+
+
+@pytest.fixture(params=sorted(FS_FACTORIES))
+def fs_with_disk(request):
+    """(name, disk, mounted fs) for tests that remount or inject faults."""
+    disk, fs = FS_FACTORIES[request.param]()
+    fs.mount()
+    return request.param, disk, fs
+
+
+@pytest.fixture
+def ext3_fs():
+    disk, fs = make_ext3()
+    fs.mount()
+    return disk, fs
+
+
+@pytest.fixture
+def reiser_fs():
+    disk, fs = make_reiserfs()
+    fs.mount()
+    return disk, fs
+
+
+@pytest.fixture
+def jfs_fs():
+    disk, fs = make_jfs()
+    fs.mount()
+    return disk, fs
+
+
+@pytest.fixture
+def ntfs_fs():
+    disk, fs = make_ntfs()
+    fs.mount()
+    return disk, fs
+
+
+@pytest.fixture
+def ixt3_fs():
+    disk, fs = make_ixt3()
+    fs.mount()
+    return disk, fs
+
+
+def faulty_remount(name: str, disk):
+    """Remount *disk* behind a fault injector with the oracle wired up."""
+    injector = FaultInjector(disk)
+    fs = FS_CLASSES[name](injector)
+    fs.mount()
+    injector.set_type_oracle(fs.block_type)
+    return injector, fs

@@ -1,0 +1,125 @@
+"""The benchmark substrate: feature masks, workload determinism, the
+variant runner, and the space analyzer."""
+
+import pytest
+
+from repro.bench import (
+    BENCHMARKS,
+    BenchScale,
+    PAPER_BASELINE_SECONDS,
+    TABLE6_PAPER,
+    VARIANT_ORDER,
+    analyze,
+    analyze_all,
+    features_mask,
+    run_variant,
+    variant_label,
+)
+from repro.bench.harness import BENCH_BASE_CONFIG, Table6Run, VariantResult, run_table6
+from repro.bench.space import PROFILES, VolumeProfile
+from repro.fs.ext3.structures import (
+    FEAT_DATA_CSUM,
+    FEAT_META_CSUM,
+    FEAT_META_REPLICA,
+    FEAT_TXN_CSUM,
+)
+
+
+class TestVariantTable:
+    def test_thirty_two_variants(self):
+        assert len(VARIANT_ORDER) == 32
+        assert len(set(VARIANT_ORDER)) == 32
+        assert VARIANT_ORDER[0] == ()
+        assert VARIANT_ORDER[-1] == ("Mc", "Mr", "Dc", "Dp", "Tc")
+
+    def test_ordered_by_cardinality(self):
+        sizes = [len(v) for v in VARIANT_ORDER]
+        assert sizes == sorted(sizes)
+
+    def test_paper_data_complete(self):
+        for bench, rows in TABLE6_PAPER.items():
+            assert len(rows) == 32, bench
+            assert rows[0] == 1.00
+        # The headline paper numbers are in place.
+        assert TABLE6_PAPER["TPCB"][VARIANT_ORDER.index(("Tc",))] == 0.80
+        assert TABLE6_PAPER["Post"][VARIANT_ORDER.index(("Mr",))] == 1.18
+        assert TABLE6_PAPER["TPCB"][-1] == 1.21
+
+    def test_features_mask(self):
+        assert features_mask(()) == 0
+        assert features_mask(("Mc",)) == FEAT_META_CSUM
+        assert features_mask(("Mc", "Tc")) == FEAT_META_CSUM | FEAT_TXN_CSUM
+        assert features_mask(("Mr", "Dc")) == FEAT_META_REPLICA | FEAT_DATA_CSUM
+        with pytest.raises(KeyError):
+            features_mask(("Zz",))
+
+    def test_variant_label(self):
+        assert variant_label(()) == "(baseline)"
+        assert variant_label(("Mc", "Tc")) == "Mc Tc"
+
+    def test_paper_baselines_recorded(self):
+        assert set(PAPER_BASELINE_SECONDS) == {"SSH", "Web", "Post", "TPCB"}
+
+
+TINY = BenchScale(
+    ssh_sources=8, ssh_objects=6, ssh_dirs=2,
+    web_files=6, web_requests=12,
+    post_files=10, post_txns=12,
+    tpcb_accounts_blocks=8, tpcb_txns=6,
+)
+
+
+class TestRunVariant:
+    def test_each_bench_produces_time_and_io(self):
+        for bench in BENCHMARKS:
+            r = run_variant(bench, (), scale=TINY)
+            assert r.seconds > 0, bench
+            assert r.reads + r.writes > 0 or bench == "Web", bench
+
+    def test_deterministic(self):
+        a = run_variant("Post", ("Mc",), scale=TINY)
+        b = run_variant("Post", ("Mc",), scale=TINY)
+        assert a.seconds == b.seconds
+        assert (a.reads, a.writes) == (b.reads, b.writes)
+
+    def test_features_change_io_profile(self):
+        base = run_variant("Post", (), scale=TINY)
+        mr = run_variant("Post", ("Mr",), scale=TINY)
+        assert mr.writes > base.writes  # replicas cost extra writes
+
+    def test_tc_reduces_tpcb_time(self):
+        base = run_variant("TPCB", (), scale=TINY)
+        tc = run_variant("TPCB", ("Tc",), scale=TINY)
+        assert tc.seconds < base.seconds
+
+    def test_run_table6_partial(self):
+        run = run_table6(benches=["Web"], variants=[(), ("Tc",)], scale=TINY)
+        norm = run.normalized("Web")
+        assert norm[0] == 1.0
+        assert 0.9 < norm[1] < 1.1
+
+    def test_render_contains_paper_columns(self):
+        run = run_table6(benches=["Web"], variants=list(VARIANT_ORDER), scale=TINY)
+        text = run.render()
+        assert "Web paper" in text and "(baseline)" in text
+
+
+class TestSpaceAnalyzer:
+    def test_profiles_cover_small_and_large_files(self):
+        means = [p.mean_file_bytes for p in PROFILES]
+        assert max(means) / min(means) > 4
+
+    def test_analysis_deterministic(self):
+        a = analyze(PROFILES[0])
+        b = analyze(PROFILES[0])
+        assert a == b
+
+    def test_parity_tracks_file_count(self):
+        small = analyze(VolumeProfile("s", 1000, 4 * 1024, 0.05))
+        large = analyze(VolumeProfile("l", 1000, 4 * 1024 * 1024, 0.05))
+        assert small.parity_fraction > large.parity_fraction
+
+    def test_fractions_positive(self):
+        for r in analyze_all():
+            assert 0 < r.meta_redundancy_fraction < 0.25
+            assert 0 < r.parity_fraction < 0.25

@@ -1,0 +1,150 @@
+"""Units for the block cache, the scrubber, and the I/O trace."""
+
+import pytest
+
+from repro.common.errors import ReadError, WriteError
+from repro.disk import (
+    BlockCache,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultOp,
+    IOTrace,
+    Scrubber,
+    make_disk,
+)
+
+
+class TestBlockCache:
+    def test_read_hits_skip_the_disk(self):
+        disk = make_disk(16, 512)
+        disk.write_block(3, b"\x11" * 512)
+        cache = BlockCache(disk, 8)
+        cache.read_block(3)
+        reads_before = disk.stats.reads
+        for _ in range(5):
+            assert cache.read_block(3) == b"\x11" * 512
+        assert disk.stats.reads == reads_before
+        assert cache.hits == 5
+
+    def test_write_through(self):
+        disk = make_disk(16, 512)
+        cache = BlockCache(disk, 8)
+        cache.write_block(2, b"\x22" * 512)
+        assert disk.peek(2) == b"\x22" * 512
+        assert cache.read_block(2) == b"\x22" * 512
+        assert disk.stats.reads == 0  # served from cache
+
+    def test_lru_eviction(self):
+        disk = make_disk(16, 512)
+        cache = BlockCache(disk, 2)
+        cache.read_block(0)
+        cache.read_block(1)
+        cache.read_block(2)  # evicts 0
+        r = disk.stats.reads
+        cache.read_block(1)  # still cached
+        assert disk.stats.reads == r
+        cache.read_block(0)  # miss again
+        assert disk.stats.reads == r + 1
+
+    def test_failed_write_does_not_cache(self):
+        disk = make_disk(16, 512)
+        disk.write_block(4, b"\x44" * 512)
+        injector = FaultInjector(disk)
+        cache = BlockCache(injector, 8)
+        injector.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.FAIL, block=4))
+        with pytest.raises(WriteError):
+            cache.write_block(4, b"\x55" * 512)
+        injector.clear_faults()
+        assert cache.read_block(4) == b"\x44" * 512  # old contents, not stale new
+
+    def test_invalidate(self):
+        disk = make_disk(16, 512)
+        cache = BlockCache(disk, 8)
+        cache.read_block(0)
+        cache.invalidate(0)
+        r = disk.stats.reads
+        cache.read_block(0)
+        assert disk.stats.reads == r + 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BlockCache(make_disk(4, 512), 0)
+
+
+class TestScrubber:
+    def _decayed_disk(self):
+        disk = make_disk(32, 512)
+        for i in range(32):
+            disk.write_block(i, bytes([i]) * 512)
+        injector = FaultInjector(disk)
+        for b in (5, 17, 30):
+            injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=b))
+        return disk, injector
+
+    def test_finds_latent_errors(self):
+        _, injector = self._decayed_disk()
+        report = Scrubber(injector).scrub()
+        assert report.latent_errors == [5, 17, 30]
+        assert report.blocks_scanned == 32
+        assert report.unrepairable == [5, 17, 30]  # no repairer given
+        assert report.problems == 3
+
+    def test_finds_corruption_with_verifier(self):
+        disk = make_disk(8, 512)
+        good = {i: bytes([i]) * 512 for i in range(8)}
+        for i, payload in good.items():
+            disk.write_block(i, payload)
+        disk.poke(3, b"\xee" * 512)  # silent at-rest corruption
+
+        report = Scrubber(disk, verifier=lambda b, data: data == good[b]).scrub()
+        assert report.corruptions == [3]
+        assert report.latent_errors == []
+
+    def test_repairer_invoked(self):
+        _, injector = self._decayed_disk()
+        repaired = []
+        report = Scrubber(injector, repairer=lambda b: repaired.append(b) or True).scrub()
+        assert repaired == [5, 17, 30]
+        assert report.repaired == [5, 17, 30]
+        assert not report.unrepairable
+
+    def test_partial_range(self):
+        _, injector = self._decayed_disk()
+        report = Scrubber(injector).scrub(start=0, end=10)
+        assert report.latent_errors == [5]
+        with pytest.raises(ValueError):
+            Scrubber(injector).scrub(start=5, end=100)
+
+    def test_render(self):
+        _, injector = self._decayed_disk()
+        text = Scrubber(injector).scrub().render()
+        assert "3 latent errors" in text
+
+
+class TestIOTrace:
+    def test_queries(self):
+        t = IOTrace()
+        t.record("read", 5, "ok", "inode")
+        t.record("read", 5, "ok", "inode")
+        t.record("write", 6, "error", "data")
+        assert t.reads_of(5) == 2
+        assert t.writes_of(6) == 1
+        assert t.retry_count(5, "read") == 1
+        assert t.retry_count(6, "write") == 0
+        assert [e.block for e in t.errors()] == [6]
+        assert t.blocks_read() == [5, 5]
+        assert t.blocks_written() == [6]
+
+    def test_render_limit(self):
+        t = IOTrace()
+        for i in range(10):
+            t.record("read", i, "ok")
+        text = t.render(limit=3)
+        assert "7 more" in text
+
+    def test_clear(self):
+        t = IOTrace()
+        t.record("read", 1, "ok")
+        t.clear()
+        assert len(t) == 0

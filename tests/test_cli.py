@@ -1,0 +1,42 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_taxonomy(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "D_errorcode" in out and "R_redundancy" in out
+
+    def test_space(self, capsys):
+        assert main(["space"]) == 0
+        out = capsys.readouterr().out
+        assert "parity" in out and "%" in out
+
+    def test_fingerprint_subset(self, capsys):
+        assert main(["fingerprint", "ext3", "--workloads", "g"]) == 0
+        out = capsys.readouterr().out
+        assert "Detection" in out and "fault-injection tests" in out
+
+    def test_fingerprint_unknown_fs(self, capsys):
+        assert main(["fingerprint", "fat32"]) == 2
+        assert "unknown file system" in capsys.readouterr().err
+
+    def test_fsck_demo_repairs(self, capsys):
+        assert main(["fsck-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "problems found" in out
+        assert out.rstrip().endswith("fsck: clean")
+
+    def test_table6_quick_single_bench(self, capsys):
+        assert main(["table6", "--quick", "--benches", "Web"]) == 0
+        out = capsys.readouterr().out
+        assert "(baseline)" in out
+        assert "Mc Mr Dc Dp Tc" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,154 @@
+"""Tests for the simulated disk: storage semantics, timing, failure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import OutOfRangeError, ReadError, WriteError
+from repro.disk import DiskGeometry, SimulatedDisk, make_disk
+
+
+class TestBasicIO:
+    def test_unwritten_blocks_read_zero(self):
+        disk = make_disk(16, 1024)
+        assert disk.read_block(5) == b"\x00" * 1024
+
+    def test_read_after_write(self):
+        disk = make_disk(16, 512)
+        payload = bytes(range(256)) * 2
+        disk.write_block(3, payload)
+        assert disk.read_block(3) == payload
+
+    def test_write_wrong_size_rejected(self):
+        disk = make_disk(4, 512)
+        with pytest.raises(ValueError):
+            disk.write_block(0, b"short")
+
+    def test_out_of_range(self):
+        disk = make_disk(4, 512)
+        with pytest.raises(OutOfRangeError):
+            disk.read_block(4)
+        with pytest.raises(OutOfRangeError):
+            disk.write_block(-1, b"\x00" * 512)
+
+    def test_stats_accumulate(self):
+        disk = make_disk(16, 512)
+        disk.write_block(0, b"\x00" * 512)
+        disk.read_block(0)
+        disk.read_block(8)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 2
+        assert disk.stats.bytes_read == 1024
+
+
+class TestTimingModel:
+    def test_clock_advances(self):
+        disk = make_disk(1024, 512)
+        t0 = disk.clock
+        disk.read_block(500)
+        assert disk.clock > t0
+
+    def test_sequential_cheaper_than_random(self):
+        geo = dict(num_blocks=100000, block_size=512)
+        seq = make_disk(**geo)
+        for i in range(100):
+            seq.read_block(i)
+        rnd = make_disk(**geo)
+        for i in range(100):
+            rnd.read_block((i * 7919) % 100000)
+        assert seq.clock < rnd.clock
+
+    def test_stall_adds_time(self):
+        disk = make_disk(4, 512)
+        disk.stall(0.5)
+        assert disk.clock == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            disk.stall(-1.0)
+
+    def test_seek_time_monotone_in_distance(self):
+        geo = DiskGeometry(num_blocks=10000, block_size=512)
+        near = geo.seek_time(0, 10)
+        far = geo.seek_time(0, 9000)
+        assert 0 < near < far
+
+    def test_same_and_next_block_are_free_seeks(self):
+        geo = DiskGeometry(num_blocks=100, block_size=512)
+        assert geo.seek_time(5, 5) == 0.0
+        assert geo.seek_time(5, 6) == 0.0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(num_blocks=0)
+        with pytest.raises(ValueError):
+            DiskGeometry(num_blocks=4, block_size=100)
+
+
+class TestWholeDiskFailure:
+    def test_fail_stop(self):
+        disk = make_disk(8, 512)
+        disk.write_block(0, b"\x01" * 512)
+        disk.fail_whole_disk()
+        with pytest.raises(ReadError):
+            disk.read_block(0)
+        with pytest.raises(WriteError):
+            disk.write_block(1, b"\x00" * 512)
+
+    def test_revive(self):
+        disk = make_disk(8, 512)
+        disk.write_block(0, b"\x01" * 512)
+        disk.fail_whole_disk()
+        disk.revive()
+        assert disk.read_block(0) == b"\x01" * 512
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        disk = make_disk(8, 512)
+        disk.write_block(2, b"\xaa" * 512)
+        snap = disk.snapshot()
+        disk.write_block(2, b"\xbb" * 512)
+        disk.restore(snap)
+        assert disk.read_block(2) == b"\xaa" * 512
+        assert disk.clock > 0  # the verification read itself costs time
+
+    def test_restore_resets_clock_and_stats(self):
+        disk = make_disk(8, 512)
+        disk.write_block(1, b"\x00" * 512)
+        snap = disk.snapshot()
+        disk.restore(snap)
+        assert disk.clock == 0.0
+        assert disk.stats.reads == 0
+
+    def test_size_mismatch_rejected(self):
+        disk = make_disk(8, 512)
+        with pytest.raises(ValueError):
+            disk.restore([None] * 4)
+
+
+class TestPeekPoke:
+    def test_peek_costs_no_time(self):
+        disk = make_disk(8, 512)
+        disk.write_block(3, b"\x42" * 512)
+        t = disk.clock
+        assert disk.peek(3) == b"\x42" * 512
+        assert disk.clock == t
+
+    def test_poke_changes_contents_silently(self):
+        disk = make_disk(8, 512)
+        disk.poke(1, b"\x07" * 512)
+        assert disk.read_block(1) == b"\x07" * 512
+        assert disk.stats.writes == 0
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 31), st.binary(min_size=512, max_size=512)),
+                max_size=40))
+def test_property_disk_is_a_block_map(ops):
+    """The disk behaves exactly as a dict of block -> last write."""
+    disk = make_disk(32, 512)
+    model = {}
+    for block, payload in ops:
+        disk.write_block(block, payload)
+        model[block] = payload
+    for block in range(32):
+        expected = model.get(block, b"\x00" * 512)
+        assert disk.read_block(block) == expected

@@ -1,0 +1,53 @@
+"""The example scripts are part of the public surface: each must run
+to completion and print its headline result."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "garbage served without any error" in out
+        assert "recovered from the metadata replica" in out
+        assert "checksum caught it" in out
+
+    def test_compare_failure_policies(self):
+        out = run_example("compare_failure_policies.py")
+        assert "KERNEL PANIC" in out          # ReiserFS write failure
+        assert out.count("succeeded") >= 4    # retries absorb transients
+        assert "read-retry" in out
+
+    def test_crash_consistency_tour(self):
+        out = run_example("crash_consistency_tour.py")
+        assert "gone (correct)" in out
+        assert "torn transaction detected: no" in out    # plain ext3
+        assert "torn transaction detected: yes" in out   # ixt3 + Tc
+        assert out.rstrip().endswith("fsck: clean")
+
+    def test_fingerprint_example(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "fingerprint_a_filesystem.py"), "ext3"],
+            capture_output=True, text=True, timeout=240,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fault-injection tests run" in proc.stdout
+        assert "noteworthy cells:" in proc.stdout
+
+    def test_mail_server_survival(self):
+        out = run_example("mail_server_survival.py")
+        assert "0 messages lost or corrupted" in out

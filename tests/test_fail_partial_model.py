@@ -1,0 +1,142 @@
+"""The fail-partial model end to end (§2.3): each manifestation the
+paper enumerates — entire-disk failure, block failure, block corruption
+— with its transience and locality dimensions, observed through a real
+file system."""
+
+import pytest
+
+from repro.common.errors import Errno, FSError
+from repro.disk import (
+    CorruptionMode,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultOp,
+    Persistence,
+    make_disk,
+)
+from repro.fs.ext3 import Ext3
+
+from conftest import make_ext3
+
+
+@pytest.fixture
+def volume():
+    disk, fs = make_ext3()
+    fs.mount()
+    fs.mkdir("/d")
+    bs = fs.statfs().block_size
+    fs.write_file("/d/a", bytes((i * 3) % 256 for i in range(6 * bs)))
+    fs.write_file("/d/b", b"small")
+    fs.unmount()
+    injector = FaultInjector(disk)
+    fs2 = Ext3(injector)
+    fs2.mount()
+    injector.set_type_oracle(fs2.block_type)
+    return disk, injector, fs2
+
+
+class TestEntireDiskFailure:
+    def test_classic_fail_stop(self, volume):
+        disk, injector, fs = volume
+        disk.fail_whole_disk()
+        with pytest.raises(FSError):
+            fs.read_file("/d/a")
+        with pytest.raises(FSError):
+            fs.stat("/d/b")
+
+    def test_mount_impossible_when_disk_dead(self):
+        disk, fs = make_ext3()
+        disk.fail_whole_disk()
+        with pytest.raises(FSError) as e:
+            fs.mount()
+        assert e.value.errno is Errno.EIO
+
+
+class TestBlockFailure:
+    def test_latent_sector_error_is_local(self, volume):
+        """One bad block; the rest of the volume keeps working (§2.3:
+        'pieces of the storage subsystem can fail')."""
+        disk, injector, fs = volume
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block_type="data"))
+        with pytest.raises(FSError):
+            fs.read_file("/d/a")  # the damaged file
+        assert fs.read_file("/d/b") == b"small"  # neighbours unharmed
+        assert fs.getdirentries("/d") == [".", "..", "a", "b"]
+
+    def test_sticky_failure_persists(self, volume):
+        disk, injector, fs = volume
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block_type="data"))
+        for _ in range(3):
+            with pytest.raises(FSError):
+                fs.read_file("/d/a")
+
+    def test_transient_failure_clears(self, volume):
+        """A transport glitch fails once; the operation succeeds when
+        retried by the caller (§2.3.1).  /d/b is a single-block file, so
+        ext3's multi-block readahead retry cannot mask the fault."""
+        disk, injector, fs = volume
+        fault = injector.arm(Fault(
+            op=FaultOp.READ, kind=FaultKind.FAIL, block_type="data",
+            persistence=Persistence.TRANSIENT, transient_count=1))
+        fault.match_index = 6  # skip /d/a's six data blocks; bind to /d/b
+        fs.read_file("/d/a")
+        with pytest.raises(FSError):
+            fs.read_file("/d/b")
+        assert fs.read_file("/d/b") == b"small"  # caller's retry succeeds
+
+    def test_spatial_locality_takes_out_a_file(self, volume):
+        """A scratch across neighbouring blocks (§2.3.2)."""
+        disk, injector, fs = volume
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL,
+                           block_type="data", locality_run=5))
+        with pytest.raises(FSError):
+            fs.read_file("/d/a")
+
+    def test_write_failure_without_remap_loses_data(self, volume):
+        """Writes can fail too (§2.3.3), and with no free-block remap in
+        ext3 the data is silently gone."""
+        disk, injector, fs = volume
+        injector.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.FAIL,
+                           block_type="data"))
+        fs.write_file("/d/c", b"C" * 2048)  # "succeeds"
+        data = fs.read_file("/d/c")
+        assert data != b"C" * 2048  # one block never reached the medium
+
+
+class TestBlockCorruption:
+    def test_corruption_is_silent(self, volume):
+        """'The storage subsystem simply returns bad data upon a read'
+        (§2.3) — no error surfaces anywhere in ext3."""
+        disk, injector, fs = volume
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.CORRUPT,
+                           block_type="data", corruption=CorruptionMode.NOISE))
+        data = fs.read_file("/d/a")
+        bs = fs.statfs().block_size
+        assert data != bytes((i * 3) % 256 for i in range(6 * bs))
+        assert not fs.syslog.has_event("sanity-fail")
+
+    def test_shift_corruption_models_firmware_bug(self, volume):
+        """'Disks have been known to return correct data but circularly
+        shifted by a byte' (§2.2)."""
+        disk, injector, fs = volume
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.CORRUPT,
+                           block_type="data", corruption=CorruptionMode.SHIFT))
+        bs = fs.statfs().block_size
+        expected = bytes((i * 3) % 256 for i in range(6 * bs))
+        data = fs.read_file("/d/a")
+        assert data != expected
+        # Exactly one block worth of bytes is shifted, the rest intact.
+        diff_blocks = sum(1 for k in range(6)
+                          if data[k * bs:(k + 1) * bs] != expected[k * bs:(k + 1) * bs])
+        assert diff_blocks == 1
+
+    def test_corrupt_on_write_sticks_to_the_medium(self, volume):
+        """A misdirected/phantom-style write stores bad data while
+        reporting success (§2.2)."""
+        disk, injector, fs = volume
+        injector.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.CORRUPT,
+                           block_type="data", corruption=CorruptionMode.ZERO))
+        fs.write_file("/d/c", b"Z" * 1024)
+        injector.clear_faults()
+        assert fs.read_file("/d/c") != b"Z" * 1024

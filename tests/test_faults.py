@@ -1,0 +1,184 @@
+"""Tests for the fail-partial fault model and the fault injector."""
+
+import pytest
+
+from repro.common.errors import ReadError, WriteError
+from repro.disk import (
+    CorruptionMode,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultOp,
+    Persistence,
+    corruption,
+    make_disk,
+    read_failure,
+    write_failure,
+)
+
+
+def build(num=32, bs=512):
+    disk = make_disk(num, bs)
+    for i in range(num):
+        disk.write_block(i, bytes([i]) * bs)
+    return disk, FaultInjector(disk, type_oracle=lambda b: "even" if b % 2 == 0 else "odd")
+
+
+class TestFaultSpec:
+    def test_must_target_something(self):
+        with pytest.raises(ValueError):
+            Fault(op=FaultOp.READ, kind=FaultKind.FAIL)
+        with pytest.raises(ValueError):
+            Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=1, block_type="x")
+
+    def test_transient_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=1, transient_count=0)
+
+    def test_describe(self):
+        f = read_failure("inode")
+        assert "inode" in f.describe()
+        assert "sticky" in f.describe()
+
+
+class TestBlockTargetedFaults:
+    def test_sticky_read_failure(self):
+        disk, inj = build()
+        inj.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=3))
+        with pytest.raises(ReadError):
+            inj.read_block(3)
+        with pytest.raises(ReadError):
+            inj.read_block(3)  # sticky: fails forever
+        assert inj.read_block(4) == bytes([4]) * 512
+
+    def test_transient_read_failure_clears(self):
+        disk, inj = build()
+        inj.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=3,
+                      persistence=Persistence.TRANSIENT, transient_count=2))
+        with pytest.raises(ReadError):
+            inj.read_block(3)
+        with pytest.raises(ReadError):
+            inj.read_block(3)
+        assert inj.read_block(3) == bytes([3]) * 512
+
+    def test_write_failure_never_reaches_medium(self):
+        disk, inj = build()
+        inj.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.FAIL, block=7))
+        with pytest.raises(WriteError):
+            inj.write_block(7, b"\xff" * 512)
+        assert disk.peek(7) == bytes([7]) * 512
+
+    def test_locality_run(self):
+        disk, inj = build()
+        inj.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=10, locality_run=3))
+        for b in (10, 11, 12, 13):
+            with pytest.raises(ReadError):
+                inj.read_block(b)
+        assert inj.read_block(14) == bytes([14]) * 512
+
+
+class TestTypeTargetedFaults:
+    def test_binds_to_first_matching_access(self):
+        disk, inj = build()
+        fault = inj.arm(read_failure("odd"))
+        assert inj.read_block(2) == bytes([2]) * 512  # even: unaffected
+        with pytest.raises(ReadError):
+            inj.read_block(5)
+        # Sticky type faults lock onto the concrete block they first hit.
+        with pytest.raises(ReadError):
+            inj.read_block(5)
+        assert inj.read_block(7) == bytes([7]) * 512
+        assert fault._locked_block == 5
+
+    def test_match_index_skips_accesses(self):
+        disk, inj = build()
+        inj.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block_type="even",
+                      match_index=2))
+        assert inj.read_block(0) == bytes([0]) * 512
+        assert inj.read_block(2) == bytes([2]) * 512
+        with pytest.raises(ReadError):
+            inj.read_block(4)
+
+    def test_no_oracle_means_no_type_match(self):
+        disk = make_disk(8, 512)
+        inj = FaultInjector(disk)  # no oracle
+        inj.arm(read_failure("anything"))
+        assert inj.read_block(0) == b"\x00" * 512
+
+
+class TestCorruption:
+    def test_noise_differs_and_is_silent(self):
+        disk, inj = build()
+        inj.arm(corruption("even"))
+        data = inj.read_block(0)
+        assert data != bytes([0]) * 512
+        assert len(data) == 512
+        assert disk.peek(0) == bytes([0]) * 512  # medium untouched
+
+    def test_zero_mode(self):
+        disk, inj = build()
+        inj.arm(corruption("even", mode=CorruptionMode.ZERO))
+        assert inj.read_block(0) == b"\x00" * 512
+
+    def test_shift_mode_is_circular_byte_shift(self):
+        disk, inj = build()
+        disk.poke(0, bytes(range(256)) * 2)
+        inj.arm(corruption("even", mode=CorruptionMode.SHIFT))
+        data = inj.read_block(0)
+        assert data == bytes([255]) + (bytes(range(256)) * 2)[:-1]
+
+    def test_field_mode_uses_corruptor(self):
+        def corruptor(payload, btype):
+            out = bytearray(payload)
+            out[0] = 0xEE
+            return bytes(out)
+        disk, inj = build()
+        inj.arm(corruption("even", mode=CorruptionMode.FIELD, corruptor=corruptor))
+        assert inj.read_block(0)[0] == 0xEE
+
+    def test_field_mode_requires_corruptor(self):
+        f = Fault(op=FaultOp.READ, kind=FaultKind.CORRUPT, block=0,
+                  corruption=CorruptionMode.FIELD)
+        with pytest.raises(ValueError):
+            f.corrupt(b"\x00" * 16, "x")
+
+    def test_corruptor_must_preserve_size(self):
+        f = Fault(op=FaultOp.READ, kind=FaultKind.CORRUPT, block=0,
+                  corruption=CorruptionMode.FIELD,
+                  corruptor=lambda p, t: p + b"!")
+        with pytest.raises(ValueError):
+            f.corrupt(b"\x00" * 16, "x")
+
+    def test_corrupt_on_write_stores_bad_data(self):
+        disk, inj = build()
+        inj.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.CORRUPT, block=5,
+                      corruption=CorruptionMode.ZERO))
+        inj.write_block(5, b"\xaa" * 512)
+        assert disk.peek(5) == b"\x00" * 512
+
+
+class TestTraceRecording:
+    def test_outcomes_recorded(self):
+        disk, inj = build()
+        inj.arm(read_failure("odd"))
+        inj.read_block(0)
+        with pytest.raises(ReadError):
+            inj.read_block(1)
+        outcomes = [(e.op, e.block, e.outcome) for e in inj.trace]
+        assert outcomes == [("read", 0, "ok"), ("read", 1, "error")]
+
+    def test_retry_count(self):
+        disk, inj = build()
+        inj.read_block(4)
+        inj.read_block(4)
+        inj.read_block(4)
+        assert inj.trace.retry_count(4, "read") == 2
+
+    def test_disarm_and_clear(self):
+        disk, inj = build()
+        fault = inj.arm(read_failure("even"))
+        inj.disarm(fault)
+        assert inj.read_block(0) == bytes([0]) * 512
+        inj.arm(read_failure("even"))
+        inj.clear_faults()
+        assert inj.read_block(2) == bytes([2]) * 512

@@ -1,0 +1,112 @@
+"""Per-FS fingerprinting adapters: figure rows, corruptors, oracles."""
+
+import pytest
+
+from repro.disk import make_disk
+from repro.fingerprint.adapters import (
+    ADAPTERS,
+    ext3_field_corruptor,
+    jfs_field_corruptor,
+    make_ext3_adapter,
+    make_ixt3_adapter,
+    make_jfs_adapter,
+    make_ntfs_adapter,
+    make_reiserfs_adapter,
+    ntfs_field_corruptor,
+    reiserfs_field_corruptor,
+)
+
+
+ALL_MAKERS = [make_ext3_adapter, make_reiserfs_adapter, make_jfs_adapter,
+              make_ntfs_adapter, make_ixt3_adapter]
+
+
+class TestAdapterRegistry:
+    def test_all_five_registered(self):
+        assert set(ADAPTERS) == {"ext3", "reiserfs", "jfs", "ntfs", "ixt3"}
+
+    @pytest.mark.parametrize("make", ALL_MAKERS)
+    def test_figure_rows_are_known_block_types(self, make):
+        adapter = make()
+        known = set(adapter.make_fs(adapter.build_device()).BLOCK_TYPES)
+        for row in adapter.figure_block_types:
+            assert row in known, row
+
+    @pytest.mark.parametrize("make", ALL_MAKERS)
+    def test_fresh_volume_mounts(self, make):
+        adapter = make()
+        disk = adapter.build_device()
+        adapter.mkfs(disk)
+        fs = adapter.make_fs(disk)
+        fs.mount()
+        assert fs.getdirentries("/") == [".", ".."]
+        fs.unmount()
+
+    @pytest.mark.parametrize("make", ALL_MAKERS)
+    def test_oracle_labels_static_regions(self, make):
+        adapter = make()
+        disk = adapter.build_device()
+        adapter.mkfs(disk)
+        fs = adapter.make_fs(disk)
+        fs.mount()
+        census = {}
+        for b in range(disk.num_blocks):
+            t = fs.block_type(b)
+            if t:
+                census[t] = census.get(t, 0) + 1
+        # Every FS labels its superblock-equivalent and its journal.
+        assert any(k in census for k in ("super", "boot"))
+        assert any(k.startswith("j-") or k == "logfile" for k in census)
+
+    def test_ntfs_adapter_skips_recovery_workloads(self):
+        adapter = make_ntfs_adapter()
+        assert "s" not in adapter.workload_keys
+        assert "t" not in adapter.workload_keys
+
+    def test_ixt3_declares_redundancy_types(self):
+        adapter = make_ixt3_adapter()
+        assert set(adapter.redundancy_types) == {"replica", "parity"}
+        assert make_ext3_adapter().redundancy_types == []
+        assert make_jfs_adapter().redundancy_types == ["super"]
+
+
+CORRUPTORS = {
+    "ext3": (ext3_field_corruptor,
+             ["inode", "dir", "indirect", "bitmap", "super", "j-desc", "data"]),
+    "reiserfs": (reiserfs_field_corruptor,
+                 ["stat item", "dir item", "indirect", "bitmap", "super",
+                  "j-commit", "data", "root"]),
+    "jfs": (jfs_field_corruptor,
+            ["inode", "dir", "internal", "bmap", "imap", "super",
+             "aggr-inode", "j-data", "data"]),
+    "ntfs": (ntfs_field_corruptor,
+             ["MFT", "directory", "volume-bitmap", "logfile", "boot", "data"]),
+}
+
+
+class TestFieldCorruptors:
+    @pytest.mark.parametrize("name", sorted(CORRUPTORS))
+    def test_preserves_block_size(self, name):
+        corruptor, types = CORRUPTORS[name]
+        payload = bytes((i * 7) % 256 for i in range(1024))
+        for btype in types:
+            out = corruptor(payload, btype)
+            assert len(out) == len(payload), (name, btype)
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTORS))
+    def test_actually_changes_the_block(self, name):
+        corruptor, types = CORRUPTORS[name]
+        payload = bytes((i * 7) % 256 for i in range(1024))
+        for btype in types:
+            assert corruptor(payload, btype) != payload, (name, btype)
+
+    def test_ext3_inode_corruptor_leaves_free_slots_alone(self):
+        from repro.fs.ext3.structures import Inode, patch_inode_block
+        from repro.fs.ext3.config import INODE_SIZE
+        raw = bytearray(1024)
+        live = Inode(mode=0o100644, links=1, size=10)
+        raw = bytearray(patch_inode_block(bytes(raw), 0, live))
+        out = ext3_field_corruptor(bytes(raw), "inode")
+        # The allocated slot changed; the free slots are untouched.
+        assert out[:INODE_SIZE] != bytes(raw[:INODE_SIZE])
+        assert out[INODE_SIZE:] == bytes(raw[INODE_SIZE:])

@@ -1,0 +1,118 @@
+"""The fingerprinting harness end to end: golden images, applicability,
+determinism, and the workload suite."""
+
+import pytest
+
+from repro.disk import CorruptionMode
+from repro.fingerprint import Fingerprinter, WORKLOADS, WORKLOAD_BY_KEY, Recorder
+from repro.fingerprint.adapters import make_ext3_adapter, make_ixt3_adapter
+from repro.fingerprint.workloads import render_workload_table, standard_setup
+from repro.taxonomy import FAULT_CLASSES
+
+from conftest import make_ext3
+
+
+class TestWorkloadSuite:
+    def test_twenty_workloads_in_figure_order(self):
+        assert len(WORKLOADS) == 20
+        assert [w.key for w in WORKLOADS] == [chr(ord("a") + i) for i in range(20)]
+
+    def test_table3_render(self):
+        table = render_workload_table()
+        for name in ("creat", "rename", "fsync,sync", "FS recovery", "log writes"):
+            assert name in table
+
+    def test_standard_setup_builds_namespace(self):
+        disk, fs = make_ext3()
+        fs.mount()
+        standard_setup(fs)
+        for path in ("/dir1/file_big", "/dir1/subdir/leaf", "/link_to_small",
+                     "/dir2/victim", "/empty_dir", "/file_trunc"):
+            assert fs.exists(path), path
+        # The big file must be big enough to need indirection.
+        bs = fs.statfs().block_size
+        assert fs.stat("/dir1/file_big").size >= 40 * bs
+
+    def test_every_body_runs_clean(self):
+        """All twenty bodies execute fault-free on every setup."""
+        for workload in WORKLOADS:
+            disk, fs = make_ext3()
+            fs.mount()
+            workload.setup(fs)
+            if workload.crash_ops is not None:
+                fs.crash_after(workload.crash_ops)
+            elif workload.body_mounts:
+                fs.unmount()
+            recorder = Recorder()
+            workload.body(fs, recorder)
+            errors = [r for r in recorder.results if r.errno is not None]
+            assert not errors, (workload.key, errors)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def mini_run(self):
+        subset = [WORKLOAD_BY_KEY[k] for k in "adops"]
+        fp = Fingerprinter(make_ext3_adapter(), workloads=subset)
+        return fp, fp.run()
+
+    def test_matrix_dimensions(self, mini_run):
+        fp, matrix = mini_run
+        assert matrix.fs_name == "ext3"
+        assert len(matrix.workloads) == 5
+        assert "inode" in matrix.block_types
+
+    def test_every_cell_is_classified_or_na(self, mini_run):
+        fp, matrix = mini_run
+        for fault_class in FAULT_CLASSES:
+            for btype in matrix.block_types:
+                for workload in matrix.workloads:
+                    key = (fault_class, btype, workload)
+                    assert key in matrix.cells or key in matrix.not_applicable
+
+    def test_applicability_reflects_access(self, mini_run):
+        """stat-only traversal never writes: all write-failure cells N/A."""
+        fp, matrix = mini_run
+        traversal = matrix.workloads[0]  # 'path traversal'
+        for btype in matrix.block_types:
+            assert ("write-failure", btype, traversal) in matrix.not_applicable
+
+    def test_mount_workload_reaches_super(self, mini_run):
+        fp, matrix = mini_run
+        mount_wl = next(w for w in matrix.workloads if w == "mount")
+        assert matrix.get("read-failure", "super", mount_wl) is not None
+
+    def test_recovery_workload_reaches_journal(self, mini_run):
+        fp, matrix = mini_run
+        rec_wl = next(w for w in matrix.workloads if w == "FS recovery")
+        assert matrix.get("read-failure", "j-data", rec_wl) is not None
+
+    def test_counts_match_paper_scale(self):
+        """The paper: 'roughly 400 relevant tests' per FS; our full run
+        is in the hundreds too."""
+        fp = Fingerprinter(make_ext3_adapter())
+        fp.run()
+        assert 200 <= fp.tests_run <= 600
+
+    def test_deterministic(self):
+        subset = [WORKLOAD_BY_KEY["g"]]
+        m1 = Fingerprinter(make_ext3_adapter(), workloads=subset).run()
+        m2 = Fingerprinter(make_ext3_adapter(), workloads=subset).run()
+        assert m1.cells.keys() == m2.cells.keys()
+        for key in m1.cells:
+            assert m1.cells[key].detection == m2.cells[key].detection
+            assert m1.cells[key].recovery == m2.cells[key].recovery
+
+    def test_field_corruption_mode(self):
+        subset = [WORKLOAD_BY_KEY["b"]]
+        fp = Fingerprinter(make_ext3_adapter(), workloads=subset,
+                           corruption_mode=CorruptionMode.FIELD)
+        matrix = fp.run()
+        assert matrix.cells  # runs end to end with FS-aware corruptors
+
+    def test_ixt3_matrix_shows_redundancy(self):
+        subset = [WORKLOAD_BY_KEY[k] for k in "bd"]
+        matrix = Fingerprinter(make_ixt3_adapter(), workloads=subset).run()
+        from repro.taxonomy import Recovery
+        counts = matrix.technique_counts()
+        assert counts.get(Recovery.REDUNDANCY, 0) > 0

@@ -1,0 +1,110 @@
+"""ixt3's in-file-system scrubbing (§3.2): eager detection plus repair
+from the redundancy the file system already maintains."""
+
+import pytest
+
+from repro.common.errors import FSError
+from repro.disk import (
+    CorruptionMode,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultOp,
+    corruption,
+    make_disk,
+    read_failure,
+)
+from repro.fs.ixt3 import Ixt3, mkfs_ixt3
+
+from conftest import IXT3_BASE, IXT3_CFG
+
+
+def build():
+    disk = make_disk(IXT3_CFG.total_blocks, IXT3_CFG.block_size)
+    mkfs_ixt3(disk, IXT3_BASE, config=IXT3_CFG)
+    fs = Ixt3(disk)
+    fs.mount()
+    fs.mkdir("/d")
+    for i in range(3):
+        fs.write_file(f"/d/f{i}", bytes([i + 1]) * 2500)
+    fs.unmount()
+    injector = FaultInjector(disk)
+    fs2 = Ixt3(injector)
+    fs2.mount()
+    injector.set_type_oracle(fs2.block_type)
+    return disk, injector, fs2
+
+
+class TestCleanScrub:
+    def test_clean_volume_scrubs_clean(self):
+        disk, injector, fs = build()
+        stats = fs.scrub()
+        assert stats["scanned"] > 10
+        assert stats["latent"] == stats["corrupt"] == 0
+        assert stats["repaired"] == stats["lost"] == 0
+        assert fs.syslog.has_event("scrub-complete")
+
+
+class TestScrubRepairsAtRestDamage:
+    def test_at_rest_corruption_found_and_repaired(self):
+        disk, injector, fs = build()
+        # Corrupt a data block at rest (no injected read fault).
+        victim = next(b for b in range(disk.num_blocks)
+                      if fs.block_type(b) == "data")
+        good = disk.peek(victim)
+        disk.poke(victim, b"\xbd" * disk.block_size)
+
+        stats = fs.scrub()
+        assert stats["corrupt"] >= 1
+        assert stats["repaired"] >= 1
+        assert disk.peek(victim) == good  # home copy rewritten
+
+    def test_latent_error_repaired_through_parity(self):
+        disk, injector, fs = build()
+        victim = next(b for b in range(disk.num_blocks)
+                      if fs.block_type(b) == "data")
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=victim))
+        stats = fs.scrub()
+        assert stats["latent"] >= 1
+        assert stats["repaired"] >= 1
+
+    def test_metadata_corruption_repaired_from_replica(self):
+        disk, injector, fs = build()
+        victim = IXT3_CFG.inode_table_start(0)
+        good = disk.peek(victim)
+        disk.poke(victim, b"\x99" * disk.block_size)
+        stats = fs.scrub()
+        assert stats["corrupt"] >= 1
+        assert stats["repaired"] >= 1
+        assert disk.peek(victim) == good
+        # And the namespace still works afterwards.
+        assert fs.read_file("/d/f0") == b"\x01" * 2500
+
+    def test_unrecoverable_damage_counted_as_lost(self):
+        disk, injector, fs = build()
+        victim = next(b for b in range(disk.num_blocks)
+                      if fs.block_type(b) == "data")
+        # Kill the block and its file's parity: nothing left to rebuild from.
+        owner = fs._owner_of(victim)
+        assert owner is not None
+        _, inode, _ = owner
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=victim))
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL,
+                           block=inode.parity_block))
+        stats = fs.scrub()
+        assert stats["lost"] >= 1
+        assert fs.syslog.has_event("scrub-loss")
+
+
+class TestScrubbedVolumeSurvivesFaultRemoval:
+    def test_repairs_are_durable(self):
+        disk, injector, fs = build()
+        victim = next(b for b in range(disk.num_blocks)
+                      if fs.block_type(b) == "data")
+        disk.poke(victim, b"\x77" * disk.block_size)
+        fs.scrub()
+        fs.unmount()
+        fs2 = Ixt3(disk)
+        fs2.mount()
+        for i in range(3):
+            assert fs2.read_file(f"/d/f{i}") == bytes([i + 1]) * 2500

@@ -1,0 +1,162 @@
+"""Model-based testing: random operation sequences against every file
+system must match a trivial in-memory model of a POSIX namespace.
+
+This is the deepest invariant check in the suite: whatever sequence of
+creates, writes, appends, truncates, links, renames, mkdirs and deletes
+hypothesis invents, each file system must agree with the model on every
+file's contents and every directory's listing — including across a
+remount."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import FSError
+
+from conftest import FS_FACTORIES
+
+NAMES = ["a", "b", "c", "dd", "ee"]
+DIRS = ["/", "/d1", "/d2"]
+
+
+op_st = st.one_of(
+    st.tuples(st.just("write"), st.sampled_from(DIRS), st.sampled_from(NAMES),
+              st.binary(max_size=3000)),
+    st.tuples(st.just("append"), st.sampled_from(DIRS), st.sampled_from(NAMES),
+              st.binary(min_size=1, max_size=500)),
+    st.tuples(st.just("truncate"), st.sampled_from(DIRS), st.sampled_from(NAMES),
+              st.integers(0, 4000)),
+    st.tuples(st.just("unlink"), st.sampled_from(DIRS), st.sampled_from(NAMES),
+              st.none()),
+    st.tuples(st.just("rename"), st.sampled_from(DIRS), st.sampled_from(NAMES),
+              st.sampled_from(NAMES)),
+    st.tuples(st.just("link"), st.sampled_from(DIRS), st.sampled_from(NAMES),
+              st.sampled_from(NAMES)),
+)
+
+
+def apply_model(model, op, where, name, arg):
+    """Apply to the model; returns False when the op must fail.
+
+    The model tracks inode identity so hard links alias correctly:
+    ``names`` maps path -> file id, ``files`` maps file id -> bytes.
+    """
+    names, files = model["names"], model["files"]
+    path = where.rstrip("/") + "/" + name
+    if op == "write":
+        if path in names:
+            files[names[path]] = arg  # truncate + rewrite of the shared inode
+        else:
+            fid = model["next"] = model.get("next", 0) + 1
+            names[path] = fid
+            files[fid] = arg
+        return True
+    if op == "append":
+        if path not in names:
+            return False
+        files[names[path]] += arg
+        return True
+    if op == "truncate":
+        if path not in names:
+            return False
+        old = files[names[path]]
+        files[names[path]] = old[:arg] + b"\x00" * max(0, arg - len(old))
+        return True
+    if op == "unlink":
+        if path not in names:
+            return False
+        fid = names.pop(path)
+        if fid not in names.values():
+            del files[fid]
+        return True
+    if op == "rename":
+        dst = where.rstrip("/") + "/" + arg
+        if path not in names:
+            return False
+        if dst == path:
+            return True  # POSIX: rename onto itself is a successful no-op
+        if dst in names:
+            old_fid = names.pop(dst)
+            if old_fid not in names.values() and old_fid != names[path]:
+                files.pop(old_fid, None)
+        names[dst] = names.pop(path)
+        return True
+    if op == "link":
+        dst = where.rstrip("/") + "/" + arg
+        if path not in names or dst in names:
+            return False
+        names[dst] = names[path]
+        return True
+    raise AssertionError(op)
+
+
+def apply_fs(fs, op, where, name, arg):
+    from repro.vfs import O_WRONLY
+    path = where.rstrip("/") + "/" + name
+    if op == "write":
+        fs.write_file(path, arg)
+    elif op == "append":
+        size = fs.stat(path).size
+        fd = fs.open(path, O_WRONLY)
+        fs.write(fd, arg, offset=size)
+        fs.close(fd)
+    elif op == "truncate":
+        fs.truncate(path, arg)
+    elif op == "unlink":
+        fs.unlink(path)
+    elif op == "rename":
+        fs.rename(path, where.rstrip("/") + "/" + arg)
+    elif op == "link":
+        fs.link(path, where.rstrip("/") + "/" + arg)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(ops=st.lists(op_st, max_size=25))
+@pytest.mark.parametrize("name", sorted(FS_FACTORIES))
+def test_property_fs_matches_model(name, ops):
+    disk, fs = FS_FACTORIES[name]()
+    fs.mount()
+    fs.mkdir("/d1")
+    fs.mkdir("/d2")
+    model = {"names": {}, "files": {}, "next": 0}
+    for op, where, fname, arg in ops:
+        try:
+            apply_fs(fs, op, where, fname, arg)
+            worked = True
+        except FSError:
+            worked = False
+        if worked:
+            # When the file system accepted the operation, the model
+            # must accept it too, and they stay in lock step.  (The FS
+            # may legitimately refuse things the model allows — e.g.
+            # ENOSPC — so the reverse is not asserted.)
+            accepted = apply_model(model, op, where, fname, arg)
+            assert accepted, (op, where, fname)
+
+    def check(live_fs):
+        for path, fid in model["names"].items():
+            assert live_fs.read_file(path) == model["files"][fid], path
+        for d in DIRS:
+            expected = sorted(
+                p.rsplit("/", 1)[1] for p in model["names"]
+                if p.rsplit("/", 1)[0] == d.rstrip("/")
+                or (d == "/" and p.count("/") == 1))
+            got = sorted(n for n in live_fs.getdirentries(d)
+                         if n not in (".", "..", "d1", "d2"))
+            assert got == expected, d
+        # Hard links agree on identity (same ino).
+        by_fid = {}
+        for path, fid in model["names"].items():
+            by_fid.setdefault(fid, []).append(live_fs.stat(path).ino)
+        for inos in by_fid.values():
+            assert len(set(inos)) == 1
+
+    # Converged state: contents, listings and link identity agree.
+    check(fs)
+
+    # And everything survives a remount.
+    fs.unmount()
+    fs2 = type(fs)(disk)
+    fs2.mount()
+    check(fs2)
+    fs2.unmount()

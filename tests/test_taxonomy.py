@@ -1,0 +1,130 @@
+"""Units for the IRON taxonomy: levels, policy matrices, rendering."""
+
+import pytest
+
+from repro.taxonomy import (
+    Detection,
+    FAULT_CLASSES,
+    PolicyMatrix,
+    PolicyObservation,
+    Recovery,
+    relative_frequency_marks,
+    render_detection_table,
+    render_full_figure,
+    render_key,
+    render_matrix,
+    render_recovery_table,
+)
+
+
+class TestLevels:
+    def test_all_paper_detection_levels_present(self):
+        assert {d.value for d in Detection} == {
+            "D_zero", "D_errorcode", "D_sanity", "D_redundancy"}
+
+    def test_all_paper_recovery_levels_present(self):
+        assert {r.value for r in Recovery} == {
+            "R_zero", "R_propagate", "R_stop", "R_guess",
+            "R_retry", "R_repair", "R_remap", "R_redundancy"}
+
+    def test_symbols_match_figure_key(self):
+        assert Detection.ERROR_CODE.symbol == "-"
+        assert Detection.SANITY.symbol == "|"
+        assert Detection.REDUNDANCY.symbol == "\\"
+        assert Recovery.RETRY.symbol == "/"
+        assert Recovery.STOP.symbol == "|"
+        assert Recovery.PROPAGATE.symbol == "-"
+
+    def test_tables_render(self):
+        t1 = render_detection_table()
+        t2 = render_recovery_table()
+        assert "Assumes disk works" in t1
+        assert "Could be wrong; failure hidden" in t2
+
+
+def _matrix():
+    m = PolicyMatrix(fs_name="toyfs", block_types=["inode", "data"],
+                     workloads=["read", "write"])
+    m.put("read-failure", "inode", "read",
+          PolicyObservation.of({Detection.ERROR_CODE},
+                               {Recovery.PROPAGATE, Recovery.STOP}))
+    m.put("write-failure", "data", "write",
+          PolicyObservation.of({Detection.ZERO}, {Recovery.ZERO}))
+    m.mark_not_applicable("corruption", "inode", "write")
+    return m
+
+
+class TestPolicyMatrix:
+    def test_put_get(self):
+        m = _matrix()
+        obs = m.get("read-failure", "inode", "read")
+        assert Recovery.STOP in obs.recovery
+        assert m.get("read-failure", "data", "read") is None
+
+    def test_validation(self):
+        m = _matrix()
+        with pytest.raises(ValueError):
+            m.put("bogus-class", "inode", "read", PolicyObservation.of())
+        with pytest.raises(ValueError):
+            m.put("corruption", "nonesuch", "read", PolicyObservation.of())
+        with pytest.raises(ValueError):
+            m.put("corruption", "inode", "nonesuch", PolicyObservation.of())
+
+    def test_observation_symbols_superimpose(self):
+        obs = PolicyObservation.of({Detection.ERROR_CODE, Detection.SANITY}, set())
+        assert sorted(obs.detection_symbols()) == ["-", "|"]
+
+    def test_is_zero(self):
+        assert PolicyObservation.of({Detection.ZERO}, {Recovery.ZERO}).is_zero()
+        assert not PolicyObservation.of({Detection.ERROR_CODE}, set()).is_zero()
+
+    def test_coverage(self):
+        m = _matrix()
+        covered, total = m.coverage()
+        assert (covered, total) == (1, 2)
+
+    def test_technique_counts(self):
+        counts = _matrix().technique_counts()
+        assert counts[Recovery.STOP] == 1
+        assert counts[Detection.ZERO] == 1
+
+    def test_fault_classes_constant(self):
+        assert FAULT_CLASSES == ("read-failure", "write-failure", "corruption")
+
+
+class TestRendering:
+    def test_panel(self):
+        text = render_matrix(_matrix(), "detection", "read-failure")
+        assert "toyfs" in text
+        assert "inode" in text
+
+    def test_full_figure_has_all_panels_and_key(self):
+        text = render_full_figure(_matrix())
+        assert text.count("Detection") >= 3
+        assert text.count("Recovery") >= 3
+        assert "Key for Detection" in text
+        assert "Workloads" in text
+
+    def test_render_validation(self):
+        with pytest.raises(ValueError):
+            render_matrix(_matrix(), "bogus", "read-failure")
+        with pytest.raises(ValueError):
+            render_matrix(_matrix(), "detection", "bogus")
+
+    def test_key_mentions_zero(self):
+        assert "D_zero" in render_key()
+
+
+class TestFrequencyMarks:
+    def test_thresholds(self):
+        counts = {Detection.ERROR_CODE: 60, Detection.SANITY: 30,
+                  Recovery.RETRY: 10, Recovery.GUESS: 1, Recovery.REPAIR: 0}
+        marks = relative_frequency_marks(counts, 100)
+        assert marks[Detection.ERROR_CODE] == "****"
+        assert marks[Detection.SANITY] == "***"
+        assert marks[Recovery.RETRY] == "**"
+        assert marks[Recovery.GUESS] == "*"
+        assert Recovery.REPAIR not in marks
+
+    def test_empty_total(self):
+        assert relative_frequency_marks({Detection.SANITY: 5}, 0) == {}

@@ -1,0 +1,126 @@
+"""The Table-6 benchmark workload generators: determinism, shape, and
+correct behaviour on a live file system."""
+
+import pytest
+
+from repro.bench.workloads import (
+    BENCHMARKS,
+    BenchScale,
+    postmark,
+    ssh_build,
+    tpcb,
+    web_server,
+    web_server_setup,
+)
+from repro.disk.cache import BlockCache
+from repro.disk.disk import make_disk
+from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
+from repro.fs.ext3 import Ext3Config
+
+TINY = BenchScale(
+    ssh_sources=6, ssh_objects=4, ssh_dirs=2,
+    web_files=5, web_requests=10,
+    post_files=8, post_txns=10,
+    tpcb_accounts_blocks=6, tpcb_txns=5,
+)
+
+BASE = Ext3Config(block_size=1024, blocks_per_group=1024,
+                  inodes_per_group=128, num_groups=2, journal_blocks=128)
+
+
+def live_fs():
+    cfg = ixt3_config(BASE, dynamic_replica_slots=128)
+    disk = make_disk(cfg.total_blocks, cfg.block_size)
+    mkfs_ixt3(disk, BASE, features=0, config=cfg)
+    fs = Ixt3(BlockCache(disk, 4096), sync_mode=False, commit_every=64)
+    fs.mount()
+    return disk, fs
+
+
+class TestSSHBuild:
+    def test_builds_the_tree(self):
+        disk, fs = live_fs()
+        ssh_build(fs, TINY)
+        names = fs.getdirentries("/ssh")
+        assert "config.h" in names
+        assert "sshd" in names
+        assert fs.stat("/ssh/sshd").size > 0
+        # Conftest probes were cleaned up.
+        assert not any(n.startswith("conftest") for n in names)
+
+    def test_deterministic(self):
+        d1, f1 = live_fs()
+        ssh_build(f1, TINY)
+        d2, f2 = live_fs()
+        ssh_build(f2, TINY)
+        assert f1.read_file("/ssh/sshd") == f2.read_file("/ssh/sshd")
+
+    def test_charges_cpu_time(self):
+        disk, fs = live_fs()
+        t0 = disk.clock
+        ssh_build(fs, TINY)
+        cpu = TINY.ssh_objects * TINY.ssh_compile_cpu_s
+        assert disk.clock - t0 > cpu  # at least the compile time passed
+
+
+class TestWebServer:
+    def test_read_only_measured_phase(self):
+        disk, fs = live_fs()
+        web_server_setup(fs, TINY)
+        fs.sync()
+        w0 = disk.stats.writes
+        web_server(fs, TINY)
+        assert disk.stats.writes == w0  # requests never write
+
+    def test_serves_every_requested_page_fully(self):
+        disk, fs = live_fs()
+        web_server_setup(fs, TINY)
+        web_server(fs, TINY)  # any short read would crash inside
+
+
+class TestPostMark:
+    def test_cleans_up_after_itself(self):
+        disk, fs = live_fs()
+        free0 = fs.statfs().free_blocks
+        postmark(fs, TINY)
+        # All files deleted at the end; only the pm directories remain.
+        leftovers = [n for d in range(TINY.post_dirs)
+                     for n in fs.getdirentries(f"/pm{d}") if n not in (".", "..")]
+        assert leftovers == []
+        assert fs.statfs().free_blocks >= free0 - 2 * TINY.post_dirs
+
+    def test_deterministic_io_volume(self):
+        d1, f1 = live_fs()
+        postmark(f1, TINY)
+        d2, f2 = live_fs()
+        postmark(f2, TINY)
+        assert d1.stats.writes == d2.stats.writes
+        assert d1.stats.reads == d2.stats.reads
+
+
+class TestTPCB:
+    def test_database_grows_history(self):
+        disk, fs = live_fs()
+        tpcb(fs, TINY)
+        assert fs.stat("/accounts.db").size == TINY.tpcb_accounts_blocks * 1024
+        hist = fs.read_file("/history.log")
+        assert hist.count(b"commit") == TINY.tpcb_txns
+
+    def test_commits_once_per_transaction(self):
+        disk, fs = live_fs()
+        tpcb(fs, TINY)
+        # fsync per txn + setup/final syncs.
+        assert fs.journal.commits >= TINY.tpcb_txns
+
+    def test_account_records_mutated(self):
+        disk, fs = live_fs()
+        tpcb(fs, TINY)
+        db = fs.read_file("/accounts.db")
+        assert any(b != 0 for b in db)
+
+
+class TestRegistry:
+    def test_four_benchmarks_registered(self):
+        assert set(BENCHMARKS) == {"SSH", "Web", "Post", "TPCB"}
+        for name, spec in BENCHMARKS.items():
+            assert callable(spec["run"])
