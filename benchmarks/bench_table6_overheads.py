@@ -15,10 +15,11 @@ claims checked are the paper's *shape* claims (§6.2):
    overhead.
 """
 
-from conftest import run_once, save_result
+from conftest import record_bench_timing, run_once, save_result
 
 from repro.bench.harness import run_table6
 from repro.bench.paperdata import VARIANT_ORDER
+from repro.bench.timing import table6_record, timed
 
 
 def _row(run, bench, features):
@@ -26,7 +27,8 @@ def _row(run, bench, features):
 
 
 def test_table6_overheads(benchmark):
-    run = run_once(benchmark, run_table6)
+    run, wall_s = timed(lambda: run_once(benchmark, run_table6))
+    record_bench_timing("table6_overheads", table6_record(run, wall_s))
     save_result("table6_overheads", run.render())
 
     # 1. SSH / Web: little overhead even with everything on.

@@ -12,6 +12,7 @@ import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def save_result(name: str, content: str) -> pathlib.Path:
@@ -24,3 +25,11 @@ def save_result(name: str, content: str) -> pathlib.Path:
 def run_once(benchmark, fn):
     """Run *fn* exactly once under pytest-benchmark and return its value."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record_bench_timing(name: str, record: dict) -> pathlib.Path:
+    """Merge one wall-clock record into BENCH_fingerprint.json at the
+    repo root (see repro.bench.timing for the schema)."""
+    from repro.bench.timing import record_entry
+
+    return record_entry(name, record, path=REPO_ROOT / "BENCH_fingerprint.json")

@@ -19,6 +19,13 @@ from repro.bench.paperdata import (
     variant_label,
 )
 from repro.bench.space import PROFILES, SpaceOverhead, analyze, analyze_all, render
+from repro.bench.timing import (
+    bench_json_path,
+    fingerprint_record,
+    record_entry,
+    table6_record,
+    timed,
+)
 from repro.bench.workloads import BENCHMARKS, BenchScale
 
 __all__ = [
@@ -37,9 +44,14 @@ __all__ = [
     "VariantResult",
     "analyze",
     "analyze_all",
+    "bench_json_path",
     "features_mask",
+    "fingerprint_record",
+    "record_entry",
     "render",
     "run_table6",
     "run_variant",
+    "table6_record",
+    "timed",
     "variant_label",
 ]

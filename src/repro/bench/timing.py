@@ -1,0 +1,132 @@
+"""Wall-clock timing layer for the benchmark drivers.
+
+The simulator's own observable is *virtual* disk time; this module
+records the other axis — how long the harness itself takes to run — so
+the repo's performance trajectory is machine-readable.  Records merge
+into a single JSON file, ``BENCH_fingerprint.json`` at the repo root
+(override with the ``REPRO_BENCH_JSON`` environment variable), keyed by
+entry name so successive runs update in place.
+
+Schema (``repro-bench-timing/1``)::
+
+    {
+      "schema": "repro-bench-timing/1",
+      "generated_at": "2026-08-06T12:00:00Z",
+      "entries": {
+        "fingerprint_ext3": {
+          "wall_s": 12.3,          # total wall-clock for the run
+          "jobs": 4,               # process-pool width used
+          "tests_run": 420,        # fault-injection tests executed
+          "total_cells": 420,      # CellResults recorded
+          "applicable_cells": 312, # matrix cells with an observation
+          "workloads": {           # per-workload breakdown
+            "a": {"wall_s": 0.61, "reads": 1200, "writes": 340,
+                  "bytes_read": 1228800, "bytes_written": 348160,
+                  "seeks": 95, "busy_time_s": 0.8}
+          }
+        },
+        ...                        # non-fingerprint entries carry their
+      }                            # own driver-specific fields
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
+
+SCHEMA = "repro-bench-timing/1"
+DEFAULT_FILENAME = "BENCH_fingerprint.json"
+
+T = TypeVar("T")
+
+
+def bench_json_path(root: Optional[os.PathLike] = None) -> Path:
+    """Where timing records land: ``$REPRO_BENCH_JSON`` when set, else
+    ``BENCH_fingerprint.json`` under *root* (default: cwd)."""
+    env = os.environ.get("REPRO_BENCH_JSON")
+    if env:
+        return Path(env)
+    return Path(root) / DEFAULT_FILENAME if root else Path.cwd() / DEFAULT_FILENAME
+
+
+def timed(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run *fn*, returning ``(result, wall_clock_seconds)``."""
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def fingerprint_record(fp, matrix, wall_s: float) -> Dict[str, Any]:
+    """Build the JSON record for one Fingerprinter run.
+
+    *fp* is the (already-run) :class:`~repro.fingerprint.Fingerprinter`;
+    its per-workload wall times and raw-device traffic become the
+    ``workloads`` breakdown.
+    """
+    workloads: Dict[str, Any] = {}
+    for key, secs in fp.workload_wall.items():
+        entry: Dict[str, Any] = {"wall_s": round(secs, 6)}
+        io = fp.workload_io.get(key)
+        if io is not None:
+            entry.update(
+                reads=io.reads,
+                writes=io.writes,
+                bytes_read=io.bytes_read,
+                bytes_written=io.bytes_written,
+                seeks=io.seeks,
+                busy_time_s=round(io.busy_time_s, 6),
+            )
+        workloads[key] = entry
+    return {
+        "wall_s": round(wall_s, 6),
+        "jobs": fp.jobs,
+        "tests_run": fp.tests_run,
+        "total_cells": len(fp.cells),
+        "applicable_cells": len(matrix.cells),
+        "workloads": workloads,
+    }
+
+
+def table6_record(run, wall_s: float) -> Dict[str, Any]:
+    """Build the JSON record for a Table-6 variant sweep."""
+    benches: Dict[str, Any] = {}
+    for bench, rows in run.results.items():
+        benches[bench] = {
+            "variants": [
+                {"label": r.label, "seconds": round(r.seconds, 6),
+                 "reads": r.reads, "writes": r.writes}
+                for r in rows
+            ],
+            "normalized": [round(x, 4) for x in run.normalized(bench)],
+        }
+    return {"wall_s": round(wall_s, 6), "benches": benches}
+
+
+def record_entry(
+    name: str,
+    record: Dict[str, Any],
+    path: Optional[os.PathLike] = None,
+) -> Path:
+    """Merge one named record into the timing JSON (atomic rewrite).
+
+    A missing or unreadable file starts fresh rather than failing — the
+    timing layer must never take a benchmark down with it.
+    """
+    target = Path(path) if path is not None else bench_json_path()
+    data: Dict[str, Any] = {"schema": SCHEMA, "entries": {}}
+    try:
+        existing = json.loads(target.read_text())
+        if isinstance(existing, dict) and isinstance(existing.get("entries"), dict):
+            data["entries"] = existing["entries"]
+    except (OSError, ValueError):
+        pass
+    data["entries"][name] = record
+    data["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.replace(target)
+    return target

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.bench.timing import fingerprint_record, record_entry, timed
     from repro.disk import CorruptionMode
     from repro.fingerprint import Fingerprinter, WORKLOAD_BY_KEY
     from repro.fingerprint.adapters import ADAPTERS
@@ -39,19 +40,32 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
         print(f"unknown file system {args.fs!r}; pick from {sorted(ADAPTERS)}",
               file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     adapter = ADAPTERS[args.fs]()
     workloads = None
     if args.workloads:
+        unknown = [k for k in args.workloads if k not in WORKLOAD_BY_KEY]
+        if unknown:
+            print(f"unknown workload letters {''.join(unknown)!r}; "
+                  f"pick from 'a'..'t'", file=sys.stderr)
+            return 2
         workloads = [WORKLOAD_BY_KEY[k] for k in args.workloads]
     mode = CorruptionMode.FIELD if args.field_corruption else CorruptionMode.NOISE
     fp = Fingerprinter(adapter, workloads=workloads, corruption_mode=mode,
-                       progress=(print if args.verbose else None))
-    matrix = fp.run()
+                       progress=(print if args.verbose else None),
+                       jobs=args.jobs)
+    matrix, wall_s = timed(fp.run)
     print(render_full_figure(matrix))
     covered, total = matrix.coverage()
     print()
     print(f"{fp.tests_run} fault-injection tests; "
           f"{covered}/{total} cells show some detection or recovery")
+    if not args.no_bench_json:
+        path = record_entry(f"fingerprint_{args.fs}",
+                            fingerprint_record(fp, matrix, wall_s))
+        print(f"timing written to {path} ({wall_s:.2f}s wall, jobs={args.jobs})")
     return 0
 
 
@@ -140,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", help="subset of workload letters, e.g. 'adgp'")
     p.add_argument("--field-corruption", action="store_true",
                    help="use FS-aware corrupted-field blocks instead of noise")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="fan workloads out across N worker processes "
+                        "(output is byte-identical to --jobs 1)")
+    p.add_argument("--no-bench-json", action="store_true",
+                   help="skip writing timing records to BENCH_fingerprint.json")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_fingerprint)
 

@@ -56,6 +56,18 @@ class BlockCache:
     def invalidate_all(self) -> None:
         self._lru.clear()
 
+    # -- statistics (read by the benchmark timing layer) --------------------
+
+    def hit_rate(self) -> float:
+        """Fraction of reads served from the cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without disturbing cached data."""
+        self.hits = 0
+        self.misses = 0
+
     def stall(self, seconds: float) -> None:
         stall = getattr(self.lower, "stall", None)
         if stall is not None:
@@ -64,6 +76,12 @@ class BlockCache:
     @property
     def clock(self) -> float:
         return getattr(self.lower, "clock", 0.0)
+
+    @property
+    def stats(self):
+        """The underlying device's :class:`DiskStats`, when it has one —
+        lets the timing layer read raw traffic through the stack."""
+        return getattr(self.lower, "stats", None)
 
     def _insert(self, block: int, data: bytes) -> None:
         self._lru[block] = data

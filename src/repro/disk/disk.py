@@ -11,7 +11,7 @@ fail-stop case) directly, since that belongs to the device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.common.errors import OutOfRangeError, ReadError, WriteError
 from repro.disk.geometry import DiskGeometry
@@ -62,11 +62,19 @@ class SimulatedDisk:
     Virtual time accumulates in :attr:`clock`; higher layers (the journal
     commit path in particular) may add explicit stalls via
     :meth:`stall`, which is how commit-ordering waits are charged.
+
+    Contents are stored copy-on-write: a shared immutable *base* image
+    (the golden snapshot the fingerprinting harness restores between
+    fault-injection cells) plus a private *delta* of blocks written
+    since.  :meth:`restore` therefore aliases the snapshot in O(1)
+    instead of copying the whole block list, and the snapshot itself is
+    never modified — every write privatizes the block into the delta.
     """
 
     def __init__(self, geometry: DiskGeometry):
         self.geometry = geometry
-        self._blocks: List[Optional[bytes]] = [None] * geometry.num_blocks
+        self._base: List[Optional[bytes]] = [None] * geometry.num_blocks
+        self._delta: Dict[int, bytes] = {}
         self._head = 0
         self.clock = 0.0
         self.stats = DiskStats()
@@ -89,7 +97,7 @@ class SimulatedDisk:
         self._charge(block, is_write=False)
         self.stats.reads += 1
         self.stats.bytes_read += self.block_size
-        data = self._blocks[block]
+        data = self._get(block)
         if data is None:
             return b"\x00" * self.block_size
         return data
@@ -105,7 +113,7 @@ class SimulatedDisk:
         self._charge(block, is_write=True)
         self.stats.writes += 1
         self.stats.bytes_written += self.block_size
-        self._blocks[block] = bytes(data)
+        self._delta[block] = bytes(data)
 
     # -- time ---------------------------------------------------------------
 
@@ -138,7 +146,7 @@ class SimulatedDisk:
         """Read raw contents without advancing time or stats (test/debug
         aid; never used by the file systems themselves)."""
         self._check_range(block, "read")
-        data = self._blocks[block]
+        data = self._get(block)
         return b"\x00" * self.block_size if data is None else data
 
     def poke(self, block: int, data: bytes) -> None:
@@ -147,21 +155,41 @@ class SimulatedDisk:
         self._check_range(block, "write")
         if len(data) != self.block_size:
             raise ValueError("poke payload must be exactly one block")
-        self._blocks[block] = bytes(data)
+        self._delta[block] = bytes(data)
 
     def snapshot(self) -> List[Optional[bytes]]:
-        """Copy of the raw block contents (harness golden images)."""
-        return list(self._blocks)
+        """Freshly merged copy of the raw block contents (harness golden
+        images).  The returned list is independent of the device's future
+        writes, but callers must treat it as immutable once it has been
+        handed to :meth:`restore` — restore aliases it rather than
+        copying."""
+        if not self._delta:
+            return list(self._base)
+        merged = list(self._base)
+        for block, data in self._delta.items():
+            merged[block] = data
+        return merged
 
     def restore(self, snapshot: List[Optional[bytes]]) -> None:
-        """Restore contents from a snapshot; resets clock and stats."""
+        """Restore contents from a snapshot; resets head, clock and stats.
+
+        Copy-on-write: the snapshot becomes the shared base image in
+        O(1) — no per-block copy — and subsequent writes privatize
+        blocks into the delta, so the snapshot itself is never mutated
+        and may be restored any number of times.
+        """
         if len(snapshot) != self.num_blocks:
             raise ValueError("snapshot size does not match device")
-        self._blocks = list(snapshot)
+        self._base = snapshot
+        self._delta = {}
         self._head = 0
         self.clock = 0.0
         self.stats.reset()
         self.failed = False
+
+    def _get(self, block: int) -> Optional[bytes]:
+        delta = self._delta.get(block)
+        return delta if delta is not None else self._base[block]
 
     def _check_range(self, block: int, op: str) -> None:
         if not 0 <= block < self.num_blocks:

@@ -114,6 +114,12 @@ class FaultInjector:
     def clock(self) -> float:
         return getattr(self.lower, "clock", 0.0)
 
+    @property
+    def stats(self):
+        """The underlying device's :class:`DiskStats`, when it has one —
+        lets the timing layer read raw traffic through the stack."""
+        return getattr(self.lower, "stats", None)
+
     # -- internals ----------------------------------------------------------------
 
     def _match(self, op: str, block: int, btype: Optional[str]) -> Optional[Fault]:

@@ -130,6 +130,8 @@ def make_reiserfs_adapter(config: Optional[ReiserConfig] = None) -> FSAdapter:
         make_fs=lambda dev: ReiserFS(dev, sync_mode=True),
         field_corruptor=reiserfs_field_corruptor,
         redundancy_types=[],
+        registry_key="reiserfs",
+        registry_kwargs={"config": cfg},
     )
 
 
@@ -177,6 +179,8 @@ def make_jfs_adapter(config: Optional[JFSConfig] = None) -> FSAdapter:
         make_fs=lambda dev: JFS(dev, sync_mode=True),
         field_corruptor=jfs_field_corruptor,
         redundancy_types=["super"],
+        registry_key="jfs",
+        registry_kwargs={"config": cfg},
     )
 
 
@@ -194,6 +198,8 @@ def make_ext3_adapter(config: Optional[Ext3Config] = None) -> FSAdapter:
         make_fs=lambda dev: Ext3(dev, sync_mode=True),
         field_corruptor=ext3_field_corruptor,
         redundancy_types=[],  # ext3 never reads its superblock copies (§5.1)
+        registry_key="ext3",
+        registry_kwargs={"config": cfg},
     )
 
 
@@ -235,6 +241,8 @@ def make_ntfs_adapter(config: Optional[NTFSConfig] = None) -> FSAdapter:
         # The paper's NTFS analysis is partial (closed-source, §5.4):
         # no recovery/log-write workloads.
         workload_keys="abcdefghijklmnopqr",
+        registry_key="ntfs",
+        registry_kwargs={"config": cfg},
     )
 
 
@@ -257,6 +265,8 @@ def make_ixt3_adapter(features: int = ALL_FEATURES,
         make_fs=lambda dev: Ixt3(dev, sync_mode=True),
         field_corruptor=ext3_field_corruptor,
         redundancy_types=["replica", "parity"],
+        registry_key="ixt3",
+        registry_kwargs={"features": features, "base": base_cfg},
     )
 
 

@@ -16,16 +16,17 @@ The result is a :class:`~repro.taxonomy.policy.PolicyMatrix` — Figure 2
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import FSError, KernelPanic
-from repro.disk.disk import BlockDevice, SimulatedDisk
+from repro.disk.disk import BlockDevice, DiskStats, SimulatedDisk
 from repro.disk.faults import CorruptionMode, Fault, FaultKind, FaultOp
 from repro.disk.injector import FaultInjector
 from repro.fingerprint.inference import RunObservation, infer_policy
 from repro.fingerprint.workloads import WORKLOADS, OpResult, Recorder, Workload
-from repro.taxonomy.policy import FAULT_CLASSES, PolicyMatrix
+from repro.taxonomy.policy import FAULT_CLASSES, PolicyMatrix, PolicyObservation
 from repro.vfs.api import FileSystem
 
 FieldCorruptor = Callable[[bytes, str], bytes]
@@ -49,6 +50,12 @@ class FSAdapter:
     redundancy_types: List[str] = field(default_factory=list)
     #: Workload keys to run (NTFS uses a subset, as in the paper).
     workload_keys: str = "abcdefghijklmnopqrst"
+    #: How pool workers rebuild this adapter: ``ADAPTERS[registry_key]
+    #: (**registry_kwargs)``.  The adapter's closures are not picklable,
+    #: so parallel runs ship this recipe instead; None means the adapter
+    #: is serial-only (``jobs=1``).
+    registry_key: Optional[str] = None
+    registry_kwargs: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -61,6 +68,31 @@ class CellResult:
     fired: bool
 
 
+#: One merge op recorded while fingerprinting a workload:
+#: ("na" | "put", fault_class, block_type, observation-or-None).
+MatrixOp = Tuple[str, str, str, Optional[PolicyObservation]]
+
+
+@dataclass
+class WorkloadOutcome:
+    """Everything one workload contributes to the final matrix.
+
+    Produced by :meth:`Fingerprinter._run_workload` — serially or inside
+    a pool worker — and merged deterministically by workload order, so
+    ``jobs=N`` renders byte-identical figures to ``jobs=1``.
+    """
+
+    key: str
+    name: str
+    ops: List[MatrixOp]
+    cells: List[CellResult]
+    tests_run: int
+    #: Wall-clock seconds spent fingerprinting this workload.
+    wall_s: float
+    #: Aggregate raw-device traffic over all of the workload's runs.
+    io: DiskStats
+
+
 class Fingerprinter:
     """Runs the full fault matrix for one file system."""
 
@@ -70,15 +102,24 @@ class Fingerprinter:
         workloads: Optional[Sequence[Workload]] = None,
         corruption_mode: CorruptionMode = CorruptionMode.NOISE,
         progress: Optional[Callable[[str], None]] = None,
+        jobs: int = 1,
     ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.adapter = adapter
         if workloads is None:
             workloads = [w for w in WORKLOADS if w.key in adapter.workload_keys]
         self.workloads = list(workloads)
         self.corruption_mode = corruption_mode
         self.progress = progress or (lambda msg: None)
+        self.jobs = jobs
         self.tests_run = 0
         self.cells: List[CellResult] = []
+        #: Per-workload wall-clock seconds (key -> seconds) and raw
+        #: device traffic, populated by run() for the timing layer.
+        self.workload_wall: Dict[str, float] = {}
+        self.workload_io: Dict[str, DiskStats] = {}
+        self._io_acc: Optional[DiskStats] = None
 
     # -- public entry point --------------------------------------------------
 
@@ -88,37 +129,79 @@ class Fingerprinter:
             block_types=list(self.adapter.figure_block_types),
             workloads=[w.name for w in self.workloads],
         )
-        for workload in self.workloads:
-            self.progress(f"{self.adapter.name}: workload {workload.key} ({workload.name})")
-            snapshot, oracle = self._golden(workload)
-            baseline = self._observe(workload, snapshot, oracle, fault=None)
-            read_types = self._accessed_types(baseline, "read")
-            write_types = self._accessed_types(baseline, "write")
-            applicability = {
-                "read-failure": read_types,
-                "write-failure": write_types,
-                "corruption": read_types,
-            }
-            for fault_class in FAULT_CLASSES:
-                for btype in self.adapter.figure_block_types:
-                    if btype not in applicability[fault_class]:
-                        matrix.mark_not_applicable(fault_class, btype, workload.name)
-                        continue
-                    fault = self._build_fault(fault_class, btype)
-                    obs = self._observe(workload, snapshot, oracle, fault)
-                    self.tests_run += 1
-                    fired = obs.fault_fired > 0
-                    self.cells.append(
-                        CellResult(workload.name, btype, fault_class, fired)
-                    )
-                    if not fired:
-                        matrix.mark_not_applicable(fault_class, btype, workload.name)
-                        continue
-                    observation = infer_policy(
-                        baseline, obs, fault, self.adapter.redundancy_types
-                    )
-                    matrix.put(fault_class, btype, workload.name, observation)
+        if self.jobs > 1 and len(self.workloads) > 1:
+            from repro.fingerprint.parallel import run_parallel
+
+            outcomes = run_parallel(self)
+        else:
+            outcomes = []
+            for workload in self.workloads:
+                self.progress(
+                    f"{self.adapter.name}: workload {workload.key} ({workload.name})"
+                )
+                outcomes.append(self._run_workload(workload))
+        for outcome in outcomes:
+            self._merge(matrix, outcome)
         return matrix
+
+    # -- one workload (the unit of parallelism) ---------------------------------
+
+    def _run_workload(self, workload: Workload) -> WorkloadOutcome:
+        """Fingerprint every (fault class × block type) cell of one
+        workload.  Pure with respect to the matrix: results come back as
+        an ordered op list so serial and parallel runs merge identically."""
+        started = time.perf_counter()
+        self._io_acc = DiskStats()
+        ops: List[MatrixOp] = []
+        cells: List[CellResult] = []
+        tests_run = 0
+        snapshot, oracle = self._golden(workload)
+        baseline = self._observe(workload, snapshot, oracle, fault=None)
+        read_types = self._accessed_types(baseline, "read")
+        write_types = self._accessed_types(baseline, "write")
+        applicability = {
+            "read-failure": read_types,
+            "write-failure": write_types,
+            "corruption": read_types,
+        }
+        for fault_class in FAULT_CLASSES:
+            for btype in self.adapter.figure_block_types:
+                if btype not in applicability[fault_class]:
+                    ops.append(("na", fault_class, btype, None))
+                    continue
+                fault = self._build_fault(fault_class, btype)
+                obs = self._observe(workload, snapshot, oracle, fault)
+                tests_run += 1
+                fired = obs.fault_fired > 0
+                cells.append(CellResult(workload.name, btype, fault_class, fired))
+                if not fired:
+                    ops.append(("na", fault_class, btype, None))
+                    continue
+                observation = infer_policy(
+                    baseline, obs, fault, self.adapter.redundancy_types
+                )
+                ops.append(("put", fault_class, btype, observation))
+        io, self._io_acc = self._io_acc, None
+        return WorkloadOutcome(
+            key=workload.key,
+            name=workload.name,
+            ops=ops,
+            cells=cells,
+            tests_run=tests_run,
+            wall_s=time.perf_counter() - started,
+            io=io,
+        )
+
+    def _merge(self, matrix: PolicyMatrix, outcome: WorkloadOutcome) -> None:
+        for kind, fault_class, btype, observation in outcome.ops:
+            if kind == "na":
+                matrix.mark_not_applicable(fault_class, btype, outcome.name)
+            else:
+                matrix.put(fault_class, btype, outcome.name, observation)
+        self.cells.extend(outcome.cells)
+        self.tests_run += outcome.tests_run
+        self.workload_wall[outcome.key] = outcome.wall_s
+        self.workload_io[outcome.key] = outcome.io
 
     # -- image preparation ------------------------------------------------------
 
@@ -198,6 +281,15 @@ class Fingerprinter:
         if fault is not None:
             fired = fault._fired
             fault_block = fault._locked_block if fault.block is None else fault.block
+
+        if self._io_acc is not None:
+            acc, s = self._io_acc, disk.stats
+            acc.reads += s.reads
+            acc.writes += s.writes
+            acc.bytes_read += s.bytes_read
+            acc.bytes_written += s.bytes_written
+            acc.seeks += s.seeks
+            acc.busy_time_s += s.busy_time_s
 
         return RunObservation(
             results=recorder.results,

@@ -1,0 +1,87 @@
+"""Process-pool fan-out for the fingerprinting harness.
+
+The fault matrix is embarrassingly parallel at workload granularity:
+each workload owns its golden image, baseline, and every (fault class ×
+block type) cell derived from them, with no shared state between
+workloads.  A pool worker therefore rebuilds the adapter from the
+registry recipe (:attr:`FSAdapter.registry_key` — the adapter's
+closures are not picklable), fingerprints one workload end to end, and
+ships the resulting :class:`~repro.fingerprint.harness.WorkloadOutcome`
+back.  The parent merges outcomes in submission (= workload) order, so
+``jobs=N`` output is byte-identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.disk.faults import CorruptionMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fingerprint.harness import Fingerprinter, WorkloadOutcome
+
+
+def _worker(
+    registry_key: str,
+    registry_kwargs: Dict[str, Any],
+    workload_key: str,
+    corruption_mode: CorruptionMode,
+) -> "WorkloadOutcome":
+    """Pool entry point: rebuild the adapter by name, run one workload."""
+    from repro.fingerprint.adapters import ADAPTERS
+    from repro.fingerprint.harness import Fingerprinter
+    from repro.fingerprint.workloads import WORKLOAD_BY_KEY
+
+    adapter = ADAPTERS[registry_key](**registry_kwargs)
+    workload = WORKLOAD_BY_KEY[workload_key]
+    fp = Fingerprinter(adapter, workloads=[workload], corruption_mode=corruption_mode)
+    return fp._run_workload(workload)
+
+
+def check_parallelizable(fp: "Fingerprinter") -> None:
+    """Raise with an actionable message when this run cannot fan out."""
+    from repro.fingerprint.adapters import ADAPTERS
+    from repro.fingerprint.workloads import WORKLOAD_BY_KEY
+
+    if fp.adapter.registry_key is None or fp.adapter.registry_key not in ADAPTERS:
+        raise ValueError(
+            f"adapter {fp.adapter.name!r} has no registry recipe; parallel "
+            "workers rebuild adapters via ADAPTERS[registry_key](**kwargs) — "
+            "register the adapter or run with jobs=1"
+        )
+    for workload in fp.workloads:
+        if WORKLOAD_BY_KEY.get(workload.key) is not workload:
+            raise ValueError(
+                f"workload {workload.key!r} is not the registered Table-3 "
+                "workload; custom workloads require jobs=1"
+            )
+
+
+def run_parallel(fp: "Fingerprinter") -> List["WorkloadOutcome"]:
+    """Fan the fingerprinter's workloads out across a process pool.
+
+    Returns outcomes in workload order regardless of completion order;
+    the caller's merge is therefore deterministic.
+    """
+    check_parallelizable(fp)
+    max_workers = min(fp.jobs, len(fp.workloads))
+    outcomes: List["WorkloadOutcome"] = []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(
+                _worker,
+                fp.adapter.registry_key,
+                fp.adapter.registry_kwargs,
+                workload.key,
+                fp.corruption_mode,
+            )
+            for workload in fp.workloads
+        ]
+        for workload, future in zip(fp.workloads, futures):
+            outcomes.append(future.result())
+            fp.progress(
+                f"{fp.adapter.name}: workload {workload.key} ({workload.name}) "
+                f"[{outcomes[-1].wall_s:.2f}s]"
+            )
+    return outcomes

@@ -1,0 +1,110 @@
+"""The benchmark timing layer: record building, merge-on-write JSON,
+and path resolution."""
+
+import json
+
+import pytest
+
+from repro.bench.timing import (
+    SCHEMA,
+    bench_json_path,
+    fingerprint_record,
+    record_entry,
+    table6_record,
+    timed,
+)
+from repro.fingerprint import Fingerprinter, WORKLOAD_BY_KEY
+from repro.fingerprint.adapters import make_ext3_adapter
+
+
+class TestTimed:
+    def test_returns_value_and_duration(self):
+        value, wall = timed(lambda: 42)
+        assert value == 42
+        assert wall >= 0.0
+
+
+class TestBenchJsonPath:
+    def test_env_override(self, tmp_path, monkeypatch):
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(target))
+        assert bench_json_path() == target
+
+    def test_default_is_root_file(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JSON", raising=False)
+        assert bench_json_path(tmp_path) == tmp_path / "BENCH_fingerprint.json"
+
+
+class TestRecordEntry:
+    def test_creates_and_merges(self, tmp_path):
+        path = tmp_path / "BENCH_fingerprint.json"
+        record_entry("first", {"wall_s": 1.0}, path=path)
+        record_entry("second", {"wall_s": 2.0}, path=path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA
+        assert set(data["entries"]) == {"first", "second"}
+        assert "generated_at" in data
+
+    def test_rerun_updates_in_place(self, tmp_path):
+        path = tmp_path / "BENCH_fingerprint.json"
+        record_entry("run", {"wall_s": 1.0}, path=path)
+        record_entry("run", {"wall_s": 0.5}, path=path)
+        data = json.loads(path.read_text())
+        assert data["entries"]["run"]["wall_s"] == 0.5
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_fingerprint.json"
+        path.write_text("{not json")
+        record_entry("run", {"wall_s": 1.0}, path=path)
+        data = json.loads(path.read_text())
+        assert data["entries"] == {"run": {"wall_s": 1.0}}
+
+
+class TestFingerprintRecord:
+    @pytest.fixture(scope="class")
+    def run(self):
+        fp = Fingerprinter(make_ext3_adapter(),
+                           workloads=[WORKLOAD_BY_KEY["a"], WORKLOAD_BY_KEY["b"]])
+        matrix, wall_s = timed(fp.run)
+        return fp, matrix, wall_s
+
+    def test_record_shape(self, run):
+        fp, matrix, wall_s = run
+        record = fingerprint_record(fp, matrix, wall_s)
+        assert record["jobs"] == 1
+        assert record["tests_run"] == fp.tests_run
+        assert record["total_cells"] == len(fp.cells)
+        assert record["applicable_cells"] == len(matrix.cells)
+        assert set(record["workloads"]) == {"a", "b"}
+        for entry in record["workloads"].values():
+            assert entry["wall_s"] > 0
+            assert entry["reads"] > 0
+            assert entry["busy_time_s"] > 0
+
+    def test_record_is_json_serializable(self, run, tmp_path):
+        fp, matrix, wall_s = run
+        path = record_entry("fingerprint_ext3",
+                            fingerprint_record(fp, matrix, wall_s),
+                            path=tmp_path / "BENCH_fingerprint.json")
+        data = json.loads(path.read_text())
+        assert data["entries"]["fingerprint_ext3"]["total_cells"] > 0
+
+
+class TestTable6Record:
+    def test_record_shape(self):
+        class FakeRow:
+            label = "Baseline"
+            seconds = 1.25
+            reads = 10
+            writes = 5
+
+        class FakeRun:
+            results = {"Web": [FakeRow()]}
+
+            def normalized(self, bench):
+                return [1.0]
+
+        record = table6_record(FakeRun(), 3.0)
+        assert record["wall_s"] == 3.0
+        assert record["benches"]["Web"]["variants"][0]["label"] == "Baseline"
+        assert record["benches"]["Web"]["normalized"] == [1.0]

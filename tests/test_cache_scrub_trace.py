@@ -58,6 +58,45 @@ class TestBlockCache:
         injector.clear_faults()
         assert cache.read_block(4) == b"\x44" * 512  # old contents, not stale new
 
+    def test_write_error_never_leaves_failed_block_cached(self):
+        """The write-through invariant claimed in write_block: a device
+        WriteError propagates before the cache is touched, so the failed
+        payload is never insertable as a hit."""
+        disk = make_disk(16, 512)
+        injector = FaultInjector(disk)
+        cache = BlockCache(injector, 8)
+        injector.arm(Fault(op=FaultOp.WRITE, kind=FaultKind.FAIL, block=7))
+        with pytest.raises(WriteError):
+            cache.write_block(7, b"\x77" * 512)
+        assert 7 not in cache._lru
+        injector.clear_faults()
+        # Device truth (never written), not the failed payload.
+        assert cache.read_block(7) == b"\x00" * 512
+
+    def test_hit_rate_and_reset_stats(self):
+        disk = make_disk(16, 512)
+        cache = BlockCache(disk, 8)
+        assert cache.hit_rate() == 0.0  # idle: no division by zero
+        cache.read_block(1)  # miss
+        cache.read_block(1)  # hit
+        cache.read_block(1)  # hit
+        cache.read_block(2)  # miss
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert cache.hit_rate() == pytest.approx(0.5)
+        cache.reset_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.hit_rate() == 0.0
+        reads = disk.stats.reads
+        cache.read_block(1)  # resetting counters must not drop cached data
+        assert disk.stats.reads == reads
+
+    def test_stats_passthrough_reaches_raw_disk(self):
+        disk = make_disk(16, 512)
+        cache = BlockCache(FaultInjector(disk), 8)
+        cache.read_block(0)
+        assert cache.stats is disk.stats
+        assert cache.stats.reads == 1
+
     def test_invalidate(self):
         disk = make_disk(16, 512)
         cache = BlockCache(disk, 8)

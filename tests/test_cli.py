@@ -1,8 +1,18 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def bench_json(tmp_path, monkeypatch):
+    """Redirect the CLI's timing records away from the repo root."""
+    target = tmp_path / "BENCH_fingerprint.json"
+    monkeypatch.setenv("REPRO_BENCH_JSON", str(target))
+    return target
 
 
 class TestCLI:
@@ -20,6 +30,28 @@ class TestCLI:
         assert main(["fingerprint", "ext3", "--workloads", "g"]) == 0
         out = capsys.readouterr().out
         assert "Detection" in out and "fault-injection tests" in out
+
+    def test_fingerprint_writes_bench_json(self, capsys, bench_json):
+        assert main(["fingerprint", "ext3", "--workloads", "ab"]) == 0
+        assert "timing written to" in capsys.readouterr().out
+        data = json.loads(bench_json.read_text())
+        entry = data["entries"]["fingerprint_ext3"]
+        assert entry["jobs"] == 1 and entry["total_cells"] > 0
+        assert set(entry["workloads"]) == {"a", "b"}
+
+    def test_fingerprint_parallel_jobs(self, capsys, bench_json):
+        assert main(["fingerprint", "ext3", "--workloads", "ab",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-injection tests" in out
+        data = json.loads(bench_json.read_text())
+        assert data["entries"]["fingerprint_ext3"]["jobs"] == 2
+
+    def test_fingerprint_no_bench_json(self, capsys, bench_json):
+        assert main(["fingerprint", "ext3", "--workloads", "g",
+                     "--no-bench-json"]) == 0
+        assert "timing written" not in capsys.readouterr().out
+        assert not bench_json.exists()
 
     def test_fingerprint_unknown_fs(self, capsys):
         assert main(["fingerprint", "fat32"]) == 2

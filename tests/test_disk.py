@@ -123,6 +123,61 @@ class TestSnapshotRestore:
         with pytest.raises(ValueError):
             disk.restore([None] * 4)
 
+    def test_cow_roundtrip_is_bit_identical(self):
+        """snapshot -> mutate -> restore round-trips every block exactly,
+        and the golden image itself is never modified (restore aliases
+        it; writes privatize into the delta)."""
+        disk = make_disk(8, 512)
+        disk.write_block(1, b"\x01" * 512)
+        disk.write_block(6, b"\x06" * 512)
+        snap = disk.snapshot()
+        golden = list(snap)  # independent record of the snapshot contents
+        disk.restore(snap)
+        disk.write_block(1, b"\xee" * 512)
+        disk.write_block(3, b"\x33" * 512)
+        disk.poke(6, b"\x99" * 512)
+        assert snap == golden, "mutating a restored disk altered its snapshot"
+        disk.restore(snap)
+        for block in range(8):
+            expected = golden[block] if golden[block] is not None else b"\x00" * 512
+            assert disk.peek(block) == expected, f"block {block} differs"
+        assert snap == golden
+
+    def test_cow_restore_resets_head_clock_stats_identically(self):
+        """restore()-via-aliasing must reset the timing state exactly as
+        a fresh device: same head position, zero clock, zero stats."""
+        disk = make_disk(1024, 512)
+        disk.write_block(900, b"\x0a" * 512)  # drag the head far out
+        snap = disk.snapshot()
+        disk.read_block(500)
+        disk.restore(snap)
+        assert disk._head == 0
+        assert disk.clock == 0.0
+        assert disk.stats.reads == 0 and disk.stats.writes == 0
+        assert disk.stats.seeks == 0 and disk.stats.busy_time_s == 0.0
+        assert not disk.failed
+        # Behavioral check: the restored disk charges the same time for
+        # the same access pattern as a brand-new device.
+        fresh = make_disk(1024, 512)
+        for block in (700, 3, 350):
+            disk.read_block(block)
+            fresh.read_block(block)
+        assert disk.clock == pytest.approx(fresh.clock)
+
+    def test_many_restores_from_one_snapshot(self):
+        """The harness pattern: one golden image restored per cell."""
+        disk = make_disk(8, 512)
+        disk.write_block(2, b"\xaa" * 512)
+        snap = disk.snapshot()
+        for fill in (b"\x10", b"\x20", b"\x30"):
+            disk.restore(snap)
+            disk.write_block(2, fill * 512)
+            disk.write_block(5, fill * 512)
+            assert disk.read_block(2) == fill * 512
+        disk.restore(snap)
+        assert disk.read_block(2) == b"\xaa" * 512
+        assert disk.read_block(5) == b"\x00" * 512
+
 
 class TestPeekPoke:
     def test_peek_costs_no_time(self):
