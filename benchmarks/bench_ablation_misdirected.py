@@ -17,7 +17,7 @@ replica.
 from conftest import run_once, save_result
 
 from repro.common.errors import FSError, KernelPanic
-from repro.disk import CorruptionMode, Fault, FaultInjector, FaultKind, FaultOp, make_disk
+from repro.disk import CorruptionMode, DeviceStack, Fault, FaultKind, FaultOp, make_disk
 from repro.fs.ext3 import Ext3, Ext3Config, mkfs_ext3
 from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
 from repro.fs.jfs import JFS, JFSConfig, mkfs_jfs
@@ -79,11 +79,11 @@ def build(kind):
     for i in range(30):
         fs.write_file(f"/d/file{i:02d}", f"contents of file {i}".encode() * 8)
     fs.unmount()
-    injector = FaultInjector(disk)
-    fs = cls(injector)
+    stack = DeviceStack(disk, inject=True)
+    fs = cls(stack)
     fs.mount()
-    injector.set_type_oracle(fs.block_type)
-    return disk, injector, fs
+    stack.injector.set_type_oracle(fs.block_type)
+    return disk, stack.injector, fs
 
 
 META_TYPE = {"ext3": "inode", "reiserfs": "stat item", "jfs": "inode",

@@ -11,7 +11,7 @@ import pytest
 from conftest import run_once, save_result
 
 from repro.common.errors import FSError
-from repro.disk import Fault, FaultInjector, FaultKind, FaultOp, make_disk
+from repro.disk import DeviceStack, Fault, FaultKind, FaultOp, make_disk
 from repro.fs.ext3 import Ext3Config
 from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
 from repro.fs.jfs import JFS, JFSConfig, mkfs_jfs
@@ -23,12 +23,12 @@ JFS_CFG = JFSConfig()
 
 def jfs_mount_survives(scratch_len: int) -> bool:
     """Scratch starting at the primary superblock; does the mount live?"""
-    disk = make_disk(JFS_CFG.total_blocks, JFS_CFG.block_size)
-    mkfs_jfs(disk, JFS_CFG)
-    injector = FaultInjector(disk)
+    stack = DeviceStack.build(JFS_CFG.total_blocks, JFS_CFG.block_size, inject=True)
+    mkfs_jfs(stack.disk, JFS_CFG)
+    injector = stack.injector
     injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=0,
                        locality_run=scratch_len - 1))
-    fs = JFS(injector)
+    fs = JFS(stack)
     try:
         fs.mount()
         return True
@@ -45,10 +45,10 @@ def ixt3_read_survives(scratch_len: int) -> bool:
     fs.write_file("/victim", b"important")
     fs.unmount()
     inode_block = IXT3_CFG.inode_table_start(0)
-    injector = FaultInjector(disk)
-    injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=inode_block,
-                       locality_run=scratch_len - 1))
-    fs2 = Ixt3(injector)
+    stack = DeviceStack(disk, inject=True)
+    stack.injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL, block=inode_block,
+                             locality_run=scratch_len - 1))
+    fs2 = Ixt3(stack)
     fs2.mount()
     try:
         return fs2.stat("/victim").size == 9

@@ -10,7 +10,7 @@ single glitch, NTFS (seven attempts) rides out long outages.
 from conftest import run_once, save_result
 
 from repro.common.errors import FSError, KernelPanic
-from repro.disk import Fault, FaultInjector, FaultKind, FaultOp, Persistence, make_disk
+from repro.disk import DeviceStack, Fault, FaultKind, FaultOp, Persistence, make_disk
 from repro.fs.ext3 import Ext3, Ext3Config, mkfs_ext3
 from repro.fs.jfs import JFS, JFSConfig, mkfs_jfs
 from repro.fs.ntfs import NTFS, NTFSConfig, mkfs_ntfs
@@ -32,8 +32,9 @@ def survives(name: str, transient_len: int) -> bool:
     fs.mount()
     fs.write_file("/f", b"contents here! " * 200)
     fs.unmount()
-    injector = FaultInjector(disk)
-    fs2 = fs_cls(injector)
+    stack = DeviceStack(disk, inject=True)
+    injector = stack.injector
+    fs2 = fs_cls(stack)
     fs2.mount()
     injector.set_type_oracle(fs2.block_type)
     injector.arm(Fault(op=FaultOp.READ, kind=FaultKind.FAIL,

@@ -9,7 +9,7 @@ replicas available as a repair source, fixes them on the spot.
 from conftest import run_once, save_result
 
 from repro.common.errors import ReadError
-from repro.disk import Fault, FaultInjector, FaultKind, FaultOp, Scrubber, make_disk
+from repro.disk import DeviceStack, Fault, FaultKind, FaultOp, Scrubber, make_disk
 from repro.fs.ext3 import Ext3Config
 from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
 
@@ -32,8 +32,9 @@ def build_volume():
 def test_ablation_scrub(benchmark):
     def run():
         disk = build_volume()
-        injector = FaultInjector(disk)
-        fs = Ixt3(injector)
+        stack = DeviceStack(disk, inject=True)
+        injector = stack.injector
+        fs = Ixt3(stack)
         fs.mount()
         injector.set_type_oracle(fs.block_type)
 

@@ -11,8 +11,8 @@ from conftest import run_once, save_result
 
 from repro.bench.harness import BENCH_BASE_CONFIG, CACHE_BLOCKS, features_mask
 from repro.bench.workloads import BENCHMARKS, BenchScale
-from repro.disk.cache import BlockCache
 from repro.disk.disk import SimulatedDisk
+from repro.disk.stack import DeviceStack
 from repro.disk.geometry import DiskGeometry
 from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
 
@@ -21,12 +21,15 @@ RPMS = {"15k rpm": 4.0e-3, "7200 rpm": 8.33e-3, "5400 rpm": 11.1e-3}
 
 def run_tpcb(rotation_s: float, tc: bool) -> float:
     cfg = ixt3_config(BENCH_BASE_CONFIG, dynamic_replica_slots=512)
-    disk = SimulatedDisk(DiskGeometry(
-        num_blocks=cfg.total_blocks, block_size=cfg.block_size,
-        rotation_s=rotation_s))
+    stack = DeviceStack(
+        SimulatedDisk(DiskGeometry(
+            num_blocks=cfg.total_blocks, block_size=cfg.block_size,
+            rotation_s=rotation_s)),
+        cache_blocks=CACHE_BLOCKS)
+    disk = stack.disk
     mkfs_ixt3(disk, BENCH_BASE_CONFIG,
               features=features_mask(("Tc",) if tc else ()), config=cfg)
-    fs = Ixt3(BlockCache(disk, CACHE_BLOCKS), sync_mode=False, commit_every=256)
+    fs = Ixt3(stack, sync_mode=False, commit_every=256)
     fs.mount()
     t0 = disk.clock
     BENCHMARKS["TPCB"]["run"](fs, BenchScale(tpcb_txns=120))

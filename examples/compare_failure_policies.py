@@ -12,7 +12,7 @@ Run:  python examples/compare_failure_policies.py
 from repro.common.errors import FSError, KernelPanic
 from repro.disk import (
     Fault,
-    FaultInjector,
+    DeviceStack,
     FaultKind,
     FaultOp,
     Persistence,
@@ -44,11 +44,11 @@ def fresh(name):
     fs.mount()
     fs.write_file("/file", b"the file contents " * 100)
     fs.unmount()
-    injector = FaultInjector(disk)
-    fs = fs_cls(injector)
+    stack = DeviceStack(disk, inject=True)
+    fs = fs_cls(stack)
     fs.mount()
-    injector.set_type_oracle(fs.block_type)
-    return injector, fs, types
+    stack.injector.set_type_oracle(fs.block_type)
+    return stack.injector, fs, types
 
 
 def outcome(action):

@@ -17,7 +17,7 @@ from repro.common.errors import FSError
 from repro.disk import (
     CorruptionMode,
     Fault,
-    FaultInjector,
+    DeviceStack,
     FaultKind,
     FaultOp,
     make_disk,
@@ -37,8 +37,9 @@ def main() -> None:
     disk = make_disk(cfg.total_blocks, cfg.block_size)
     mkfs_ixt3(disk, base, config=cfg)
 
-    injector = FaultInjector(disk)
-    fs = Ixt3(injector)
+    stack = DeviceStack(disk, inject=True)
+    injector = stack.injector
+    fs = Ixt3(stack)
     fs.mount()
     injector.set_type_oracle(fs.block_type)
     fs.mkdir("/spool")

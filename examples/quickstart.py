@@ -6,7 +6,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.common.errors import FSError
-from repro.disk import FaultInjector, corruption, make_disk, read_failure
+from repro.disk import DeviceStack, corruption, make_disk, read_failure
 from repro.fs.ext3 import Ext3, Ext3Config, mkfs_ext3
 from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
 
@@ -31,8 +31,9 @@ def demo_ext3():
 
     # Remount behind a fault injector and fail the next inode read —
     # a latent sector error under the inode table.
-    injector = FaultInjector(disk)
-    fs = Ext3(injector)
+    stack = DeviceStack(disk, inject=True)  # disk -> injector, one event stream
+    injector = stack.injector
+    fs = Ext3(stack)
     fs.mount()
     injector.set_type_oracle(fs.block_type)  # type-aware injection
     injector.arm(read_failure("inode"))
@@ -62,8 +63,9 @@ def demo_ixt3():
     populate(fs)
     fs.unmount()
 
-    injector = FaultInjector(disk)
-    fs = Ixt3(injector)
+    stack = DeviceStack(disk, inject=True)
+    injector = stack.injector
+    fs = Ixt3(stack)
     fs.mount()
     injector.set_type_oracle(fs.block_type)
 

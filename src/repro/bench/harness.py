@@ -7,8 +7,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.disk.cache import BlockCache
-from repro.disk.disk import make_disk
+from repro.disk.stack import DeviceStack
 from repro.fs.ext3 import Ext3Config
 from repro.fs.ext3.structures import (
     FEAT_DATA_CSUM,
@@ -104,10 +103,13 @@ def run_variant(
     scale = scale or BenchScale()
     base = base_config or BENCH_BASE_CONFIG
     cfg = ixt3_config(base, dynamic_replica_slots=512)
-    disk = make_disk(cfg.total_blocks, cfg.block_size)
+    stack = DeviceStack.build(cfg.total_blocks, cfg.block_size,
+                              cache_blocks=CACHE_BLOCKS)
+    disk, cache = stack.disk, stack.cache
+    # mkfs writes go straight to the medium so the mount starts with the
+    # same cold cache the hand-wired stack had.
     mkfs_ixt3(disk, base, features=features_mask(features), config=cfg)
-    cache = BlockCache(disk, CACHE_BLOCKS)
-    fs = Ixt3(cache, sync_mode=False, commit_every=256)
+    fs = Ixt3(stack, sync_mode=False, commit_every=256)
     fs.mount()
     spec = BENCHMARKS[bench]
     if spec["setup"] is not None:

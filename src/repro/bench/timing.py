@@ -22,7 +22,9 @@ Schema (``repro-bench-timing/1``)::
           "workloads": {           # per-workload breakdown
             "a": {"wall_s": 0.61, "reads": 1200, "writes": 340,
                   "bytes_read": 1228800, "bytes_written": 348160,
-                  "seeks": 95, "busy_time_s": 0.8}
+                  "seeks": 95, "busy_time_s": 0.8,
+                  "events": 5000,  # typed storage events observed
+                  "event_digest": "sha256-hex"}  # determinism witness
           }
         },
         ...                        # non-fingerprint entries carry their
@@ -80,6 +82,10 @@ def fingerprint_record(fp, matrix, wall_s: float) -> Dict[str, Any]:
                 seeks=io.seeks,
                 busy_time_s=round(io.busy_time_s, 6),
             )
+        if key in getattr(fp, "workload_events", {}):
+            entry["events"] = fp.workload_events[key]
+        if getattr(fp, "workload_digest", {}).get(key):
+            entry["event_digest"] = fp.workload_digest[key]
         workloads[key] = entry
     return {
         "wall_s": round(wall_s, 6),

@@ -107,12 +107,12 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck_demo(args: argparse.Namespace) -> int:
-    from repro.disk import make_disk
+    from repro.disk import DeviceStack
     from repro.fs.ext3 import Ext3, Ext3Config, fsck_ext3, mkfs_ext3
     from repro.fs.ext3.structures import inode_slot, patch_inode_block
 
     cfg = Ext3Config()
-    disk = make_disk(cfg.total_blocks, cfg.block_size)
+    disk = DeviceStack.build(cfg.total_blocks, cfg.block_size)
     mkfs_ext3(disk, cfg)
     fs = Ext3(disk)
     fs.mount()

@@ -1,24 +1,34 @@
-"""The system log.
+"""The system log — a rendering view over the typed event stream.
 
 The fingerprinting methodology (§4.3) compares *observable outputs*:
 API error codes, the contents of the system log, and low-level I/O
-traces.  Every simulated file system writes its kernel messages here so
-the harness can diff faulty against fault-free runs.
+traces.  Every simulated file system writes its kernel messages here;
+since the typed-event refactor each message is actually a
+:class:`~repro.obs.events.LogEvent` (or one of its detection /
+recovery / policy-action subclasses) appended to a shared
+:class:`~repro.obs.events.EventLog`, and ``SysLog`` merely *renders*
+that stream as the familiar log lines.  String-based consumers keep
+working; structured consumers (policy inference, the determinism
+digests) read the events directly.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.obs.events import (
+    DetectionEvent,
+    EventLog,
+    JournalCommitEvent,
+    LogEvent,
+    PolicyActionEvent,
+    RecoveryEvent,
+    Severity,
+    classify_log,
+)
 
-class Severity(enum.IntEnum):
-    DEBUG = 0
-    INFO = 1
-    WARNING = 2
-    ERROR = 3
-    CRITICAL = 4
+__all__ = ["LogRecord", "Severity", "SysLog"]
 
 
 @dataclass(frozen=True)
@@ -37,11 +47,24 @@ class LogRecord:
     block: Optional[int] = None
 
 
-@dataclass
 class SysLog:
-    """An append-only kernel message buffer."""
+    """An append-only kernel message buffer, backed by an event log.
 
-    records: List[LogRecord] = field(default_factory=list)
+    Pass ``events`` to join an existing stream (a mounted file system
+    joins its device stack's log, so injector I/O events and FS policy
+    events interleave in true order); omit it for a standalone log.
+    """
+
+    def __init__(self, events: Optional[EventLog] = None):
+        self.events_log = events if events is not None else EventLog()
+
+    @property
+    def records(self) -> List[LogRecord]:
+        """The stream's log-renderable events, as classic log records."""
+        return [
+            LogRecord(e.severity, e.source, e.tag, e.message, e.block)
+            for e in self.events_log.log_events()
+        ]
 
     def log(
         self,
@@ -51,7 +74,7 @@ class SysLog:
         message: str,
         block: Optional[int] = None,
     ) -> None:
-        self.records.append(LogRecord(severity, source, event, message, block))
+        self.events_log.emit(classify_log(severity, source, event, message, block))
 
     # Convenience wrappers -------------------------------------------------
 
@@ -67,22 +90,73 @@ class SysLog:
     def critical(self, source: str, event: str, message: str, block: Optional[int] = None) -> None:
         self.log(Severity.CRITICAL, source, event, message, block)
 
+    # Typed emitters (used by FS policy code paths) -------------------------
+
+    def detection(
+        self,
+        source: str,
+        event: str,
+        message: str,
+        *,
+        mechanism: str,
+        severity: Severity = Severity.ERROR,
+        block: Optional[int] = None,
+    ) -> None:
+        """The FS detected a failure via *mechanism* (error-code /
+        sanity / redundancy)."""
+        self.events_log.emit(
+            DetectionEvent(severity, source, event, message, block, mechanism=mechanism)
+        )
+
+    def recovery(
+        self,
+        source: str,
+        event: str,
+        message: str,
+        *,
+        mechanism: str,
+        severity: Severity = Severity.INFO,
+        block: Optional[int] = None,
+    ) -> None:
+        """The FS attempted recovery via *mechanism* (retry /
+        redundancy / remap / journal-replay)."""
+        self.events_log.emit(
+            RecoveryEvent(severity, source, event, message, block, mechanism=mechanism)
+        )
+
+    def action(
+        self,
+        source: str,
+        event: str,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+        block: Optional[int] = None,
+    ) -> None:
+        """The FS took a failure-policy action (remount-ro, panic, …)."""
+        self.events_log.emit(PolicyActionEvent(severity, source, event, message, block))
+
+    def journal_commit(self, source: str, ops: int = 0) -> None:
+        """Record a commit barrier (not rendered as a log line)."""
+        self.events_log.emit(JournalCommitEvent(source, ops))
+
     # Queries ----------------------------------------------------------------
 
     def events(self) -> List[str]:
-        return [r.event for r in self.records]
+        return [e.tag for e in self.events_log.log_events()]
 
     def has_event(self, event: str) -> bool:
-        return any(r.event == event for r in self.records)
+        return any(e.tag == event for e in self.events_log.log_events())
 
     def find(self, event: str) -> Iterator[LogRecord]:
         return (r for r in self.records if r.event == event)
 
     def clear(self) -> None:
-        self.records.clear()
+        """Drop the log-renderable events (other layers' events stay)."""
+        self.events_log.remove_where(lambda e: isinstance(e, LogEvent))
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.events_log.log_events())
 
     def render(self) -> str:
         lines = []

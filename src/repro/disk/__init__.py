@@ -15,12 +15,14 @@ from repro.disk.faults import (
 from repro.disk.geometry import DiskGeometry
 from repro.disk.injector import FaultInjector
 from repro.disk.scrub import ScrubReport, Scrubber
+from repro.disk.stack import DeviceStack
 from repro.disk.trace import IOTrace, TraceEntry
 
 __all__ = [
     "BlockCache",
     "BlockDevice",
     "CorruptionMode",
+    "DeviceStack",
     "DiskGeometry",
     "DiskStats",
     "Fault",

@@ -56,6 +56,22 @@ class BlockCache:
     def invalidate_all(self) -> None:
         self._lru.clear()
 
+    # -- uniform stack lifecycle --------------------------------------------
+
+    def flush(self) -> None:
+        """Write-through: nothing dirty here; propagate the barrier."""
+        self.lower.flush()
+
+    def snapshot(self):
+        return self.lower.snapshot()
+
+    def restore(self, snapshot) -> None:
+        """Rewind the device AND invalidate the LRU — a restored disk
+        must never serve pre-restore cached blocks."""
+        self.lower.restore(snapshot)
+        self.invalidate_all()
+        self.reset_stats()
+
     # -- statistics (read by the benchmark timing layer) --------------------
 
     def hit_rate(self) -> float:
@@ -82,6 +98,11 @@ class BlockCache:
         """The underlying device's :class:`DiskStats`, when it has one —
         lets the timing layer read raw traffic through the stack."""
         return getattr(self.lower, "stats", None)
+
+    @property
+    def events(self):
+        """The stack's shared typed-event stream, when one exists below."""
+        return getattr(self.lower, "events", None)
 
     def _insert(self, block: int, data: bytes) -> None:
         self._lru[block] = data

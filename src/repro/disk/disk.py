@@ -22,7 +22,12 @@ class BlockDevice(Protocol):
     """The block-device interface every layer of the stack implements.
 
     The file system only ever sees this protocol, so a raw disk, a fault
-    injector, or a cache can be stacked interchangeably.
+    injector, a cache — or a whole :class:`~repro.disk.stack.DeviceStack`
+    — can be stacked interchangeably.  Beyond the data path, every layer
+    implements the uniform lifecycle: ``flush()`` drains buffered state,
+    ``snapshot()``/``restore()`` capture and rewind contents (each layer
+    propagates downward and invalidates its own state on restore), and
+    ``stats`` exposes the raw device's cumulative accounting.
     """
 
     @property
@@ -34,6 +39,15 @@ class BlockDevice(Protocol):
     def read_block(self, block: int) -> bytes: ...
 
     def write_block(self, block: int, data: bytes) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def snapshot(self) -> List[Optional[bytes]]: ...
+
+    def restore(self, snapshot: List[Optional[bytes]]) -> None: ...
+
+    @property
+    def stats(self) -> Optional["DiskStats"]: ...
 
 
 @dataclass
@@ -79,6 +93,9 @@ class SimulatedDisk:
         self.clock = 0.0
         self.stats = DiskStats()
         self.failed = False  # whole-disk (fail-stop) failure
+        #: Shared typed-event stream, when this disk is part of a
+        #: DeviceStack (upper layers and the mounted FS adopt it).
+        self.events = None
 
     # -- BlockDevice protocol ----------------------------------------------
 
@@ -114,6 +131,10 @@ class SimulatedDisk:
         self.stats.writes += 1
         self.stats.bytes_written += self.block_size
         self._delta[block] = bytes(data)
+
+    def flush(self) -> None:
+        """Commit buffered state to the medium.  The simulated disk
+        writes through, so this is a barrier with no I/O of its own."""
 
     # -- time ---------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.common.errors import ReadError, WriteError
 from repro.disk.disk import BlockDevice
 from repro.disk.faults import Fault, FaultKind
 from repro.disk.trace import IOTrace
+from repro.obs.events import EventLog, FaultArmedEvent
 
 TypeOracle = Callable[[int], Optional[str]]
 
@@ -32,20 +33,39 @@ class FaultInjector:
     """Stackable fault-injecting block device.
 
     Also records the low-level I/O trace — the third observable of the
-    fingerprinting methodology.
+    fingerprinting methodology.  Every request becomes a typed
+    :class:`~repro.obs.events.IOEvent` in the stack's shared event log
+    (``self.events``); :attr:`trace` is the historical query view over
+    that stream.
     """
 
-    def __init__(self, lower: BlockDevice, type_oracle: Optional[TypeOracle] = None):
+    def __init__(
+        self,
+        lower: BlockDevice,
+        type_oracle: Optional[TypeOracle] = None,
+        events: Optional[EventLog] = None,
+    ):
         self.lower = lower
         self.type_oracle = type_oracle
         self.faults: List[Fault] = []
-        self.trace = IOTrace()
+        if events is None:
+            events = getattr(lower, "events", None)
+        if events is None:
+            events = EventLog()
+        self.events = events
+        self.trace = IOTrace(events)
 
     # -- configuration ------------------------------------------------------
 
     def arm(self, fault: Fault) -> Fault:
         """Arm a fault; returns it for later inspection."""
         self.faults.append(fault)
+        self.events.emit(FaultArmedEvent(
+            op=fault.op.value,
+            fault_kind=fault.kind.value,
+            block=fault.block,
+            block_type=fault.block_type,
+        ))
         return fault
 
     def disarm(self, fault: Fault) -> None:
@@ -102,6 +122,20 @@ class FaultInjector:
             return
         self.lower.write_block(block, data)
         self.trace.record("write", block, "ok", btype)
+
+    # -- uniform stack lifecycle ------------------------------------------------
+
+    def flush(self) -> None:
+        self.lower.flush()
+
+    def snapshot(self):
+        return self.lower.snapshot()
+
+    def restore(self, snapshot) -> None:
+        """Rewind the device and drop the observed I/O history.  Armed
+        faults are configuration, not device state — they stay armed."""
+        self.lower.restore(snapshot)
+        self.trace.clear()
 
     # -- passthroughs to the raw disk (when present) ---------------------------
 

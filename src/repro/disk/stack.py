@@ -1,0 +1,154 @@
+"""Declarative composition of the block-device stack.
+
+Every consumer used to hand-wire ``SimulatedDisk → FaultInjector →
+BlockCache`` (the harness, the benchmark drivers, the CLI, every
+example); :class:`DeviceStack` replaces that with one builder that
+composes the layers in canonical order, shares a single typed
+:class:`~repro.obs.events.EventLog` across them, and exposes the
+uniform ``BlockDevice`` lifecycle — ``flush()``, ``snapshot()`` /
+``restore()``, ``stats`` — propagated correctly through every layer
+(the cache invalidates its LRU on restore, the injector drops its I/O
+history, CoW snapshots alias in O(1) regardless of stacking order).
+
+A ``DeviceStack`` is itself a ``BlockDevice``: mount a file system
+directly on it and the FS joins the stack's event stream, so injected
+errors, buffer-layer retries, journal commits, and policy actions
+interleave in one ordered, replayable record.
+
+Canonical order (bottom-up)::
+
+    SimulatedDisk          the medium: CoW contents + timing model
+      └─ FaultInjector     fail-partial faults + IOEvent emission
+           └─ BlockCache   the host's write-through buffer cache
+
+Either middle layer may be omitted; ``top`` is whatever ends up
+uppermost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.disk.cache import BlockCache
+from repro.disk.disk import BlockDevice, DiskStats, SimulatedDisk, make_disk
+from repro.disk.injector import FaultInjector, TypeOracle
+from repro.obs.events import EventLog
+
+
+class DeviceStack:
+    """A composed block-device stack with one shared event stream."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        *,
+        inject: bool = False,
+        cache_blocks: Optional[int] = None,
+        type_oracle: Optional[TypeOracle] = None,
+        events: Optional[EventLog] = None,
+    ):
+        self.events = events if events is not None else EventLog()
+        self.disk = disk
+        if getattr(disk, "events", None) is None:
+            disk.events = self.events
+        top: BlockDevice = disk
+        self.injector: Optional[FaultInjector] = None
+        if inject:
+            self.injector = FaultInjector(top, type_oracle=type_oracle, events=self.events)
+            top = self.injector
+        self.cache: Optional[BlockCache] = None
+        if cache_blocks:
+            self.cache = BlockCache(top, cache_blocks)
+            top = self.cache
+        self.top: BlockDevice = top
+
+    @classmethod
+    def build(
+        cls,
+        num_blocks: int,
+        block_size: int = 4096,
+        *,
+        inject: bool = False,
+        cache_blocks: Optional[int] = None,
+        type_oracle: Optional[TypeOracle] = None,
+        events: Optional[EventLog] = None,
+        **timing,
+    ) -> "DeviceStack":
+        """Build a fresh disk and compose the requested layers over it."""
+        return cls(
+            make_disk(num_blocks, block_size, **timing),
+            inject=inject,
+            cache_blocks=cache_blocks,
+            type_oracle=type_oracle,
+            events=events,
+        )
+
+    # -- BlockDevice protocol (delegates to the top layer) -------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.top.num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self.top.block_size
+
+    def read_block(self, block: int) -> bytes:
+        return self.top.read_block(block)
+
+    def write_block(self, block: int, data: bytes) -> None:
+        self.top.write_block(block, data)
+
+    def flush(self) -> None:
+        self.top.flush()
+
+    def snapshot(self):
+        return self.top.snapshot()
+
+    def restore(self, snapshot) -> None:
+        """Rewind the whole stack: each layer restores its lower layer
+        and invalidates its own state (cache LRU, I/O history)."""
+        self.top.restore(snapshot)
+
+    @property
+    def stats(self) -> DiskStats:
+        return self.disk.stats
+
+    @property
+    def clock(self) -> float:
+        return self.disk.clock
+
+    def stall(self, seconds: float) -> None:
+        stall = getattr(self.top, "stall", None)
+        if stall is not None:
+            stall(seconds)
+
+    # -- gray-box access (the FS's _raw_disk walk stops here) ----------------
+
+    @property
+    def geometry(self):
+        return self.disk.geometry
+
+    def peek(self, block: int) -> bytes:
+        return self.disk.peek(block)
+
+    def poke(self, block: int, data: bytes) -> None:
+        self.disk.poke(block, data)
+
+    # -- introspection -------------------------------------------------------
+
+    def layers(self) -> List[BlockDevice]:
+        """The composed layers, bottom-up."""
+        out: List[BlockDevice] = [self.disk]
+        if self.injector is not None:
+            out.append(self.injector)
+        if self.cache is not None:
+            out.append(self.cache)
+        return out
+
+    def describe(self) -> str:
+        """One-line bottom-up rendering of the composition."""
+        return " -> ".join(type(layer).__name__ for layer in self.layers())
+
+    def __repr__(self) -> str:
+        return f"DeviceStack({self.describe()}, events={len(self.events)})"

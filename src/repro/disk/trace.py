@@ -1,16 +1,23 @@
-"""Low-level I/O traces.
+"""Low-level I/O traces — a view over the typed event stream.
 
-The fault-injection layer records every request that crosses it.  The
-fingerprinting harness (§4.3) uses these traces as one of its three
+The fault-injection layer records every request that crosses it as an
+:class:`~repro.obs.events.IOEvent` in the stack's shared event log; the
+fingerprinting harness (§4.3) uses the stream as one of its three
 observables — retries show up as repeated requests for the same block,
 redundancy as reads of replica or parity locations, remapping as writes
 landing at a different address than the fault-free run.
+
+``IOTrace`` keeps the historical query API (``entries``, ``reads_of``,
+``retry_count``…) as a rendering view, exactly as ``SysLog`` does for
+log events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
+
+from repro.obs.events import EventLog, IOEvent
 
 
 @dataclass(frozen=True)
@@ -29,53 +36,66 @@ class TraceEntry:
         return self.op == "write"
 
 
-@dataclass
 class IOTrace:
-    """An append-only request trace with the query helpers inference needs."""
+    """An append-only request trace with the query helpers inference
+    needs, backed by the stack's shared event log."""
 
-    entries: List[TraceEntry] = field(default_factory=list)
+    def __init__(self, events: Optional[EventLog] = None):
+        self.events_log = events if events is not None else EventLog()
+
+    @property
+    def entries(self) -> List[TraceEntry]:
+        return [
+            TraceEntry(e.op, e.block, e.outcome, e.block_type)
+            for e in self.events_log.io_events()
+        ]
 
     def record(self, op: str, block: int, outcome: str, block_type: Optional[str] = None) -> None:
-        self.entries.append(TraceEntry(op, block, outcome, block_type))
+        self.events_log.emit(IOEvent(op, block, outcome, block_type))
 
     def clear(self) -> None:
-        self.entries.clear()
+        """Drop the I/O events (other layers' events stay)."""
+        self.events_log.remove_where(lambda e: isinstance(e, IOEvent))
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self.events_log.io_events())
 
     def __iter__(self) -> Iterator[TraceEntry]:
         return iter(self.entries)
 
     # -- queries used by policy inference ---------------------------------
 
+    def _io(self) -> List[IOEvent]:
+        return self.events_log.io_events()
+
     def reads_of(self, block: int) -> int:
-        return sum(1 for e in self.entries if e.is_read() and e.block == block)
+        return sum(1 for e in self._io() if e.is_read() and e.block == block)
 
     def writes_of(self, block: int) -> int:
-        return sum(1 for e in self.entries if e.is_write() and e.block == block)
+        return sum(1 for e in self._io() if e.is_write() and e.block == block)
 
     def blocks_read(self) -> List[int]:
-        return [e.block for e in self.entries if e.is_read()]
+        return [e.block for e in self._io() if e.is_read()]
 
     def blocks_written(self) -> List[int]:
-        return [e.block for e in self.entries if e.is_write()]
+        return [e.block for e in self._io() if e.is_write()]
 
     def errors(self) -> List[TraceEntry]:
         return [e for e in self.entries if e.outcome == "error"]
 
     def retry_count(self, block: int, op: str) -> int:
         """Requests for *block* beyond the first — i.e. retries."""
-        n = sum(1 for e in self.entries if e.op == op and e.block == block)
+        n = sum(1 for e in self._io() if e.op == op and e.block == block)
         return max(0, n - 1)
 
     def render(self, limit: Optional[int] = None) -> str:
-        rows = self.entries if limit is None else self.entries[:limit]
+        entries = self.entries
+        rows = entries if limit is None else entries[:limit]
         lines = [
             f"{e.op:5} block={e.block:<8} {e.outcome:9}"
             + (f" type={e.block_type}" if e.block_type else "")
             for e in rows
         ]
-        if limit is not None and len(self.entries) > limit:
-            lines.append(f"... ({len(self.entries) - limit} more)")
+        if limit is not None and len(entries) > limit:
+            lines.append(f"... ({len(entries) - limit} more)")
         return "\n".join(lines)

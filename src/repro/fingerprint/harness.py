@@ -16,6 +16,7 @@ The result is a :class:`~repro.taxonomy.policy.PolicyMatrix` — Figure 2
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -23,9 +24,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import FSError, KernelPanic
 from repro.disk.disk import BlockDevice, DiskStats, SimulatedDisk
 from repro.disk.faults import CorruptionMode, Fault, FaultKind, FaultOp
-from repro.disk.injector import FaultInjector
+from repro.disk.stack import DeviceStack
 from repro.fingerprint.inference import RunObservation, infer_policy
 from repro.fingerprint.workloads import WORKLOADS, OpResult, Recorder, Workload
+from repro.obs.events import fold_digest
 from repro.taxonomy.policy import FAULT_CLASSES, PolicyMatrix, PolicyObservation
 from repro.vfs.api import FileSystem
 
@@ -56,6 +58,12 @@ class FSAdapter:
     #: is serial-only (``jobs=1``).
     registry_key: Optional[str] = None
     registry_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build_stack(self) -> DeviceStack:
+        """Compose the fingerprinting device stack: disk + injector,
+        deliberately cache-less so every FS request reaches the fault
+        layer and shows up in the typed event stream."""
+        return DeviceStack(self.build_device(), inject=True)
 
 
 @dataclass
@@ -91,6 +99,11 @@ class WorkloadOutcome:
     wall_s: float
     #: Aggregate raw-device traffic over all of the workload's runs.
     io: DiskStats
+    #: Typed storage events observed across all of the workload's runs,
+    #: and a sha256 over their ordered keys — the determinism witness
+    #: (``jobs=N`` must reproduce ``jobs=1`` exactly).
+    event_count: int = 0
+    event_digest: str = ""
 
 
 class Fingerprinter:
@@ -119,6 +132,9 @@ class Fingerprinter:
         #: device traffic, populated by run() for the timing layer.
         self.workload_wall: Dict[str, float] = {}
         self.workload_io: Dict[str, DiskStats] = {}
+        #: Per-workload typed-event totals and determinism digests.
+        self.workload_events: Dict[str, int] = {}
+        self.workload_digest: Dict[str, str] = {}
         self._io_acc: Optional[DiskStats] = None
 
     # -- public entry point --------------------------------------------------
@@ -155,8 +171,12 @@ class Fingerprinter:
         ops: List[MatrixOp] = []
         cells: List[CellResult] = []
         tests_run = 0
+        event_count = 0
+        hasher = hashlib.sha256()
         snapshot, oracle = self._golden(workload)
         baseline = self._observe(workload, snapshot, oracle, fault=None)
+        fold_digest(hasher, f"{workload.key}:baseline", baseline.typed_events)
+        event_count += len(baseline.typed_events)
         read_types = self._accessed_types(baseline, "read")
         write_types = self._accessed_types(baseline, "write")
         applicability = {
@@ -171,6 +191,10 @@ class Fingerprinter:
                     continue
                 fault = self._build_fault(fault_class, btype)
                 obs = self._observe(workload, snapshot, oracle, fault)
+                fold_digest(
+                    hasher, f"{workload.key}:{fault_class}:{btype}", obs.typed_events
+                )
+                event_count += len(obs.typed_events)
                 tests_run += 1
                 fired = obs.fault_fired > 0
                 cells.append(CellResult(workload.name, btype, fault_class, fired))
@@ -190,6 +214,8 @@ class Fingerprinter:
             tests_run=tests_run,
             wall_s=time.perf_counter() - started,
             io=io,
+            event_count=event_count,
+            event_digest=hasher.hexdigest(),
         )
 
     def _merge(self, matrix: PolicyMatrix, outcome: WorkloadOutcome) -> None:
@@ -202,6 +228,8 @@ class Fingerprinter:
         self.tests_run += outcome.tests_run
         self.workload_wall[outcome.key] = outcome.wall_s
         self.workload_io[outcome.key] = outcome.io
+        self.workload_events[outcome.key] = outcome.event_count
+        self.workload_digest[outcome.key] = outcome.event_digest
 
     # -- image preparation ------------------------------------------------------
 
@@ -237,11 +265,10 @@ class Fingerprinter:
         frozen_oracle: Dict[int, str],
         fault: Optional[Fault],
     ) -> RunObservation:
-        disk = self.adapter.build_device()
-        disk.restore(snapshot)
-        injector = FaultInjector(disk)
-        fs = self.adapter.make_fs(injector)
-        injector.set_type_oracle(
+        stack = self.adapter.build_stack()
+        stack.restore(snapshot)
+        fs = self.adapter.make_fs(stack)
+        stack.injector.set_type_oracle(
             lambda b: fs.block_type(b) or frozen_oracle.get(b)
         )
         recorder = Recorder()
@@ -254,11 +281,10 @@ class Fingerprinter:
                 recorder.results.append(OpResult("pre-mount", exc.errno.name))
             # The body is the traced part; mount traffic is excluded for
             # workloads whose subject is not the mount path itself.
-            injector.trace.clear()
-            fs.syslog.clear()
+            stack.events.clear()
 
         if fault is not None:
-            injector.arm(fault)
+            stack.injector.arm(fault)
 
         try:
             workload.body(fs, recorder)
@@ -283,7 +309,7 @@ class Fingerprinter:
             fault_block = fault._locked_block if fault.block is None else fault.block
 
         if self._io_acc is not None:
-            acc, s = self._io_acc, disk.stats
+            acc, s = self._io_acc, stack.stats
             acc.reads += s.reads
             acc.writes += s.writes
             acc.bytes_read += s.bytes_read
@@ -293,8 +319,8 @@ class Fingerprinter:
 
         return RunObservation(
             results=recorder.results,
-            events=[r.event for r in fs.syslog.records],
-            trace=injector.trace,
+            events=list(stack.events),
+            trace=stack.injector.trace,
             panic=panic,
             fault_fired=fired,
             fault_block=fault_block,
@@ -306,7 +332,7 @@ class Fingerprinter:
 
     def _accessed_types(self, baseline: RunObservation, op: str) -> set:
         return {
-            e.block_type for e in baseline.trace
+            e.block_type for e in baseline.io_events()
             if e.op == op and e.block_type is not None and e.outcome == "ok"
         }
 

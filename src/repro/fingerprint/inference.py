@@ -1,51 +1,120 @@
-"""Failure-policy inference (§4.3).
+"""Failure-policy inference (§4.3) over typed storage events.
 
 Determines how the file system behaved by comparing a faulty run
 against the fault-free baseline across *observable outputs only*: the
-error codes and data returned by the API, the contents of the system
-log, and the low-level I/O trace recorded by the fault-injection layer.
-The paper performs this comparison by hand; we mechanize it.
+error codes and data returned by the API, and the unified typed event
+stream — :class:`~repro.obs.events.IOEvent`\\ s recorded at the device
+boundary by the fault-injection layer interleaved with the detection /
+recovery / policy-action events the file system emitted.  The paper
+performs this comparison by hand; we mechanize it.
+
+The retry, redundancy, and remap inferences are derived from the
+structured events (request counts per block, typed reads of redundant
+locations, explicit remap recovery events) — not from syslog string
+matching.  Legacy callers may still pass plain tag strings and an
+``IOTrace``; they are coerced into typed events on construction.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.disk.faults import Fault, FaultKind, FaultOp
 from repro.disk.trace import IOTrace
 from repro.fingerprint.workloads import OpResult
+from repro.obs.events import (
+    DetectionEvent,
+    IOEvent,
+    LogEvent,
+    PolicyActionEvent,
+    RecoveryEvent,
+    Severity,
+    StorageEvent,
+    classify_log,
+)
 from repro.taxonomy.detection import Detection
 from repro.taxonomy.policy import PolicyObservation
 from repro.taxonomy.recovery import Recovery
 
-#: Log events that mean the file system halted activity (R_stop).
-STOP_EVENTS = {"remount-ro", "journal-abort", "unmountable", "mount-failed"}
-#: Log events that prove a sanity check fired (D_sanity).
+#: Policy actions that mean the file system halted activity (R_stop).
+STOP_ACTIONS = {"remount-ro", "journal-abort", "unmountable", "mount-failed"}
+#: Backward-compatible aliases (tag sets, pre-typed-event names).
+STOP_EVENTS = STOP_ACTIONS
 SANITY_EVENTS = {"sanity-fail"}
-#: Log events that prove redundancy-based detection (D_redundancy).
 REDUNDANCY_DETECT_EVENTS = {"checksum-mismatch"}
 
 
 @dataclass
 class RunObservation:
-    """Everything observable from one workload run."""
+    """Everything observable from one workload run.
+
+    ``events`` is the unified ordered stream for the run — typed
+    :class:`StorageEvent`\\ s covering device-boundary I/O and FS policy
+    behaviour.  Plain strings are accepted for convenience (tests,
+    hand-built observations) and coerced via the central tag
+    classifier; an ``IOTrace`` may be passed separately, in which case
+    its entries are folded in as typed I/O events.
+    """
 
     results: List[OpResult]
-    events: List[str]
-    trace: IOTrace
+    events: List[Union[StorageEvent, str]]
+    trace: Optional[IOTrace] = None
     panic: Optional[str] = None
     fault_fired: int = 0
     fault_block: Optional[int] = None
     final_read_only: bool = False
     free_blocks: Optional[int] = None
+    #: Normalized typed stream (computed once at construction).
+    typed_events: List[StorageEvent] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        typed: List[StorageEvent] = []
+        for e in self.events:
+            if isinstance(e, StorageEvent):
+                typed.append(e)
+            else:
+                typed.append(classify_log(Severity.INFO, "run", e, e))
+        if self.trace is not None and not any(isinstance(e, IOEvent) for e in typed):
+            typed.extend(
+                IOEvent(t.op, t.block, t.outcome, t.block_type)
+                for t in self.trace.entries
+            )
+        self.typed_events = typed
+
+    # -- typed accessors used by inference --------------------------------
+
+    def io_events(self) -> List[IOEvent]:
+        return [e for e in self.typed_events if isinstance(e, IOEvent)]
+
+    def log_tags(self) -> List[str]:
+        return [e.tag for e in self.typed_events if isinstance(e, LogEvent)]
+
+    def recovery_mechanisms(self) -> Counter:
+        return Counter(
+            e.mechanism for e in self.typed_events if isinstance(e, RecoveryEvent)
+        )
+
+    def detection_mechanisms(self) -> Counter:
+        return Counter(
+            e.mechanism for e in self.typed_events if isinstance(e, DetectionEvent)
+        )
+
+    def policy_actions(self) -> Counter:
+        return Counter(
+            e.action for e in self.typed_events if isinstance(e, PolicyActionEvent)
+        )
+
+
+def _counter_diff(observed: Counter, baseline: Counter) -> Counter:
+    diff = Counter(observed)
+    diff.subtract(baseline)
+    return Counter({k: n for k, n in diff.items() if n > 0})
 
 
 def _event_diff(observed: List[str], baseline: List[str]) -> Counter:
-    diff = Counter(observed)
-    diff.subtract(Counter(baseline))
-    return Counter({e: n for e, n in diff.items() if n > 0})
+    return _counter_diff(Counter(observed), Counter(baseline))
 
 
 def _pair_results(
@@ -58,12 +127,16 @@ def _pair_results(
     return pairs
 
 
-def _type_read_counts(trace: IOTrace) -> Dict[str, int]:
+def _type_read_counts(io: List[IOEvent]) -> Dict[str, int]:
     counts: Dict[str, int] = {}
-    for e in trace:
+    for e in io:
         if e.is_read() and e.block_type:
             counts[e.block_type] = counts.get(e.block_type, 0) + 1
     return counts
+
+
+def _requests_of(io: List[IOEvent], op: str, block: int) -> int:
+    return sum(1 for e in io if e.op == op and e.block == block)
 
 
 def infer_policy(
@@ -77,7 +150,9 @@ def infer_policy(
     recovery = set()
     notes: List[str] = []
 
-    new_events = _event_diff(observed.events, baseline.events)
+    new_events = _event_diff(observed.log_tags(), baseline.log_tags())
+    base_io = baseline.io_events()
+    obs_io = observed.io_events()
     pairs = _pair_results(baseline.results, observed.results)
     all_errors_new = [
         (b.op, o.errno) for b, o in pairs
@@ -101,7 +176,8 @@ def infer_policy(
     if observed.panic is not None:
         recovery.add(Recovery.STOP)
         notes.append(f"panic: {observed.panic}")
-    if any(e in new_events for e in STOP_EVENTS) or (
+    new_actions = _counter_diff(observed.policy_actions(), baseline.policy_actions())
+    if any(a in new_actions for a in STOP_ACTIONS) or (
         observed.final_read_only and not baseline.final_read_only
     ):
         recovery.add(Recovery.STOP)
@@ -110,27 +186,31 @@ def infer_policy(
         notes.append("errors propagated: " + ", ".join(f"{op}={e}" for op, e in errors_new[:3]))
 
     if observed.fault_block is not None:
-        base_n = sum(
-            1 for e in baseline.trace
-            if e.op == fault.op.value and e.block == observed.fault_block
-        )
-        obs_n = sum(
-            1 for e in observed.trace
-            if e.op == fault.op.value and e.block == observed.fault_block
-        )
+        base_n = _requests_of(base_io, fault.op.value, observed.fault_block)
+        obs_n = _requests_of(obs_io, fault.op.value, observed.fault_block)
         # More requests than the baseline (and more than the one attempt
         # any access implies) means the file system retried.
         if obs_n > max(base_n, 1):
             recovery.add(Recovery.RETRY)
             notes.append(f"retried {obs_n - max(base_n, 1)}x")
 
-    base_reads = _type_read_counts(baseline.trace)
-    obs_reads = _type_read_counts(observed.trace)
+    base_reads = _type_read_counts(base_io)
+    obs_reads = _type_read_counts(obs_io)
     for rtype in redundancy_types:
         if obs_reads.get(rtype, 0) > base_reads.get(rtype, 0):
             recovery.add(Recovery.REDUNDANCY)
             notes.append(f"read redundant copies ({rtype})")
             break
+
+    # An explicit remap recovery event: the FS redirected the faulty
+    # block to a different locale (no current stock FS does — the event
+    # exists for IRON-style extensions and shows up here when they do).
+    new_mechanisms = _counter_diff(
+        observed.recovery_mechanisms(), baseline.recovery_mechanisms()
+    )
+    if new_mechanisms.get("remap", 0) > 0:
+        recovery.add(Recovery.REMAP)
+        notes.append("remapped to a different locale")
 
     if fault.kind is FaultKind.FAIL and fault.op is FaultOp.READ and data_diff and not errors_new:
         # A failed read, yet the API "succeeded" with different contents:
@@ -152,9 +232,12 @@ def infer_policy(
         else:
             detection.add(Detection.ZERO)
     else:  # corruption
-        if any(e in new_events for e in REDUNDANCY_DETECT_EVENTS):
+        new_detections = _counter_diff(
+            observed.detection_mechanisms(), baseline.detection_mechanisms()
+        )
+        if new_detections.get("redundancy", 0) > 0:
             detection.add(Detection.REDUNDANCY)
-        if any(e in new_events for e in SANITY_EVENTS):
+        if new_detections.get("sanity", 0) > 0:
             detection.add(Detection.SANITY)
         if not detection:
             if errors_new or observed.panic is not None or recovery:

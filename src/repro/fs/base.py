@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 from repro.common.errors import Errno, FSError, KernelPanic, ReadOnlyError
 from repro.common.syslog import SysLog
+from repro.obs.events import EventLog, JournalCommitEvent
 from repro.vfs.api import FileSystem
 from repro.vfs.fdtable import FDTable
 from repro.vfs.generic import BufferLayer
@@ -33,7 +34,12 @@ class JournaledFS(FileSystem):
     ):
         super().__init__()
         self.device = device
-        self.syslog = SysLog()
+        # Join the device stack's typed-event stream when it has one, so
+        # injector I/O, buffer-layer retries, journal commits, and this
+        # FS's policy events interleave in one ordered record.
+        shared = getattr(device, "events", None)
+        self.events: EventLog = shared if shared is not None else EventLog()
+        self.syslog = SysLog(self.events)
         self.buf = BufferLayer(
             device, self.syslog, self.name, read_retries=self.GENERIC_READ_RETRIES
         )
@@ -99,11 +105,17 @@ class JournaledFS(FileSystem):
         if self.sync_mode:
             self.journal.commit()
             self.journal.checkpoint()
+            self._note_commit(self._ops_since_commit)
             self._ops_since_commit = 0
         elif (self._ops_since_commit >= self.commit_every
               or self._journal_pressure()):
             self.journal.commit()
+            self._note_commit(self._ops_since_commit)
             self._ops_since_commit = 0
+
+    def _note_commit(self, ops: int) -> None:
+        """Emit the typed commit-barrier event (not a syslog line)."""
+        self.events.emit(JournalCommitEvent(self.name, ops))
 
     def _journal_pressure(self) -> bool:
         """Commit early when the running transaction approaches the
@@ -122,7 +134,11 @@ class JournaledFS(FileSystem):
             return
         self.journal.commit()
         self.journal.checkpoint()
+        self._note_commit(self._ops_since_commit)
         self._ops_since_commit = 0
+        flush = getattr(self.device, "flush", None)
+        if flush is not None:
+            flush()
 
     def fsync(self, fd: int) -> None:
         self._ensure_mounted()
@@ -132,6 +148,7 @@ class JournaledFS(FileSystem):
         self.journal.commit()
         if self.sync_mode:
             self.journal.checkpoint()
+        self._note_commit(self._ops_since_commit)
 
     def crash(self) -> None:
         """Power loss: volatile state vanishes; the on-disk log remains."""
@@ -150,6 +167,7 @@ class JournaledFS(FileSystem):
         try:
             ops(self)
             self.journal.commit()
+            self._note_commit(self._ops_since_commit)
         finally:
             self.sync_mode = saved
         self.crash()

@@ -35,6 +35,7 @@ from repro.common.errors import (
     FSError,
     KernelPanic,
 )
+from repro.common.syslog import Severity
 from repro.fs.ext3.config import NUM_DIRECT, ROOT_INO, Ext3Config
 from repro.fs.ext3.journal import Journal, parse_commit, parse_desc, parse_revoke
 from repro.fs.ext3.structures import (
@@ -160,13 +161,16 @@ class Ext3(JournaledFS):
         try:
             raw = self.buf.bread(self.config.super_block if self.config else 0)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error", f"superblock unreadable: {exc}", block=0)
+            self.syslog.detection(self.name, "read-error",
+                                  f"superblock unreadable: {exc}",
+                                  mechanism="error-code", block=0)
             raise FSError(Errno.EIO, "cannot read superblock") from exc
         sb = Superblock.unpack(raw)
         if not sb.is_valid():
             # D_sanity: the superblock carries a magic number and is
             # type-checked at mount.
-            self.syslog.error(self.name, "sanity-fail", "bad superblock magic", block=0)
+            self.syslog.detection(self.name, "sanity-fail", "bad superblock magic",
+                                  mechanism="sanity", block=0)
             raise FSError(Errno.EUCLEAN, "bad superblock")
         self.sb = sb
         self.config = self._config_from_sb(sb)
@@ -174,7 +178,9 @@ class Ext3(JournaledFS):
         try:
             gdt_raw = self.buf.bread(self.config.gdt_block)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error", "group descriptors unreadable", block=1)
+            self.syslog.detection(self.name, "read-error",
+                                  "group descriptors unreadable",
+                                  mechanism="error-code", block=1)
             raise FSError(Errno.EIO, "cannot read group descriptors") from exc
         # No sanity checking on group descriptors (paper: little type
         # checking for many important blocks) — parsed blindly.
@@ -194,7 +200,8 @@ class Ext3(JournaledFS):
                 self.gdt = unpack_gdt(self.buf.bread(self.config.gdt_block),
                                       self.sb.num_groups)
         except CorruptionDetected as exc:
-            self.syslog.error(self.name, "sanity-fail", str(exc), block=exc.block)
+            self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=exc.block)
             raise FSError(Errno.EUCLEAN, "journal superblock invalid") from exc
         except DiskError as exc:
             self.syslog.error(
@@ -384,8 +391,9 @@ class Ext3(JournaledFS):
         # D_sanity (§5.1): open detects an overly-large file-size field.
         max_size = self.config.max_file_blocks * self.block_size
         if inode.size > max_size:
-            self.syslog.error(self.name, "sanity-fail",
-                              f"inode {ino} size {inode.size} exceeds maximum", block=None)
+            self.syslog.detection(self.name, "sanity-fail",
+                                  f"inode {ino} size {inode.size} exceeds maximum",
+                                  mechanism="sanity")
             raise FSError(Errno.EUCLEAN, "corrupted inode size")
         if flags & O_TRUNC and not _stat.S_ISDIR(inode.mode):
             self._shrink(ino, inode, 0)
@@ -491,8 +499,9 @@ class Ext3(JournaledFS):
                 try:
                     self._shrink(ino, inode, size)
                 except FSError:
-                    self.syslog.warning(self.name, "silent-failure",
-                                        "truncate abandoned after read error")
+                    self.syslog.action(self.name, "silent-failure",
+                                       "truncate abandoned after read error",
+                                       severity=Severity.WARNING)
                     return
             else:
                 self._shrink(ino, inode, size)
@@ -530,8 +539,9 @@ class Ext3(JournaledFS):
                 # ext3 bug (§5.1): no sanity check of the link count
                 # before modifying it; a corrupted value crashes.
                 raise KernelPanic("ext3", f"inode {entry.ino}: link count already zero")
-            self.syslog.error(self.name, "sanity-fail",
-                              f"inode {entry.ino} link count already zero")
+            self.syslog.detection(self.name, "sanity-fail",
+                                  f"inode {entry.ino} link count already zero",
+                                  mechanism="sanity")
             raise FSError(Errno.EUCLEAN, "corrupt link count")
         child.links -= 1
         if child.links == 0:
@@ -614,8 +624,9 @@ class Ext3(JournaledFS):
             entries = self._dir_entries(entry.ino, child)
         except FSError:
             if self.SILENT_RMDIR_BUG:
-                self.syslog.warning(self.name, "silent-failure",
-                                    "rmdir abandoned after read error")
+                self.syslog.action(self.name, "silent-failure",
+                                   "rmdir abandoned after read error",
+                                   severity=Severity.WARNING)
                 return
             raise
         if any(e.name not in (".", "..") for e in entries):
@@ -1087,8 +1098,9 @@ class Ext3(JournaledFS):
         try:
             return self._read_with_verify(block)
         except (DiskError, CorruptionDetected) as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"metadata read failed: {exc}", block=block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"metadata read failed: {exc}",
+                                  mechanism="error-code", block=block)
             recovered = self._recover_meta_read(block, exc)
             if recovered is not None:
                 return recovered
@@ -1111,8 +1123,9 @@ class Ext3(JournaledFS):
                     return self._read_with_verify(block)
                 except (DiskError, CorruptionDetected):
                     pass
-            self.syslog.error(self.name, "read-error",
-                              f"data read failed: {exc}", block=block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"data read failed: {exc}",
+                                  mechanism="error-code", block=block)
             recovered = self._recover_data_read(ino, inode, file_block, block, exc)
             if recovered is not None:
                 return recovered
@@ -1126,8 +1139,8 @@ class Ext3(JournaledFS):
         if self.journal is not None:
             self.journal.abort()
         self._read_only = True
-        self.syslog.error(self.name, "journal-abort", "aborting journal")
-        self.syslog.error(self.name, "remount-ro", "remounting file system read-only")
+        self.syslog.action(self.name, "journal-abort", "aborting journal")
+        self.syslog.action(self.name, "remount-ro", "remounting file system read-only")
 
     # ==================================================================
     # Operation framing

@@ -384,7 +384,9 @@ class Journal:
         self._set_type(self.start, "j-super")
         self._journal_write(self.start, pack_journal_super(self.block_size, self.seq, clean=True))
         if replayed:
-            self.syslog.info("journal", "recovery", f"replayed {replayed} transactions")
+            self.syslog.recovery("journal", "recovery",
+                                 f"replayed {replayed} transactions",
+                                 mechanism="journal-replay")
         return replayed
 
     # -- internals --------------------------------------------------------------------

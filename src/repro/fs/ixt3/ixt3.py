@@ -138,8 +138,9 @@ class Ixt3(Ext3):
         try:
             self.buf.bwrite(block, data)
         except DiskError as exc:
-            self.syslog.error(self.name, "write-error",
-                              f"write failed: {exc}", block=block)
+            self.syslog.detection(self.name, "write-error",
+                                  f"write failed: {exc}",
+                                  mechanism="error-code", block=block)
             self._abort_journal()
 
     def _write_home(self, block: int, data: bytes) -> None:
@@ -186,8 +187,9 @@ class Ixt3(Ext3):
             self._verifying = False
         if ok:
             return data
-        self.syslog.error(self.name, "checksum-mismatch",
-                          f"block {block} fails checksum verification", block=block)
+        self.syslog.detection(self.name, "checksum-mismatch",
+                              f"block {block} fails checksum verification",
+                              mechanism="redundancy", block=block)
         raise CorruptionDetected(block, "checksum mismatch")
 
     def _on_block_contents_change(self, block: int, data: bytes, kind: str) -> None:
@@ -227,23 +229,25 @@ class Ixt3(Ext3):
         try:
             data = self._plain_bread(replica)
         except DiskError as exc2:
-            self.syslog.error(self.name, "read-error",
-                              f"replica read failed: {exc2}", block=replica)
+            self.syslog.detection(self.name, "read-error",
+                                  f"replica read failed: {exc2}",
+                                  mechanism="error-code", block=replica)
             return None
         if self.meta_csum and self.checksums is not None:
             self._verifying = True
             try:
                 if not self.checksums.verify(block, data):
-                    self.syslog.error(self.name, "checksum-mismatch",
-                                      f"replica of block {block} also corrupt",
-                                      block=replica)
+                    self.syslog.detection(self.name, "checksum-mismatch",
+                                          f"replica of block {block} also corrupt",
+                                          mechanism="redundancy", block=replica)
                     return None
             except DiskError:
                 pass
             finally:
                 self._verifying = False
-        self.syslog.info(self.name, "redundancy-used",
-                         f"recovered block {block} from replica {replica}", block=block)
+        self.syslog.recovery(self.name, "redundancy-used",
+                             f"recovered block {block} from replica {replica}",
+                             mechanism="redundancy", block=block)
         # Repair the home copy within the running transaction.
         self.journal.add_meta(block, data)
         return data
@@ -255,8 +259,9 @@ class Ixt3(Ext3):
         reconstructed = self._reconstruct_from_parity(inode, skip_block=block)
         if reconstructed is None:
             return None
-        self.syslog.info(self.name, "redundancy-used",
-                         f"reconstructed block {block} from parity", block=block)
+        self.syslog.recovery(self.name, "redundancy-used",
+                             f"reconstructed block {block} from parity",
+                             mechanism="redundancy", block=block)
         return reconstructed
 
     def _reconstruct_from_parity(self, inode: Inode, skip_block: int) -> Optional[bytes]:
@@ -266,8 +271,9 @@ class Ixt3(Ext3):
         try:
             parity = self._plain_bread(inode.parity_block)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"parity read failed: {exc}", block=inode.parity_block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"parity read failed: {exc}",
+                                  mechanism="error-code", block=inode.parity_block)
             return None
         for i in range(bs):
             acc[i] ^= parity[i]
@@ -320,9 +326,9 @@ class Ixt3(Ext3):
         try:
             parity = bytearray(self._plain_bread(inode.parity_block))
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"parity read failed during update: {exc}",
-                              block=inode.parity_block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"parity read failed during update: {exc}",
+                                  mechanism="error-code", block=inode.parity_block)
             self._abort_journal()
             raise FSError(Errno.EIO, "cannot update parity") from exc
         for i in range(bs):

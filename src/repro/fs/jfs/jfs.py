@@ -41,6 +41,7 @@ from repro.common.errors import (
     FSError,
     KernelPanic,
 )
+from repro.common.syslog import Severity
 from repro.fs.base import JournaledFS
 from repro.fs.jfs.config import JFSConfig
 from repro.fs.jfs.journal import RecordJournal
@@ -117,8 +118,10 @@ class JFS(JournaledFS):
         try:
             self.buf.bwrite(block, data, retries=0)
         except DiskError as exc:
-            self.syslog.critical(self.name, "write-error",
-                                 f"journal superblock write failed: {exc}", block=block)
+            self.syslog.detection(self.name, "write-error",
+                                  f"journal superblock write failed: {exc}",
+                                  mechanism="error-code",
+                                  severity=Severity.CRITICAL, block=block)
             raise KernelPanic("jfs", "cannot update journal superblock") from exc
 
     # ==================================================================
@@ -160,14 +163,16 @@ class JFS(JournaledFS):
         except CorruptionDetected as exc:
             # A sanity-check failure during replay aborts the replay
             # (R_stop) and the volume comes up read-only (§5.3).
-            self.syslog.error(self.name, "sanity-fail", str(exc), block=exc.block)
-            self.syslog.error(self.name, "remount-ro", "journal replay aborted")
+            self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=exc.block)
+            self.syslog.action(self.name, "remount-ro", "journal replay aborted")
             self.journal.abort()
             self._read_only = True
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"journal unreadable during recovery: {exc}")
-            self.syslog.error(self.name, "remount-ro", "journal replay aborted")
+            self.syslog.detection(self.name, "read-error",
+                                  f"journal unreadable during recovery: {exc}",
+                                  mechanism="error-code")
+            self.syslog.action(self.name, "remount-ro", "journal replay aborted")
             self.journal.abort()
             self._read_only = True
         self._mounted = True
@@ -179,26 +184,29 @@ class JFS(JournaledFS):
         except DiskError as exc:
             # Read *error* on the primary: fall back to the secondary
             # copy (R_redundancy) to complete the mount (§5.3).
-            self.syslog.error(self.name, "read-error",
-                              f"primary superblock unreadable: {exc}", block=0)
+            self.syslog.detection(self.name, "read-error",
+                                  f"primary superblock unreadable: {exc}",
+                                  mechanism="error-code", block=0)
             try:
                 raw = self.buf.bread(1)
             except DiskError as exc2:
-                self.syslog.error(self.name, "mount-failed", "both superblocks unreadable")
+                self.syslog.action(self.name, "mount-failed", "both superblocks unreadable")
                 raise FSError(Errno.EIO, "cannot read superblock") from exc2
             sb = JFSSuper.unpack(raw)
             if sb.is_valid():
-                self.syslog.info(self.name, "redundancy-used",
-                                 "mounted from secondary superblock")
+                self.syslog.recovery(self.name, "redundancy-used",
+                                     "mounted from secondary superblock",
+                                     mechanism="redundancy")
                 return sb
             raise FSError(Errno.EUCLEAN, "secondary superblock invalid")
         sb = JFSSuper.unpack(raw)
         if not sb.is_valid():
             # The paper's inconsistency (§5.3): a *corrupt* primary is
             # not recovered from the secondary — the mount just fails.
-            self.syslog.error(self.name, "sanity-fail", "bad superblock magic", block=0)
-            self.syslog.error(self.name, "mount-failed",
-                              "primary superblock corrupt; secondary not consulted")
+            self.syslog.detection(self.name, "sanity-fail", "bad superblock magic",
+                                  mechanism="sanity", block=0)
+            self.syslog.action(self.name, "mount-failed",
+                               "primary superblock corrupt; secondary not consulted")
             raise FSError(Errno.EUCLEAN, "bad superblock")
         return sb
 
@@ -209,14 +217,15 @@ class JFS(JournaledFS):
         except DiskError as exc:
             # Bug (§5.3): the secondary aggregate inode table exists but
             # is not consulted when the primary read returns an error.
-            self.syslog.error(self.name, "read-error",
-                              f"aggregate inode unreadable: {exc}",
-                              block=cfg.aggr_inode_block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"aggregate inode unreadable: {exc}",
+                                  mechanism="error-code",
+                                  block=cfg.aggr_inode_block)
             raise FSError(Errno.EIO, "cannot read aggregate inode") from exc
         aggr = AggregateInode.unpack(raw)
         if not aggr.is_valid():
-            self.syslog.error(self.name, "sanity-fail", "aggregate inode magic bad",
-                              block=cfg.aggr_inode_block)
+            self.syslog.detection(self.name, "sanity-fail", "aggregate inode magic bad",
+                                  mechanism="sanity", block=cfg.aggr_inode_block)
             raise FSError(Errno.EUCLEAN, "aggregate inode corrupt")
         return aggr
 
@@ -225,9 +234,10 @@ class JFS(JournaledFS):
         try:
             self.buf.bread(cfg.bmap_desc_block)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"bmap descriptor unreadable: {exc}",
-                              block=cfg.bmap_desc_block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"bmap descriptor unreadable: {exc}",
+                                  mechanism="error-code",
+                                  block=cfg.bmap_desc_block)
             raise FSError(Errno.EIO, "cannot read bmap descriptor") from exc
 
     def unmount(self) -> None:
@@ -681,7 +691,8 @@ class JFS(JournaledFS):
             return unpack_dir_block(raw, bno, self.block_size)
         except CorruptionDetected as exc:
             # Sanity failure: propagate and remount read-only (§5.3).
-            self.syslog.error(self.name, "sanity-fail", str(exc), block=bno)
+            self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=bno)
             self._remount_ro()
             raise FSError(Errno.EUCLEAN, str(exc)) from exc
 
@@ -858,7 +869,8 @@ class JFS(JournaledFS):
         try:
             return unpack_tree_block(raw, block, self.config.tree_fanout)
         except CorruptionDetected as exc:
-            self.syslog.error(self.name, "sanity-fail", str(exc), block=block)
+            self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=block)
             raise
 
     def _read_file_block(self, ino: int, inode: JFSInode, fb: int) -> bytes:
@@ -878,8 +890,9 @@ class JFS(JournaledFS):
         try:
             return self.buf.bread(bno)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"data read failed: {exc}", block=bno)
+            self.syslog.detection(self.name, "read-error",
+                                  f"data read failed: {exc}",
+                                  mechanism="error-code", block=bno)
             raise FSError(Errno.EIO, f"data block {bno} unreadable") from exc
 
     def _shrink(self, ino: int, inode: JFSInode, new_size: int, kind: str = "data") -> None:
@@ -931,8 +944,9 @@ class JFS(JournaledFS):
                 raw = self.buf.bread(block)
             except DiskError as exc:
                 btype = self.block_type(block)
-                self.syslog.error(self.name, "read-error",
-                                  f"metadata read failed: {exc}", block=block)
+                self.syslog.detection(self.name, "read-error",
+                                      f"metadata read failed: {exc}",
+                                      mechanism="error-code", block=block)
                 if btype in ("bmap", "imap"):
                     # Allocation-map read failure crashes the system (§5.3).
                     raise KernelPanic("jfs", f"cannot read allocation map block {block}") from exc
@@ -941,7 +955,8 @@ class JFS(JournaledFS):
             try:
                 check_inode_block(raw, block, self.config.inodes_per_block)
             except CorruptionDetected as exc:
-                self.syslog.error(self.name, "sanity-fail", str(exc), block=block)
+                self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=block)
                 self._remount_ro()
                 raise FSError(Errno.EUCLEAN, str(exc)) from exc
         return raw
@@ -964,7 +979,7 @@ class JFS(JournaledFS):
         self._read_only = True
         if self.journal is not None:
             self.journal.abort()
-        self.syslog.error(self.name, "remount-ro", "remounting file system read-only")
+        self.syslog.action(self.name, "remount-ro", "remounting file system read-only")
 
     # ==================================================================
     # Allocation
@@ -979,7 +994,8 @@ class JFS(JournaledFS):
             return unpack_map_block(raw, block, nbits)
         except CorruptionDetected as exc:
             # JFS's equality check caught map corruption (§5.3).
-            self.syslog.error(self.name, "sanity-fail", str(exc), block=block)
+            self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=block)
             self._remount_ro()
             raise FSError(Errno.EUCLEAN, str(exc)) from exc
 

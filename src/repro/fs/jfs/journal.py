@@ -287,7 +287,9 @@ class RecordJournal:
         self._super_write(self.super_block,
                           pack_log_super(self.block_size, self.seq, clean=True))
         if replayed:
-            self.syslog.info("jfs-log", "recovery", f"replayed {replayed} transactions")
+            self.syslog.recovery("jfs-log", "recovery",
+                                 f"replayed {replayed} transactions",
+                                 mechanism="journal-replay")
         return replayed
 
     def _apply(self, records: List[LogRecord]) -> None:
@@ -297,8 +299,9 @@ class RecordJournal:
                 try:
                     images[rec.home] = bytearray(self._read_block(rec.home))
                 except DiskError:
-                    self.syslog.error("jfs-log", "read-error",
-                                      f"replay target {rec.home} unreadable", block=rec.home)
+                    self.syslog.detection("jfs-log", "read-error",
+                                          f"replay target {rec.home} unreadable",
+                                          mechanism="error-code", block=rec.home)
                     continue
             img = images[rec.home]
             img[rec.offset:rec.offset + len(rec.data)] = rec.data

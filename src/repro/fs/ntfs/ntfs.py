@@ -27,6 +27,7 @@ from repro.common.errors import (
     FSError,
     KernelPanic,
 )
+from repro.common.syslog import Severity
 from repro.fs.base import JournaledFS
 from repro.fs.ext3.journal import Journal
 from repro.fs.ntfs.structures import (
@@ -89,8 +90,9 @@ class NTFS(JournaledFS):
         try:
             self.buf.bwrite(block, data, retries=self.META_WRITE_ATTEMPTS - 1)
         except DiskError as exc:
-            self.syslog.error(self.name, "write-error",
-                              f"metadata write failed after retries: {exc}", block=block)
+            self.syslog.detection(self.name, "write-error",
+                                  f"metadata write failed after retries: {exc}",
+                                  mechanism="error-code", block=block)
             raise FSError(Errno.EIO, f"cannot write block {block}") from exc
 
     def _write_data(self, block: int, data: bytes) -> None:
@@ -108,13 +110,15 @@ class NTFS(JournaledFS):
         try:
             return self.buf.bread(block)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"read failed after retries: {exc}", block=block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"read failed after retries: {exc}",
+                                  mechanism="error-code", block=block)
             raise FSError(Errno.EIO, f"block {block} unreadable") from exc
 
     def _sanity_violation(self, exc: CorruptionDetected) -> FSError:
-        self.syslog.error(self.name, "sanity-fail", str(exc), block=exc.block)
-        self.syslog.error(self.name, "unmountable", "volume marked dirty/unmountable")
+        self.syslog.detection(self.name, "sanity-fail", str(exc),
+                              mechanism="sanity", block=exc.block)
+        self.syslog.action(self.name, "unmountable", "volume marked dirty/unmountable")
         self._read_only = True
         if self.journal is not None:
             self.journal.abort()
@@ -130,12 +134,15 @@ class NTFS(JournaledFS):
         try:
             raw = self.buf.bread(0)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error", f"boot file unreadable: {exc}", block=0)
+            self.syslog.detection(self.name, "read-error",
+                                  f"boot file unreadable: {exc}",
+                                  mechanism="error-code", block=0)
             raise FSError(Errno.EIO, "cannot read boot file") from exc
         boot = BootFile.unpack(raw)
         if not boot.is_valid():
-            self.syslog.error(self.name, "sanity-fail", "boot file magic invalid", block=0)
-            self.syslog.error(self.name, "unmountable", "volume not mountable")
+            self.syslog.detection(self.name, "sanity-fail", "boot file magic invalid",
+                                  mechanism="sanity", block=0)
+            self.syslog.action(self.name, "unmountable", "volume not mountable")
             raise FSError(Errno.EUCLEAN, "bad boot file")
         self.boot = boot
         self.journal = Journal(
@@ -158,12 +165,14 @@ class NTFS(JournaledFS):
         except CorruptionDetected as exc:
             # The journal is the one structure whose corruption does not
             # make the volume unmountable (§5.4): reset the log.
-            self.syslog.warning(self.name, "log-reset",
-                                f"logfile invalid, reinitializing: {exc}")
+            self.syslog.action(self.name, "log-reset",
+                               f"logfile invalid, reinitializing: {exc}",
+                               severity=Severity.WARNING)
             self.journal.checkpoint()
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"logfile unreadable: {exc}")
+            self.syslog.detection(self.name, "read-error",
+                                  f"logfile unreadable: {exc}",
+                                  mechanism="error-code")
             raise FSError(Errno.EIO, "cannot replay logfile") from exc
         self._mounted = True
         self._rebuild_types()
@@ -174,8 +183,9 @@ class NTFS(JournaledFS):
         try:
             self.buf.bwrite(block, data, retries=self.META_WRITE_ATTEMPTS - 1)
         except DiskError as exc:
-            self.syslog.error(self.name, "write-error",
-                              f"metadata write failed after retries: {exc}", block=block)
+            self.syslog.detection(self.name, "write-error",
+                                  f"metadata write failed after retries: {exc}",
+                                  mechanism="error-code", block=block)
 
     def unmount(self) -> None:
         self._ensure_mounted()

@@ -37,6 +37,7 @@ from repro.common.errors import (
     FSError,
     KernelPanic,
 )
+from repro.common.syslog import Severity
 from repro.fs.base import JournaledFS
 from repro.fs.ext3.journal import Journal, parse_commit, parse_desc
 from repro.fs.reiserfs.btree import (
@@ -116,8 +117,10 @@ class ReiserFS(JournaledFS):
         try:
             self.buf.bwrite(block, data)
         except DiskError as exc:
-            self.syslog.critical(self.name, "write-error",
-                                 f"write failed, panicking: {exc}", block=block)
+            self.syslog.detection(self.name, "write-error",
+                                  f"write failed, panicking: {exc}",
+                                  mechanism="error-code",
+                                  severity=Severity.CRITICAL, block=block)
             raise KernelPanic("reiserfs", f"I/O failure writing block {block}") from exc
 
     def _write_ordered_buggy(self, block: int, data: bytes) -> None:
@@ -136,12 +139,15 @@ class ReiserFS(JournaledFS):
         try:
             raw = self.buf.bread(0)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error", f"superblock unreadable: {exc}", block=0)
+            self.syslog.detection(self.name, "read-error",
+                                  f"superblock unreadable: {exc}",
+                                  mechanism="error-code", block=0)
             raise FSError(Errno.EIO, "cannot read superblock") from exc
         sb = ReiserSuper.unpack(raw)
         if not sb.is_valid():
-            self.syslog.error(self.name, "sanity-fail", "bad superblock magic", block=0)
-            self.syslog.error(self.name, "unmountable", "refusing to mount corrupt volume")
+            self.syslog.detection(self.name, "sanity-fail", "bad superblock magic",
+                                  mechanism="sanity", block=0)
+            self.syslog.action(self.name, "unmountable", "refusing to mount corrupt volume")
             raise FSError(Errno.EUCLEAN, "bad superblock")
         self.sb = sb
         self.config = ReiserConfig(
@@ -181,11 +187,12 @@ class ReiserFS(JournaledFS):
             # points (§5.2).
             self.journal.recover()
         except CorruptionDetected as exc:
-            self.syslog.error(self.name, "sanity-fail", str(exc), block=exc.block)
+            self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=exc.block)
             raise FSError(Errno.EUCLEAN, "journal header invalid") from exc
         except DiskError as exc:
-            self.syslog.error(self.name, "mount-failed",
-                              f"journal unreadable during recovery: {exc}")
+            self.syslog.action(self.name, "mount-failed",
+                               f"journal unreadable during recovery: {exc}")
             raise FSError(Errno.EIO, "cannot replay journal") from exc
         # Recovery may have replayed a (possibly corrupt) block over the
         # superblock or tree root; re-read the superblock blindly.
@@ -294,8 +301,9 @@ class ReiserFS(JournaledFS):
                 # was detected (and logged) but is ignored here; the
                 # stat item shrinks while the data blocks are never
                 # freed — space leaks.
-                self.syslog.warning(self.name, "ignored-error",
-                                    "indirect read failure ignored during truncate")
+                self.syslog.action(self.name, "ignored-error",
+                                   "indirect read failure ignored during truncate",
+                                   severity=Severity.WARNING)
                 st.size = size
                 try:
                     self._put_stat(pair, st)
@@ -592,8 +600,9 @@ class ReiserFS(JournaledFS):
             # The paper's leak bug (§5.2): the read failure was detected
             # (and logged) but is ignored; whatever was not yet freed
             # leaks, and the super/bitmap land in an inconsistent state.
-            self.syslog.warning(self.name, "ignored-error",
-                                "indirect read failure ignored during delete")
+            self.syslog.action(self.name, "ignored-error",
+                               "indirect read failure ignored during delete",
+                               severity=Severity.WARNING)
         self.sb.nobjects = max(self.sb.nobjects - 1, 1)
         self._flush_super()
 
@@ -777,13 +786,15 @@ class ReiserFS(JournaledFS):
             try:
                 raw = self.buf.bread(block, retries=retries)
             except DiskError as exc:
-                self.syslog.error(self.name, "read-error",
-                                  f"tree block read failed: {exc}", block=block)
+                self.syslog.detection(self.name, "read-error",
+                                      f"tree block read failed: {exc}",
+                                      mechanism="error-code", block=block)
                 raise FSError(Errno.EIO, f"tree block {block} unreadable") from exc
         try:
             return Node.unpack(raw, block)
         except CorruptionDetected as exc:
-            self.syslog.error(self.name, "sanity-fail", str(exc), block=block)
+            self.syslog.detection(self.name, "sanity-fail", str(exc),
+                                  mechanism="sanity", block=block)
             label = self.block_type(block)
             if label in ("internal", "root"):
                 # The paper's bug (§5.2): a sanity failure on an
@@ -822,8 +833,9 @@ class ReiserFS(JournaledFS):
             try:
                 return self.buf.bread(block)
             except DiskError as exc:
-                self.syslog.error(self.name, "read-error",
-                                  f"data read failed: {exc}", block=block)
+                self.syslog.detection(self.name, "read-error",
+                                      f"data read failed: {exc}",
+                                      mechanism="error-code", block=block)
                 raise FSError(Errno.EIO, f"data block {block} unreadable") from exc
 
     # -- allocation -----------------------------------------------------------------------
@@ -839,8 +851,9 @@ class ReiserFS(JournaledFS):
         try:
             raw = self.buf.bread(bmp_block)
         except DiskError as exc:
-            self.syslog.error(self.name, "read-error",
-                              f"bitmap read failed: {exc}", block=bmp_block)
+            self.syslog.detection(self.name, "read-error",
+                                  f"bitmap read failed: {exc}",
+                                  mechanism="error-code", block=bmp_block)
             raise FSError(Errno.EIO, "bitmap unreadable") from exc
         # No type information: a corrupt bitmap is used blindly (§5.2).
         return Bitmap(self.block_size * 8, raw)

@@ -1,0 +1,45 @@
+"""The typed storage-event pipeline: one schema for every observable.
+
+Every layer of the storage stack — the fault injector at the device
+boundary, the VFS buffer layer, the journal framing, and each file
+system's policy code — reports through :class:`StorageEvent` records
+appended to a shared :class:`EventLog`.  ``SysLog`` and ``IOTrace``
+are rendering views over this stream; policy inference matches the
+structured events directly.
+"""
+
+from repro.obs.events import (
+    DETECTION_MECHANISMS,
+    POLICY_ACTION_TAGS,
+    RECOVERY_MECHANISMS,
+    DetectionEvent,
+    EventLog,
+    FaultArmedEvent,
+    IOEvent,
+    JournalCommitEvent,
+    LogEvent,
+    PolicyActionEvent,
+    RecoveryEvent,
+    Severity,
+    StorageEvent,
+    classify_log,
+    fold_digest,
+)
+
+__all__ = [
+    "DETECTION_MECHANISMS",
+    "POLICY_ACTION_TAGS",
+    "RECOVERY_MECHANISMS",
+    "DetectionEvent",
+    "EventLog",
+    "FaultArmedEvent",
+    "IOEvent",
+    "JournalCommitEvent",
+    "LogEvent",
+    "PolicyActionEvent",
+    "RecoveryEvent",
+    "Severity",
+    "StorageEvent",
+    "classify_log",
+    "fold_digest",
+]

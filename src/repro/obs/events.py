@@ -1,0 +1,300 @@
+"""Typed storage events: the one schema every layer reports through.
+
+The fingerprinting methodology (§4.3) infers failure policy from three
+observables — API results, the system log, and the I/O trace at the
+device boundary.  Historically each lived in its own shape (free-text
+``SysLog`` strings, ``IOTrace`` entries, ad-hoc state checks); this
+module unifies them as one ordered stream of :class:`StorageEvent`
+records that the fault injector, the VFS buffer layer, the journal
+framing, and every file system's policy code emit into a shared
+:class:`EventLog`.
+
+Design constraints:
+
+* **Replayable** — events are frozen dataclasses of primitives, so a
+  stream pickles across process-pool workers and hashes to a stable
+  digest (``jobs=N`` determinism checks compare these digests).
+* **View-compatible** — ``SysLog`` and ``IOTrace`` are re-implemented
+  as rendering views over an ``EventLog``, so string-based consumers
+  keep working while inference matches structured events.
+
+Event kinds:
+
+========================  ====================================================
+``io``                    one request at the device boundary (injector)
+``fault-armed``           a fault was armed beneath the file system
+``detection``             the FS detected a failure (mechanism-tagged)
+``recovery``              the FS attempted recovery (mechanism-tagged)
+``policy-action``         the FS took a policy action (remount-ro, panic, …)
+``journal-commit``        a transaction commit barrier (``fs/base`` framing)
+``log``                   any other kernel-log line
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Callable, ClassVar, Iterator, List, Optional, Tuple, Type
+
+
+class Severity(enum.IntEnum):
+    """Kernel-log severity (shared by events and the SysLog view)."""
+
+    DEBUG = 0
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+    CRITICAL = 4
+
+
+@dataclass(frozen=True)
+class StorageEvent:
+    """Base class for everything observable in the storage stack."""
+
+    kind: ClassVar[str] = "event"
+
+    def key(self) -> Tuple:
+        """Stable content tuple (used for digests and determinism checks)."""
+        return (self.kind,) + tuple(
+            getattr(self, f.name) for f in fields(self)
+        )
+
+
+@dataclass(frozen=True)
+class IOEvent(StorageEvent):
+    """One request observed at the device boundary."""
+
+    kind: ClassVar[str] = "io"
+
+    op: str  # "read" | "write"
+    block: int
+    outcome: str  # "ok" | "error" | "corrupted" | "dropped"
+    block_type: Optional[str] = None
+
+    def is_read(self) -> bool:
+        return self.op == "read"
+
+    def is_write(self) -> bool:
+        return self.op == "write"
+
+
+@dataclass(frozen=True)
+class FaultArmedEvent(StorageEvent):
+    """A fault was armed beneath the file system."""
+
+    kind: ClassVar[str] = "fault-armed"
+
+    op: str  # "read" | "write"
+    fault_kind: str  # "fail" | "corrupt"
+    block: Optional[int] = None
+    block_type: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class JournalCommitEvent(StorageEvent):
+    """A transaction commit barrier issued by the journaling framing."""
+
+    kind: ClassVar[str] = "journal-commit"
+
+    source: str
+    ops: int = 0  # operations folded into this commit (0 = explicit sync)
+
+
+@dataclass(frozen=True)
+class LogEvent(StorageEvent):
+    """A kernel-log line: the renderable subset of the event stream.
+
+    Everything the old free-text ``SysLog`` carried survives here
+    (severity, source subsystem, machine tag, message, block), so the
+    ``SysLog`` view renders these — and only these — as log records.
+    """
+
+    kind: ClassVar[str] = "log"
+
+    severity: Severity
+    source: str
+    tag: str
+    message: str
+    block: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DetectionEvent(LogEvent):
+    """The file system *detected* a failure.
+
+    ``mechanism`` names the IRON detection technique that fired:
+    ``"error-code"`` (a lower level reported an error), ``"sanity"``
+    (a structural check failed), ``"redundancy"`` (a checksum or
+    replica comparison mismatched).
+    """
+
+    kind: ClassVar[str] = "detection"
+
+    mechanism: str = "error-code"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(LogEvent):
+    """The file system *attempted recovery* from a failure.
+
+    ``mechanism`` names the IRON recovery technique: ``"retry"``,
+    ``"redundancy"`` (read a replica / reconstructed from parity),
+    ``"remap"`` (redirected the block elsewhere), ``"journal-replay"``.
+    """
+
+    kind: ClassVar[str] = "recovery"
+
+    mechanism: str = "retry"
+
+
+@dataclass(frozen=True)
+class PolicyActionEvent(LogEvent):
+    """The file system took a failure-policy action (R_stop flavours,
+    silent drops, scrub outcomes…).  ``tag`` names the action."""
+
+    kind: ClassVar[str] = "policy-action"
+
+    @property
+    def action(self) -> str:
+        return self.tag
+
+
+# -- tag classification -------------------------------------------------------
+#
+# The central mapping from the historical free-text syslog tags to typed
+# events.  FS policy code that still calls ``syslog.error(...)`` gets a
+# correctly-typed event through this table; converted call sites emit
+# the typed event directly.
+
+DETECTION_MECHANISMS = {
+    "sanity-fail": "sanity",
+    "checksum-mismatch": "redundancy",
+    "read-error": "error-code",
+    "write-error": "error-code",
+}
+
+RECOVERY_MECHANISMS = {
+    "read-retry": "retry",
+    "write-retry": "retry",
+    "redundancy-used": "redundancy",
+    "remap": "remap",
+    "recovery": "journal-replay",
+}
+
+POLICY_ACTION_TAGS = {
+    "remount-ro",
+    "journal-abort",
+    "unmountable",
+    "mount-failed",
+    "panic",
+    "silent-failure",
+    "ignored-error",
+    "log-reset",
+    "scrub-loss",
+    "scrub-complete",
+    "cksum-unavailable",
+    "replica-unavailable",
+    "replica-full",
+}
+
+
+def classify_log(
+    severity: Severity,
+    source: str,
+    tag: str,
+    message: str,
+    block: Optional[int] = None,
+) -> LogEvent:
+    """Type a kernel-log line by its machine tag.
+
+    Unknown tags become plain :class:`LogEvent`\\ s — still rendered,
+    still diffed, just not structurally matched by inference.
+    """
+    if tag in DETECTION_MECHANISMS:
+        return DetectionEvent(
+            severity, source, tag, message, block,
+            mechanism=DETECTION_MECHANISMS[tag],
+        )
+    if tag in RECOVERY_MECHANISMS:
+        return RecoveryEvent(
+            severity, source, tag, message, block,
+            mechanism=RECOVERY_MECHANISMS[tag],
+        )
+    if tag in POLICY_ACTION_TAGS:
+        return PolicyActionEvent(severity, source, tag, message, block)
+    return LogEvent(severity, source, tag, message, block)
+
+
+class EventLog:
+    """An append-only, ordered stream of :class:`StorageEvent`\\ s.
+
+    One log is shared by every layer of a device stack and the file
+    system mounted on it (see :class:`repro.disk.stack.DeviceStack`),
+    so cross-layer ordering — an injected error followed by the FS's
+    detection followed by its policy action — is preserved exactly.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Optional[List[StorageEvent]] = None):
+        self._events: List[StorageEvent] = list(events) if events else []
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, event: StorageEvent) -> StorageEvent:
+        self._events.append(event)
+        return event
+
+    # -- access --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[StorageEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        # An empty log is still a log: sharing checks must not mistake
+        # "no events yet" for "no stream to join".
+        return True
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def of_type(self, cls: Type[StorageEvent]) -> List[StorageEvent]:
+        return [e for e in self._events if isinstance(e, cls)]
+
+    def io_events(self) -> List[IOEvent]:
+        return [e for e in self._events if isinstance(e, IOEvent)]
+
+    def log_events(self) -> List[LogEvent]:
+        return [e for e in self._events if isinstance(e, LogEvent)]
+
+    # -- mutation ------------------------------------------------------------
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def remove_where(self, predicate: Callable[[StorageEvent], bool]) -> None:
+        self._events[:] = [e for e in self._events if not predicate(e)]
+
+    # -- digests -------------------------------------------------------------
+
+    def key_sequence(self) -> List[Tuple]:
+        return [e.key() for e in self._events]
+
+    def digest(self) -> str:
+        """SHA-256 over the ordered event keys (determinism checks)."""
+        h = hashlib.sha256()
+        for e in self._events:
+            h.update(repr(e.key()).encode())
+        return h.hexdigest()
+
+
+def fold_digest(hasher: "hashlib._Hash", label: str, events) -> None:
+    """Fold one run's ordered events into an accumulating digest."""
+    hasher.update(("\x00run:" + label + "\x00").encode())
+    for e in events:
+        hasher.update(repr(e.key()).encode())

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.errors import DiskError
-from repro.common.syslog import SysLog
+from repro.common.syslog import Severity, SysLog
 from repro.disk.disk import BlockDevice
 
 
@@ -60,9 +60,10 @@ class BufferLayer:
             except DiskError as exc:
                 last = exc
                 if attempt + 1 < attempts:
-                    self.syslog.warning(
+                    self.syslog.recovery(
                         self.source, "read-retry",
                         f"retrying read of block {block} (attempt {attempt + 2})",
+                        mechanism="retry", severity=Severity.WARNING,
                         block=block,
                     )
         assert last is not None
@@ -79,9 +80,10 @@ class BufferLayer:
             except DiskError as exc:
                 last = exc
                 if attempt + 1 < attempts:
-                    self.syslog.warning(
+                    self.syslog.recovery(
                         self.source, "write-retry",
                         f"retrying write of block {block} (attempt {attempt + 2})",
+                        mechanism="retry", severity=Severity.WARNING,
                         block=block,
                     )
         assert last is not None

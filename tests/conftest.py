@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.disk import FaultInjector, make_disk
+from repro.disk import DeviceStack, make_disk
 from repro.fs.ext3 import Ext3, Ext3Config, mkfs_ext3
 from repro.fs.ixt3 import Ixt3, ixt3_config, mkfs_ixt3
 from repro.fs.jfs import JFS, JFSConfig, mkfs_jfs
@@ -122,8 +122,8 @@ def ixt3_fs():
 
 def faulty_remount(name: str, disk):
     """Remount *disk* behind a fault injector with the oracle wired up."""
-    injector = FaultInjector(disk)
-    fs = FS_CLASSES[name](injector)
+    stack = DeviceStack(disk, inject=True)
+    fs = FS_CLASSES[name](stack)
     fs.mount()
-    injector.set_type_oracle(fs.block_type)
-    return injector, fs
+    stack.injector.set_type_oracle(fs.block_type)
+    return stack.injector, fs

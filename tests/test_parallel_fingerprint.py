@@ -18,21 +18,32 @@ SUBSET = [WORKLOAD_BY_KEY[k] for k in "abd"]
 class TestParallelDeterminism:
     @pytest.fixture(scope="class")
     def serial_and_parallel(self):
-        m1 = Fingerprinter(make_ext3_adapter(), workloads=SUBSET).run()
-        m2 = Fingerprinter(make_ext3_adapter(), workloads=SUBSET, jobs=4).run()
-        return m1, m2
+        fp1 = Fingerprinter(make_ext3_adapter(), workloads=SUBSET)
+        fp4 = Fingerprinter(make_ext3_adapter(), workloads=SUBSET, jobs=4)
+        return fp1.run(), fp4.run(), fp1, fp4
 
     def test_rendered_panels_byte_identical(self, serial_and_parallel):
-        m1, m2 = serial_and_parallel
+        m1, m2, _, _ = serial_and_parallel
         assert render_full_figure(m1) == render_full_figure(m2)
 
     def test_cells_and_na_sets_identical(self, serial_and_parallel):
-        m1, m2 = serial_and_parallel
+        m1, m2, _, _ = serial_and_parallel
         assert list(m1.cells.keys()) == list(m2.cells.keys())
         assert m1.not_applicable == m2.not_applicable
         for key in m1.cells:
             assert m1.cells[key].detection == m2.cells[key].detection
             assert m1.cells[key].recovery == m2.cells[key].recovery
+
+    def test_event_stream_deterministic_across_jobs(self, serial_and_parallel):
+        """The typed event stream, not just the rendered figure, must be
+        identical run to run: per-workload digests fold every ordered
+        event key from the baseline and each fault run."""
+        _, _, fp1, fp4 = serial_and_parallel
+        assert set(fp4.workload_digest) == {w.key for w in SUBSET}
+        assert fp4.workload_digest == fp1.workload_digest
+        assert fp4.workload_events == fp1.workload_events
+        # A digest of zero events would be vacuous determinism.
+        assert all(count > 0 for count in fp1.workload_events.values())
 
     def test_bookkeeping_matches_serial(self):
         fp1 = Fingerprinter(make_ext3_adapter(), workloads=SUBSET)
