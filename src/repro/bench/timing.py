@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 
 SCHEMA = "repro-bench-timing/1"
 DEFAULT_FILENAME = "BENCH_fingerprint.json"
+CRASH_FILENAME = "BENCH_crash.json"
 
 T = TypeVar("T")
 
@@ -94,6 +95,36 @@ def fingerprint_record(fp, matrix, wall_s: float) -> Dict[str, Any]:
         "total_cells": len(fp.cells),
         "applicable_cells": len(matrix.cells),
         "workloads": workloads,
+    }
+
+
+def crash_json_path(root: Optional[os.PathLike] = None) -> Path:
+    """Where crash-exploration records land: ``$REPRO_BENCH_CRASH_JSON``
+    when set, else ``BENCH_crash.json`` under *root* (default: cwd)."""
+    env = os.environ.get("REPRO_BENCH_CRASH_JSON")
+    if env:
+        return Path(env)
+    return Path(root) / CRASH_FILENAME if root else Path.cwd() / CRASH_FILENAME
+
+
+def crash_record(report, wall_s: float) -> Dict[str, Any]:
+    """Build the JSON record for one crash-exploration run.
+
+    *report* is a :class:`~repro.crash.engine.CrashReport`; the
+    violation digest is the determinism witness compared across
+    ``--jobs`` widths.
+    """
+    return {
+        "wall_s": round(wall_s, 6),
+        "jobs": report.jobs,
+        "profile": report.profile,
+        "workload": report.workload,
+        "writes": report.writes,
+        "epochs": report.epochs,
+        "states_explored": report.states_explored,
+        "violations": len(report.violations),
+        "violations_by_oracle": report.violations_by_oracle(),
+        "violation_digest": report.violation_digest(),
     }
 
 

@@ -7,6 +7,11 @@ Commands
     Run the failure-policy fingerprinting matrix against one of the
     simulated file systems and print the Figure-2-style panels.
 
+``crash FS``
+    Record a workload's write stream, enumerate bounded crash states
+    (prefix cuts + torn epochs), replay each through recovery, and
+    report every oracle violation with its reproducing state key.
+
 ``table6``
     Run the Table-6 overhead sweep (all 32 ixt3 variants by default)
     and print measured-vs-paper normalized run times.
@@ -67,6 +72,41 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
                             fingerprint_record(fp, matrix, wall_s))
         print(f"timing written to {path} ({wall_s:.2f}s wall, jobs={args.jobs})")
     return 0
+
+
+def _cmd_crash(args: argparse.Namespace) -> int:
+    from repro.bench.timing import crash_json_path, crash_record, record_entry, timed
+    from repro.crash import CRASH_PROFILES, CRASH_WORKLOADS, explore
+
+    if args.list:
+        for key in sorted(CRASH_WORKLOADS):
+            print(f"{key:10} {CRASH_WORKLOADS[key].name}")
+        return 0
+    if args.fs not in CRASH_PROFILES:
+        print(f"unknown file system {args.fs!r}; pick from {sorted(CRASH_PROFILES)}",
+              file=sys.stderr)
+        return 2
+    if args.workload not in CRASH_WORKLOADS:
+        print(f"unknown workload {args.workload!r}; pick from "
+              f"{sorted(CRASH_WORKLOADS)}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    report, wall_s = timed(lambda: explore(
+        args.fs, args.workload, jobs=args.jobs,
+        max_torn_per_epoch=args.max_torn,
+        progress=(print if args.verbose else None),
+    ))
+    print(report.render())
+    if not args.no_bench_json:
+        path = record_entry(
+            f"crash_{args.fs}_{args.workload}_j{args.jobs}",
+            crash_record(report, wall_s),
+            path=crash_json_path(),
+        )
+        print(f"timing written to {path} ({wall_s:.2f}s wall, jobs={args.jobs})")
+    return 1 if (args.fail_on_violation and report.violations) else 0
 
 
 def _cmd_table6(args: argparse.Namespace) -> int:
@@ -161,6 +201,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip writing timing records to BENCH_fingerprint.json")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_fingerprint)
+
+    p = sub.add_parser("crash", help="explore bounded crash states of a workload")
+    p.add_argument("fs", nargs="?", default="ext3",
+                   help="ext3 | reiserfs | jfs | ntfs | ixt3 (ixt3 = Tc enabled)")
+    p.add_argument("--workload", default="creat",
+                   help="crash workload key (see --list)")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="fan crash states out across N worker processes "
+                        "(reports are identical to --jobs 1)")
+    p.add_argument("--max-torn", type=int, default=None, metavar="K",
+                   help="cap torn states per commit epoch (default: all)")
+    p.add_argument("--list", action="store_true",
+                   help="list crash workloads and exit")
+    p.add_argument("--fail-on-violation", action="store_true",
+                   help="exit non-zero when any oracle is violated")
+    p.add_argument("--no-bench-json", action="store_true",
+                   help="skip writing timing records to BENCH_crash.json")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_crash)
 
     p = sub.add_parser("table6", help="run the Table-6 overhead sweep")
     p.add_argument("--quick", action="store_true",

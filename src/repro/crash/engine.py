@@ -1,0 +1,552 @@
+"""Bounded crash-state exploration: record, enumerate, replay, check.
+
+The paper's fail-partial model (§2.2) and ixt3's transactional
+checksums (§6.1) are claims about what survives an untimely crash.
+This engine validates them systematically instead of by spot checks:
+
+1. **Record** — run a :class:`~repro.crash.workloads.CrashWorkload`
+   on a freshly formatted volume behind a recording
+   :class:`~repro.disk.stack.DeviceStack`; the shared
+   :class:`~repro.obs.events.EventLog` captures the ordered stream of
+   :class:`~repro.obs.events.WriteImageEvent`\\ s interleaved with
+   :class:`~repro.obs.events.JournalCommitEvent` barriers.  Setup is
+   synced first and an O(1) CoW snapshot ("golden") taken, so every
+   crash state is golden + some subset of recorded writes.
+
+2. **Enumerate** — crash points are every *prefix* of the write
+   sequence (an in-order power cut), plus bounded *torn* states: for
+   each journal-commit epoch, the epoch completes but one of its
+   writes is lost — the write-back-cache reordering of §2.2's phantom
+   writes, the exact window transactional checksums exist to close.
+
+3. **Replay** — each state is reconstructed by restoring the golden
+   snapshot (O(1) — copy-on-write aliasing) and poking the selected
+   write images back, then mounting a fresh file-system instance so
+   its recovery path (journal replay) runs for real.
+
+4. **Check** — per-state oracles:
+
+   * **mountability** — recovery must neither panic nor refuse the
+     volume;
+   * **journal atomicity** — the recovered observable state must equal
+     one of the *epoch boundary* states (transactions apply entirely
+     or not at all);
+   * **lost acknowledged data** — files synced before the recorded
+     window must read back byte-identical;
+   * **replay idempotence** — unmounting and mounting again must not
+     change the state or replay the journal a second time;
+   * **metadata consistency** — for the ext3 family, fsck must report
+     the recovered volume clean.
+
+Every violation carries the exact state key (``prefix:i`` or
+``torn:e:j``) that reproduces it; :func:`apply_state` rebuilds the
+disk image for any key.  Exploration fans out across the same
+process-pool machinery as fingerprinting
+(:func:`repro.fingerprint.parallel.pool_map`): recording is fully
+deterministic (virtual clock, no randomness), so workers re-record
+independently and results merge in enumeration order — ``--jobs N``
+reports are identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import KernelPanic, StorageError
+from repro.crash.workloads import CRASH_WORKLOADS, CrashWorkload
+from repro.disk.stack import DeviceStack
+from repro.fingerprint.adapters import ADAPTERS
+from repro.fingerprint.parallel import pool_map
+from repro.fs.ext3.fsck import fsck_ext3
+from repro.fs.ixt3 import FEAT_TXN_CSUM
+from repro.obs.events import (
+    EventLog,
+    JournalCommitEvent,
+    RecoveryEvent,
+    WriteImageEvent,
+)
+
+#: Default cap on torn states per epoch (None = every single-write loss).
+DEFAULT_MAX_TORN = None
+
+
+@dataclass(frozen=True)
+class CrashProfile:
+    """How to build and judge one file system under crash exploration."""
+
+    key: str
+    #: Adapter recipe: ``ADAPTERS[registry_key](**registry_kwargs)``.
+    registry_key: str
+    registry_kwargs: Dict = field(default_factory=dict)
+    #: Run the ext3-family fsck as a consistency oracle.
+    fsck: bool = False
+    #: Fold statfs free counts into the state digest (ext3 family: a
+    #: half-applied transaction shows up as leaked blocks/inodes even
+    #: when the namespace looks plausible).
+    digest_counts: bool = False
+
+
+CRASH_PROFILES: Dict[str, CrashProfile] = {
+    "ext3": CrashProfile("ext3", "ext3", fsck=True, digest_counts=True),
+    # "ixt3" here means ixt3 with *transactional checksums* (§6.1) —
+    # the feature whose crash claim this engine exists to test.
+    "ixt3": CrashProfile(
+        "ixt3", "ixt3", {"features": FEAT_TXN_CSUM}, fsck=True, digest_counts=True
+    ),
+    "reiserfs": CrashProfile("reiserfs", "reiserfs"),
+    "jfs": CrashProfile("jfs", "jfs"),
+    "ntfs": CrashProfile("ntfs", "ntfs"),
+}
+
+
+@dataclass(frozen=True)
+class CrashState:
+    """One enumerated crash point.
+
+    ``prefix:i``  — writes ``[0, i)`` reached the platter, in order.
+    ``torn:e:j``  — epoch *e* completed (prefix up to its commit
+    barrier) but the epoch's *j*-th write was lost in the drive's
+    write-back cache.
+    """
+
+    key: str
+    end: int
+    dropped: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, addressable by its reproducing state key."""
+
+    state_key: str
+    oracle: str
+    detail: str
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        return (self.state_key, self.oracle, self.detail)
+
+
+@dataclass(frozen=True)
+class StateObservation:
+    """What one crash state looked like after recovery."""
+
+    key: str
+    outcome: str  # "recovered" | "degraded-ro" | "panic" | "unmountable"
+    digest: Optional[str]
+    violations: Tuple[Violation, ...]
+
+
+@dataclass
+class Recording:
+    """A workload's recorded write stream plus everything replay needs."""
+
+    profile: CrashProfile
+    workload: CrashWorkload
+    disk: object
+    adapter: object
+    golden: list
+    writes: List[Tuple[int, bytes]]
+    #: Prefix lengths at each journal-commit barrier, strictly increasing.
+    boundaries: List[int]
+    #: Digests of every legal post-recovery state (epoch boundaries).
+    boundary_digests: Dict[str, int] = field(default_factory=dict)
+    #: Acknowledged-before-recording file contents.
+    protected: Dict[str, bytes] = field(default_factory=dict)
+
+
+# -- record -------------------------------------------------------------------
+
+
+def record(profile: CrashProfile, workload: CrashWorkload) -> Recording:
+    """Run *workload* behind a recording stack and capture its stream."""
+    adapter = ADAPTERS[profile.registry_key](**profile.registry_kwargs)
+    disk = adapter.build_device()
+    adapter.mkfs(disk)
+    stack = DeviceStack(disk, record=True)
+    fs = adapter.make_fs(stack)
+    fs.mount()
+    workload.setup(fs)
+    fs.sync()
+    stack.events.consume_new()  # setup writes are below the golden line
+    golden = disk.snapshot()
+
+    # Batched journaling: one transaction per step, committed to the
+    # log but never checkpointed — every epoch leaves recovery real
+    # work to do, which is the window being explored.
+    fs.sync_mode = False
+    for step in workload.steps:
+        step(fs)
+        fs.commit_transaction()
+    fs.crash()
+
+    writes: List[Tuple[int, bytes]] = []
+    boundaries: List[int] = []
+    for event in stack.events.consume_new():
+        if isinstance(event, WriteImageEvent):
+            writes.append((event.block, event.data))
+        elif isinstance(event, JournalCommitEvent):
+            if not boundaries or boundaries[-1] != len(writes):
+                boundaries.append(len(writes))
+
+    rec = Recording(
+        profile=profile,
+        workload=workload,
+        disk=disk,
+        adapter=adapter,
+        golden=golden,
+        writes=writes,
+        boundaries=boundaries,
+    )
+    _prepare_reference(rec)
+    return rec
+
+
+def _boundary_marks(rec: Recording) -> List[int]:
+    marks = [0] + [b for b in rec.boundaries]
+    if len(rec.writes) not in marks:
+        marks.append(len(rec.writes))
+    seen, out = set(), []
+    for m in marks:
+        if m not in seen:
+            seen.add(m)
+            out.append(m)
+    return out
+
+
+def _prepare_reference(rec: Recording) -> None:
+    """Compute the legal-state digest set and protected-file contents.
+
+    A boundary prefix hands recovery only *complete* transactions, so
+    mounting it must always succeed; a failure here is an engine (or
+    file-system) defect, not a finding, and raises.
+    """
+    for mark in _boundary_marks(rec):
+        apply_state(rec, CrashState(f"prefix:{mark}", mark))
+        fs = rec.adapter.make_fs(rec.disk)
+        fs.mount()
+        digest = state_digest(fs, rec.profile.digest_counts)
+        rec.boundary_digests.setdefault(digest, mark)
+        if mark == 0:
+            for path in rec.workload.protected:
+                rec.protected[path] = fs.read_file(path)
+        fs.unmount()
+
+
+# -- enumerate ----------------------------------------------------------------
+
+
+def enumerate_states(
+    rec: Recording, max_torn_per_epoch: Optional[int] = DEFAULT_MAX_TORN
+) -> List[CrashState]:
+    """Every prefix cut, plus bounded torn states per commit epoch."""
+    states = [CrashState(f"prefix:{i}", i) for i in range(len(rec.writes) + 1)]
+    prev = 0
+    for epoch, bound in enumerate(rec.boundaries):
+        taken = 0
+        # Dropping the epoch's final write is identical to the prefix
+        # one short of the boundary; skip the duplicate.
+        for j in range(prev, bound - 1):
+            if max_torn_per_epoch is not None and taken >= max_torn_per_epoch:
+                break
+            states.append(CrashState(f"torn:{epoch}:{j - prev}", bound, j))
+            taken += 1
+        prev = bound
+    return states
+
+
+def state_by_key(rec: Recording, key: str) -> CrashState:
+    """Resolve a reported state key back to its crash state (repro aid)."""
+    for state in enumerate_states(rec, max_torn_per_epoch=None):
+        if state.key == key:
+            return state
+    raise KeyError(f"no such crash state: {key!r}")
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def apply_state(rec: Recording, state: CrashState) -> None:
+    """Reconstruct *state* on the recording's disk: O(1) golden restore
+    plus the selected write images poked back in order."""
+    rec.disk.restore(rec.golden)
+    for i in range(state.end):
+        if i == state.dropped:
+            continue
+        block, data = rec.writes[i]
+        rec.disk.poke(block, data)
+    # Each reconstructed state gets its own event stream so recovery
+    # observations never bleed between states (or into the recording).
+    rec.disk.events = EventLog()
+
+
+def state_digest(fs, include_counts: bool) -> str:
+    """Digest of the observable state: namespace, types, sizes, link
+    targets — and, for the ext3 family, statfs free counts.
+
+    File *contents* are deliberately excluded: ordered-mode data
+    writes legitimately reach home locations mid-epoch, so contents
+    are not atomic; acknowledged data is checked separately.
+    """
+    entries: List[tuple] = []
+    pending = ["/"]
+    # Torn recovery can leave a *cyclic* namespace (a stale index block
+    # naming an ancestor); walk each directory inode once so the digest
+    # terminates — the duplicate entry itself still lands in the digest.
+    seen_dirs = {fs.lstat("/").ino}
+    while pending:
+        directory = pending.pop()
+        names = sorted(
+            n for n in fs.getdirentries(directory) if n not in (".", "..")
+        )
+        for name in names:
+            path = directory.rstrip("/") + "/" + name
+            st = fs.lstat(path)
+            if st.is_dir:
+                entries.append(("d", path))
+                if st.ino not in seen_dirs:
+                    seen_dirs.add(st.ino)
+                    pending.append(path)
+            elif st.is_symlink:
+                entries.append(("l", path, fs.readlink(path)))
+            else:
+                entries.append(("f", path, st.size))
+    entries.sort()
+    if include_counts:
+        vfs = fs.statfs()
+        entries.append(("statfs", vfs.free_blocks, vfs.free_inodes))
+    return hashlib.sha256(repr(entries).encode()).hexdigest()[:16]
+
+
+# -- check --------------------------------------------------------------------
+
+
+def check_state(rec: Recording, state: CrashState) -> StateObservation:
+    """Replay one crash state and run every applicable oracle."""
+    apply_state(rec, state)
+    profile = rec.profile
+    violations: List[Violation] = []
+
+    fs = rec.adapter.make_fs(rec.disk)
+    try:
+        fs.mount()
+    except KernelPanic as exc:
+        return StateObservation(
+            state.key, "panic", None,
+            (Violation(state.key, "mountability", f"recovery panicked: {exc}"),),
+        )
+    except StorageError as exc:
+        return StateObservation(
+            state.key, "unmountable", None,
+            (Violation(
+                state.key, "mountability",
+                f"mount refused: {type(exc).__name__}: {exc}",
+            ),),
+        )
+
+    try:
+        digest = state_digest(fs, profile.digest_counts)
+    except StorageError as exc:
+        return StateObservation(
+            state.key, "recovered", None,
+            (Violation(
+                state.key, "consistency",
+                f"namespace unreadable after recovery: "
+                f"{type(exc).__name__}: {exc}",
+            ),),
+        )
+
+    if digest not in rec.boundary_digests:
+        violations.append(Violation(
+            state.key, "atomicity",
+            f"recovered state {digest} matches no journal-commit boundary",
+        ))
+
+    for path, payload in rec.protected.items():
+        try:
+            intact = fs.exists(path) and fs.read_file(path) == payload
+        except StorageError:
+            intact = False
+        if not intact:
+            violations.append(Violation(
+                state.key, "lost-data",
+                f"acknowledged file {path} lost or changed",
+            ))
+
+    if fs.read_only:
+        # The FS detected damage and fail-stopped: consistent-but-
+        # degraded is a legitimate recovery outcome, and the remaining
+        # oracles need a writable remount cycle.
+        return StateObservation(state.key, "degraded-ro", digest, tuple(violations))
+
+    try:
+        fs.unmount()
+    except StorageError as exc:
+        violations.append(Violation(
+            state.key, "idempotence",
+            f"unmount after recovery failed: {type(exc).__name__}: {exc}",
+        ))
+        return StateObservation(state.key, "recovered", digest, tuple(violations))
+
+    rec.disk.events = EventLog()
+    fs2 = rec.adapter.make_fs(rec.disk)
+    try:
+        fs2.mount()
+        digest2 = state_digest(fs2, profile.digest_counts)
+        if digest2 != digest:
+            violations.append(Violation(
+                state.key, "idempotence",
+                f"second mount changed state: {digest} -> {digest2}",
+            ))
+        if any(
+            isinstance(e, RecoveryEvent) and e.mechanism == "journal-replay"
+            for e in rec.disk.events
+        ):
+            violations.append(Violation(
+                state.key, "idempotence",
+                "second mount replayed the journal again",
+            ))
+        fs2.unmount()
+    except StorageError as exc:
+        violations.append(Violation(
+            state.key, "idempotence",
+            f"remount failed: {type(exc).__name__}: {exc}",
+        ))
+
+    if profile.fsck:
+        report = fsck_ext3(rec.disk)
+        if not report.clean:
+            problems = "; ".join(report.messages[:3]) or "problems found"
+            violations.append(Violation(
+                state.key, "consistency", f"fsck unclean: {problems}",
+            ))
+
+    return StateObservation(state.key, "recovered", digest, tuple(violations))
+
+
+# -- orchestration ------------------------------------------------------------
+
+
+@dataclass
+class CrashReport:
+    """Everything one exploration run produced."""
+
+    profile: str
+    workload: str
+    jobs: int
+    writes: int
+    epochs: int
+    observations: List[StateObservation]
+
+    @property
+    def states_explored(self) -> int:
+        return len(self.observations)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for obs in self.observations for v in obs.violations]
+
+    def violations_by_oracle(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for v in self.violations:
+            counts[v.oracle] = counts.get(v.oracle, 0) + 1
+        return counts
+
+    def violation_digest(self) -> str:
+        """SHA-256 over the ordered violation tuples: the determinism
+        witness compared across ``--jobs`` widths."""
+        h = hashlib.sha256()
+        for v in self.violations:
+            h.update(repr(v.as_tuple()).encode())
+        return h.hexdigest()
+
+    def render(self) -> str:
+        lines = [
+            f"crash exploration: {self.profile} / {self.workload}",
+            f"  {self.writes} recorded writes in {self.epochs} commit epochs",
+            f"  {self.states_explored} crash states explored "
+            f"({sum(1 for o in self.observations if o.key.startswith('torn'))} torn)",
+        ]
+        by_oracle = self.violations_by_oracle()
+        if not by_oracle:
+            lines.append("  all oracles passed in every state")
+        else:
+            total = len(self.violations)
+            lines.append(f"  {total} oracle violations:")
+            for oracle in sorted(by_oracle):
+                lines.append(f"    {oracle}: {by_oracle[oracle]}")
+            for v in self.violations:
+                lines.append(f"    [{v.state_key}] {v.oracle}: {v.detail}")
+        lines.append(f"  violation digest: {self.violation_digest()}")
+        return "\n".join(lines)
+
+
+def _explore_chunk(
+    profile_key: str,
+    workload_key: str,
+    max_torn_per_epoch: Optional[int],
+    lo: int,
+    hi: int,
+) -> List[StateObservation]:
+    """Pool entry point: re-record deterministically, check one slice."""
+    rec = record(CRASH_PROFILES[profile_key], CRASH_WORKLOADS[workload_key])
+    states = enumerate_states(rec, max_torn_per_epoch)
+    return [check_state(rec, state) for state in states[lo:hi]]
+
+
+def explore(
+    profile_key: str,
+    workload_key: str,
+    jobs: int = 1,
+    max_torn_per_epoch: Optional[int] = DEFAULT_MAX_TORN,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CrashReport:
+    """Record one workload and check every enumerated crash state.
+
+    Output is deterministic and independent of *jobs*: workers re-run
+    the (deterministic) recording and results merge in enumeration
+    order.
+    """
+    profile = CRASH_PROFILES[profile_key]
+    workload = CRASH_WORKLOADS[workload_key]
+    rec = record(profile, workload)
+    states = enumerate_states(rec, max_torn_per_epoch)
+    total = len(states)
+    if progress:
+        progress(
+            f"{profile_key}/{workload_key}: {len(rec.writes)} writes, "
+            f"{len(rec.boundaries)} epochs, {total} crash states"
+        )
+
+    jobs = max(1, jobs)
+    if jobs == 1:
+        observations = [check_state(rec, state) for state in states]
+    else:
+        width = min(jobs, total) or 1
+        step = (total + width - 1) // width
+        bounds = [(lo, min(lo + step, total)) for lo in range(0, total, step)]
+        chunks = pool_map(
+            _explore_chunk,
+            [
+                (profile_key, workload_key, max_torn_per_epoch, lo, hi)
+                for lo, hi in bounds
+            ],
+            jobs,
+        )
+        observations = [obs for chunk in chunks for obs in chunk]
+
+    report = CrashReport(
+        profile=profile_key,
+        workload=workload_key,
+        jobs=jobs,
+        writes=len(rec.writes),
+        epochs=len(rec.boundaries),
+        observations=observations,
+    )
+    if progress:
+        progress(
+            f"{profile_key}/{workload_key}: {len(report.violations)} violations "
+            f"across {report.states_explored} states"
+        )
+    return report

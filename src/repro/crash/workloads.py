@@ -1,0 +1,210 @@
+"""Crash-exploration workloads: multi-transaction mutation sequences.
+
+Each workload has three parts:
+
+* ``setup`` runs first and is **synced to disk** — everything it
+  creates is acknowledged durable before recording starts, so the
+  engine's lost-acknowledged-data oracle protects it.
+* ``steps`` run with the journal in batched mode; the engine commits
+  one transaction per step (``commit_transaction``), so each step is
+  one journal-commit *epoch* whose writes can be cut or torn.
+* ``protected`` names setup files the body never touches: they must
+  read back byte-identical in *every* enumerated crash state.
+
+Workload bodies use only the portable VFS surface (creat/mkdir/write/
+rename/unlink/symlink), so the same recording recipe runs unchanged on
+all five file systems and their write sequences stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.vfs.api import FileSystem
+from repro.vfs.fdtable import O_WRONLY
+
+StepFn = Callable[[FileSystem], None]
+
+
+@dataclass(frozen=True)
+class CrashWorkload:
+    """One recordable mutation sequence (see module docstring)."""
+
+    key: str
+    name: str
+    setup: StepFn
+    steps: Tuple[StepFn, ...]
+    #: Setup files the body never touches; any crash state losing one
+    #: violates the lost-acknowledged-data oracle.
+    protected: Tuple[str, ...] = field(default_factory=tuple)
+
+
+# -- shared setup -------------------------------------------------------------
+
+ACK_PAYLOAD = b"acknowledged payload: synced before the recorded window\n" * 4
+BASE_PAYLOAD = b"pre-existing state\n" * 8
+
+
+def _setup_base(fs: FileSystem) -> None:
+    fs.mkdir("/keep")
+    fs.write_file("/keep/ack", ACK_PAYLOAD)
+    fs.write_file("/base", BASE_PAYLOAD)
+
+
+_PROTECTED = ("/keep/ack", "/base")
+
+
+# -- creat: files and directories come into existence -------------------------
+
+def _creat_step1(fs: FileSystem) -> None:
+    for i in range(3):
+        fs.write_file(f"/f{i}", f"file {i} payload\n".encode() * 6)
+
+
+def _creat_step2(fs: FileSystem) -> None:
+    fs.mkdir("/newdir")
+    fs.write_file("/newdir/f", b"committed payload\n" * 4)
+
+
+def _creat_step3(fs: FileSystem) -> None:
+    fs.write_file("/f3", b"third transaction\n" * 5)
+    fs.write_file("/newdir/g", b"nested third\n" * 3)
+    fs.symlink("/newdir/f", "/link-to-f")
+
+
+# -- mkdir: a deepening directory tree ----------------------------------------
+
+def _mkdir_step1(fs: FileSystem) -> None:
+    fs.mkdir("/d0")
+    fs.write_file("/d0/a", b"level zero\n" * 3)
+
+
+def _mkdir_step2(fs: FileSystem) -> None:
+    fs.mkdir("/d0/d1")
+    fs.mkdir("/d0/d1/d2")
+    fs.write_file("/d0/d1/b", b"level one\n" * 3)
+
+
+def _mkdir_step3(fs: FileSystem) -> None:
+    fs.write_file("/d0/d1/d2/c", b"level two\n" * 3)
+    fs.mkdir("/d0/d3")
+
+
+# -- rename: entries move between directories ---------------------------------
+
+def _rename_setup(fs: FileSystem) -> None:
+    _setup_base(fs)
+    fs.mkdir("/src")
+    fs.write_file("/src/a", b"payload a\n" * 4)
+    fs.write_file("/src/b", b"payload b\n" * 4)
+
+
+def _rename_step1(fs: FileSystem) -> None:
+    fs.mkdir("/dst")
+    fs.rename("/src/a", "/dst/a")
+
+
+def _rename_step2(fs: FileSystem) -> None:
+    fs.rename("/src/b", "/dst/b-renamed")
+    fs.write_file("/src/c", b"payload c\n" * 4)
+
+
+def _rename_step3(fs: FileSystem) -> None:
+    fs.rename("/src/c", "/dst/c")
+    fs.rename("/dst/a", "/a-top")
+
+
+# -- unlink: deletion and slot reuse (exercises revoke paths) -----------------
+
+def _unlink_setup(fs: FileSystem) -> None:
+    _setup_base(fs)
+    fs.mkdir("/trash")
+    for i in range(3):
+        fs.write_file(f"/trash/t{i}", f"doomed {i}\n".encode() * 4)
+
+
+def _unlink_step1(fs: FileSystem) -> None:
+    fs.unlink("/trash/t0")
+    fs.unlink("/trash/t1")
+
+
+def _unlink_step2(fs: FileSystem) -> None:
+    fs.write_file("/trash/u0", b"replacement zero\n" * 4)
+    fs.unlink("/trash/t2")
+
+
+def _unlink_step3(fs: FileSystem) -> None:
+    fs.write_file("/trash/u1", b"replacement one\n" * 4)
+    fs.write_file("/after", b"tail txn\n" * 3)
+
+
+# -- append: ordered data growth on one file ----------------------------------
+
+def _append_setup(fs: FileSystem) -> None:
+    _setup_base(fs)
+    fs.write_file("/log", b"log line 0\n" * 2)
+
+
+def _append_chunk(fs: FileSystem, n: int) -> None:
+    size = fs.stat("/log").size
+    fd = fs.open("/log", O_WRONLY)
+    try:
+        fs.write(fd, f"log line {n}\n".encode() * 4, offset=size)
+    finally:
+        fs.close(fd)
+
+
+def _append_step1(fs: FileSystem) -> None:
+    _append_chunk(fs, 1)
+
+
+def _append_step2(fs: FileSystem) -> None:
+    _append_chunk(fs, 2)
+    fs.write_file("/marker", b"appended twice\n")
+
+
+def _append_step3(fs: FileSystem) -> None:
+    _append_chunk(fs, 3)
+
+
+CRASH_WORKLOADS: Dict[str, CrashWorkload] = {
+    w.key: w
+    for w in (
+        CrashWorkload(
+            key="creat",
+            name="create files, a directory, and a symlink",
+            setup=_setup_base,
+            steps=(_creat_step1, _creat_step2, _creat_step3),
+            protected=_PROTECTED,
+        ),
+        CrashWorkload(
+            key="mkdir",
+            name="grow a nested directory tree",
+            setup=_setup_base,
+            steps=(_mkdir_step1, _mkdir_step2, _mkdir_step3),
+            protected=_PROTECTED,
+        ),
+        CrashWorkload(
+            key="rename",
+            name="move entries between directories",
+            setup=_rename_setup,
+            steps=(_rename_step1, _rename_step2, _rename_step3),
+            protected=_PROTECTED,
+        ),
+        CrashWorkload(
+            key="unlink",
+            name="delete files and reuse their slots",
+            setup=_unlink_setup,
+            steps=(_unlink_step1, _unlink_step2, _unlink_step3),
+            protected=_PROTECTED,
+        ),
+        CrashWorkload(
+            key="append",
+            name="append ordered data to a growing log",
+            setup=_append_setup,
+            steps=(_append_step1, _append_step2, _append_step3),
+            protected=_PROTECTED,
+        ),
+    )
+}

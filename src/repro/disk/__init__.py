@@ -14,6 +14,7 @@ from repro.disk.faults import (
 )
 from repro.disk.geometry import DiskGeometry
 from repro.disk.injector import FaultInjector
+from repro.disk.recorder import WriteRecorder
 from repro.disk.scrub import ScrubReport, Scrubber
 from repro.disk.stack import DeviceStack
 from repro.disk.trace import IOTrace, TraceEntry
@@ -35,6 +36,7 @@ __all__ = [
     "Scrubber",
     "SimulatedDisk",
     "TraceEntry",
+    "WriteRecorder",
     "corruption",
     "make_disk",
     "read_failure",

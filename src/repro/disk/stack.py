@@ -17,11 +17,12 @@ interleave in one ordered, replayable record.
 
 Canonical order (bottom-up)::
 
-    SimulatedDisk          the medium: CoW contents + timing model
-      └─ FaultInjector     fail-partial faults + IOEvent emission
-           └─ BlockCache   the host's write-through buffer cache
+    SimulatedDisk            the medium: CoW contents + timing model
+      └─ FaultInjector       fail-partial faults + IOEvent emission
+           └─ BlockCache     the host's write-through buffer cache
+                └─ WriteRecorder   crash-engine write capture (record=True)
 
-Either middle layer may be omitted; ``top`` is whatever ends up
+Any of the upper layers may be omitted; ``top`` is whatever ends up
 uppermost.
 """
 
@@ -32,6 +33,7 @@ from typing import List, Optional
 from repro.disk.cache import BlockCache
 from repro.disk.disk import BlockDevice, DiskStats, SimulatedDisk, make_disk
 from repro.disk.injector import FaultInjector, TypeOracle
+from repro.disk.recorder import WriteRecorder
 from repro.obs.events import EventLog
 
 
@@ -46,6 +48,7 @@ class DeviceStack:
         cache_blocks: Optional[int] = None,
         type_oracle: Optional[TypeOracle] = None,
         events: Optional[EventLog] = None,
+        record: bool = False,
     ):
         self.events = events if events is not None else EventLog()
         self.disk = disk
@@ -60,6 +63,12 @@ class DeviceStack:
         if cache_blocks:
             self.cache = BlockCache(top, cache_blocks)
             top = self.cache
+        self.recorder: Optional[WriteRecorder] = None
+        if record:
+            # Uppermost, so it sees the file system's writes as issued —
+            # the crash engine replays *intent*, not the injector's view.
+            self.recorder = WriteRecorder(top, self.events)
+            top = self.recorder
         self.top: BlockDevice = top
 
     @classmethod
@@ -72,6 +81,7 @@ class DeviceStack:
         cache_blocks: Optional[int] = None,
         type_oracle: Optional[TypeOracle] = None,
         events: Optional[EventLog] = None,
+        record: bool = False,
         **timing,
     ) -> "DeviceStack":
         """Build a fresh disk and compose the requested layers over it."""
@@ -81,6 +91,7 @@ class DeviceStack:
             cache_blocks=cache_blocks,
             type_oracle=type_oracle,
             events=events,
+            record=record,
         )
 
     # -- BlockDevice protocol (delegates to the top layer) -------------------
@@ -107,8 +118,12 @@ class DeviceStack:
 
     def restore(self, snapshot) -> None:
         """Rewind the whole stack: each layer restores its lower layer
-        and invalidates its own state (cache LRU, I/O history)."""
+        and invalidates its own state (cache LRU, I/O history).  The
+        shared event stream drops its history too — and with it the
+        high-water mark — so a consumer's next ``consume_new()`` never
+        replays pre-restore events as if the rewound run emitted them."""
         self.top.restore(snapshot)
+        self.events.clear()
 
     @property
     def stats(self) -> DiskStats:
@@ -144,6 +159,8 @@ class DeviceStack:
             out.append(self.injector)
         if self.cache is not None:
             out.append(self.cache)
+        if self.recorder is not None:
+            out.append(self.recorder)
         return out
 
     def describe(self) -> str:

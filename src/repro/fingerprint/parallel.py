@@ -9,17 +9,42 @@ closures are not picklable), fingerprints one workload end to end, and
 ships the resulting :class:`~repro.fingerprint.harness.WorkloadOutcome`
 back.  The parent merges outcomes in submission (= workload) order, so
 ``jobs=N`` output is byte-identical to ``jobs=1``.
+
+:func:`pool_map` is the reusable core of that pattern — submission-order
+merge over a process pool with a serial fast path — shared with the
+crash-state exploration engine (:mod:`repro.crash.engine`).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Any, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.disk.faults import CorruptionMode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fingerprint.harness import Fingerprinter, WorkloadOutcome
+
+
+def pool_map(
+    worker: Callable[..., Any],
+    arg_tuples: Sequence[Tuple],
+    jobs: int,
+) -> List[Any]:
+    """Apply *worker* to each argument tuple, ``jobs`` at a time.
+
+    Results come back in submission order regardless of completion
+    order, so callers' merges are deterministic: ``jobs=N`` output is
+    identical to ``jobs=1``.  With ``jobs <= 1`` (or one task) the work
+    runs in-process — no pool, no pickling requirement.
+    """
+    tasks = list(arg_tuples)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(*args) for args in tasks]
+    max_workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(worker, *args) for args in tasks]
+        return [future.result() for future in futures]
 
 
 def _worker(
@@ -65,23 +90,22 @@ def run_parallel(fp: "Fingerprinter") -> List["WorkloadOutcome"]:
     the caller's merge is therefore deterministic.
     """
     check_parallelizable(fp)
-    max_workers = min(fp.jobs, len(fp.workloads))
-    outcomes: List["WorkloadOutcome"] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(
-                _worker,
+    outcomes: List["WorkloadOutcome"] = pool_map(
+        _worker,
+        [
+            (
                 fp.adapter.registry_key,
                 fp.adapter.registry_kwargs,
                 workload.key,
                 fp.corruption_mode,
             )
             for workload in fp.workloads
-        ]
-        for workload, future in zip(fp.workloads, futures):
-            outcomes.append(future.result())
-            fp.progress(
-                f"{fp.adapter.name}: workload {workload.key} ({workload.name}) "
-                f"[{outcomes[-1].wall_s:.2f}s]"
-            )
+        ],
+        fp.jobs,
+    )
+    for workload, outcome in zip(fp.workloads, outcomes):
+        fp.progress(
+            f"{fp.adapter.name}: workload {workload.key} ({workload.name}) "
+            f"[{outcome.wall_s:.2f}s]"
+        )
     return outcomes

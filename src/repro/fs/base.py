@@ -150,6 +150,22 @@ class JournaledFS(FileSystem):
             self.journal.checkpoint()
         self._note_commit(self._ops_since_commit)
 
+    def commit_transaction(self) -> None:
+        """Commit the running transaction to the log *without*
+        checkpointing it to home locations.
+
+        This is the crash-engine's epoch barrier: the transaction is
+        durable in the write-ahead log (recovery will replay it) while
+        its home-location writes remain pending, which is exactly the
+        window crash-state exploration enumerates.
+        """
+        self._ensure_mounted()
+        if self._read_only:
+            raise ReadOnlyError()
+        self.journal.commit()
+        self._note_commit(self._ops_since_commit)
+        self._ops_since_commit = 0
+
     def crash(self) -> None:
         """Power loss: volatile state vanishes; the on-disk log remains."""
         if self.journal is not None:

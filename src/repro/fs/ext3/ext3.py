@@ -709,6 +709,10 @@ class Ext3(JournaledFS):
     # ==================================================================
 
     def _dir_blocks(self, inode: Inode):
+        # Directory ops on a non-directory must fail with ENOTDIR, not
+        # parse file data as dirents (content-dependent garbage).
+        if not _stat.S_ISDIR(inode.mode):
+            raise FSError(Errno.ENOTDIR, "not a directory")
         bs = self.block_size
         nblocks = (inode.size + bs - 1) // bs
         for fb in range(nblocks):

@@ -673,6 +673,11 @@ class JFS(JournaledFS):
     # ==================================================================
 
     def _dir_blocks(self, ino: int, inode: JFSInode):
+        # Directory ops on a non-directory must fail with ENOTDIR —
+        # parsing file data as dirents would trip the sanity checks and
+        # fail-stop the volume over a merely bad path.
+        if not _stat.S_ISDIR(inode.mode):
+            raise FSError(Errno.ENOTDIR, "not a directory")
         bs = self.block_size
         for fb in range((inode.size + bs - 1) // bs):
             bno = self._bmap(ino, inode, fb, allocate=False)

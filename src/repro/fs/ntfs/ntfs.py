@@ -625,11 +625,28 @@ class NTFS(JournaledFS):
 
     # -- directories --------------------------------------------------------
 
+    @staticmethod
+    def _run_span(rec: MFTRecord, bs: int) -> int:
+        """File blocks covered by *rec*, clamped to the run table.  A
+        stale or corrupted record may carry an absurd size; iterating
+        past NUM_RUNS can only ever yield empty runs, so the clamp is
+        both a liveness and a sanity bound."""
+        return min((rec.size + bs - 1) // bs, NUM_RUNS)
+
+    @staticmethod
+    def _require_dir(rec: MFTRecord) -> None:
+        # Directory ops on a non-directory must fail with ENOTDIR —
+        # parsing file data as index blocks would trip the sanity
+        # checks and mark the volume unmountable over a bad path.
+        if not rec.is_dir:
+            raise FSError(Errno.ENOTDIR, "not a directory")
+
     def _dir_entries(self, mft: int, rec: MFTRecord) -> List[Tuple[int, int, str]]:
+        self._require_dir(rec)
         out = []
         bs = self.block_size
-        for fb in range((rec.size + bs - 1) // bs):
-            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+        for fb in range(self._run_span(rec, bs)):
+            bno = rec.runs[fb]
             if not bno:
                 continue
             raw = self._meta_bread(bno)
@@ -648,10 +665,11 @@ class NTFS(JournaledFS):
 
     def _dir_add(self, mft: int, name: str, child: int, ftype: int) -> None:
         rec = self._rget(mft)
+        self._require_dir(rec)
         bs = self.block_size
         need = 6 + len(name.encode())
-        for fb in range((rec.size + bs - 1) // bs):
-            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+        for fb in range(self._run_span(rec, bs)):
+            bno = rec.runs[fb]
             if not bno:
                 continue
             raw = self._meta_bread(bno)
@@ -676,9 +694,10 @@ class NTFS(JournaledFS):
 
     def _dir_remove(self, mft: int, name: str) -> None:
         rec = self._rget(mft)
+        self._require_dir(rec)
         bs = self.block_size
-        for fb in range((rec.size + bs - 1) // bs):
-            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+        for fb in range(self._run_span(rec, bs)):
+            bno = rec.runs[fb]
             if not bno:
                 continue
             raw = self._meta_bread(bno)
@@ -694,9 +713,10 @@ class NTFS(JournaledFS):
 
     def _dir_set_dotdot(self, mft: int, new_parent: int) -> None:
         rec = self._rget(mft)
+        self._require_dir(rec)
         bs = self.block_size
-        for fb in range((rec.size + bs - 1) // bs):
-            bno = rec.runs[fb] if fb < NUM_RUNS else 0
+        for fb in range(self._run_span(rec, bs)):
+            bno = rec.runs[fb]
             if not bno:
                 continue
             raw = self._meta_bread(bno)

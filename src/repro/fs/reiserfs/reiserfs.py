@@ -702,7 +702,14 @@ class ReiserFS(JournaledFS):
             (i for i in items if i.kind == IT_DIRENTRY), key=lambda i: i.key[2]
         )
 
+    def _require_dir(self, pair: Pair) -> None:
+        # Directory ops on a non-directory must fail with ENOTDIR, the
+        # same outcome every other file system here reports.
+        if not _stat.S_ISDIR(self._get_stat(pair).mode):
+            raise FSError(Errno.ENOTDIR, "not a directory")
+
     def _dir_entries(self, pair: Pair) -> List[Tuple[Pair, int, str]]:
+        self._require_dir(pair)
         out = []
         for item in self._entry_items(pair):
             child, ftype, name = unpack_dirent_body(item.body)
@@ -710,6 +717,7 @@ class ReiserFS(JournaledFS):
         return out
 
     def _dir_find(self, pair: Pair, name: str) -> Optional[Tuple[Pair, int]]:
+        self._require_dir(pair)
         h = name_hash(name)
         for probe in range(16):
             item = self.tree.lookup((pair[0], pair[1], h + probe, IT_DIRENTRY))
@@ -721,6 +729,7 @@ class ReiserFS(JournaledFS):
         return None
 
     def _dir_add(self, pair: Pair, name: str, child: Pair, ftype: int) -> None:
+        self._require_dir(pair)
         h = name_hash(name)
         for probe in range(16):
             key = (pair[0], pair[1], h + probe, IT_DIRENTRY)
@@ -734,6 +743,7 @@ class ReiserFS(JournaledFS):
         raise FSError(Errno.ENOSPC, "directory hash chain exhausted")
 
     def _dir_remove(self, pair: Pair, name: str) -> None:
+        self._require_dir(pair)
         h = name_hash(name)
         for probe in range(16):
             key = (pair[0], pair[1], h + probe, IT_DIRENTRY)

@@ -22,6 +22,7 @@ from repro.obs.events import (
     RecoveryEvent,
     Severity,
     StorageEvent,
+    WriteImageEvent,
     classify_log,
     fold_digest,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "RecoveryEvent",
     "Severity",
     "StorageEvent",
+    "WriteImageEvent",
     "classify_log",
     "fold_digest",
 ]

@@ -93,6 +93,24 @@ class FaultArmedEvent(StorageEvent):
 
 
 @dataclass(frozen=True)
+class WriteImageEvent(StorageEvent):
+    """One write at the top of the device stack, *with its payload*.
+
+    Emitted by the :class:`~repro.disk.recorder.WriteRecorder` layer so
+    the crash-state exploration engine (:mod:`repro.crash`) can replay
+    any prefix of a workload's write sequence onto a snapshot.  Unlike
+    :class:`IOEvent` (the injector's boundary observation), this event
+    carries the full block image — it is the record side of the
+    record/enumerate/replay/check loop.
+    """
+
+    kind: ClassVar[str] = "write-image"
+
+    block: int
+    data: bytes
+
+
+@dataclass(frozen=True)
 class JournalCommitEvent(StorageEvent):
     """A transaction commit barrier issued by the journaling framing."""
 
@@ -236,10 +254,14 @@ class EventLog:
     detection followed by its policy action — is preserved exactly.
     """
 
-    __slots__ = ("_events",)
+    __slots__ = ("_events", "high_water")
 
     def __init__(self, events: Optional[List[StorageEvent]] = None):
         self._events: List[StorageEvent] = list(events) if events else []
+        #: Index of the first event *not yet consumed* by an incremental
+        #: reader (the crash recorder).  ``consume_new()`` advances it;
+        #: ``clear()`` and ``reset_high_water()`` rewind it.
+        self.high_water: int = 0
 
     # -- emission ------------------------------------------------------------
 
@@ -272,13 +294,37 @@ class EventLog:
     def log_events(self) -> List[LogEvent]:
         return [e for e in self._events if isinstance(e, LogEvent)]
 
+    # -- incremental consumption ---------------------------------------------
+
+    def since(self, mark: int) -> List[StorageEvent]:
+        """Events appended at or after index *mark* (no state change)."""
+        return self._events[mark:]
+
+    def consume_new(self) -> List[StorageEvent]:
+        """Return events appended since the last call and advance the
+        high-water mark past them."""
+        new = self._events[self.high_water:]
+        self.high_water = len(self._events)
+        return new
+
+    def reset_high_water(self, mark: int = 0) -> None:
+        """Rewind the incremental-consumption mark (clamped to the log).
+
+        :meth:`repro.disk.stack.DeviceStack.restore` calls this so a
+        restored stack does not hand stale pre-snapshot events to the
+        crash recorder as if they were new.
+        """
+        self.high_water = max(0, min(mark, len(self._events)))
+
     # -- mutation ------------------------------------------------------------
 
     def clear(self) -> None:
         self._events.clear()
+        self.high_water = 0
 
     def remove_where(self, predicate: Callable[[StorageEvent], bool]) -> None:
         self._events[:] = [e for e in self._events if not predicate(e)]
+        self.high_water = min(self.high_water, len(self._events))
 
     # -- digests -------------------------------------------------------------
 

@@ -17,8 +17,9 @@ from repro.disk import (
     make_disk,
 )
 from repro.common.errors import ReadError
+from repro.disk.recorder import WriteRecorder
 from repro.fs.ext3 import Ext3, mkfs_ext3
-from repro.obs.events import EventLog, FaultArmedEvent, IOEvent
+from repro.obs.events import EventLog, FaultArmedEvent, IOEvent, WriteImageEvent
 
 from tests.conftest import EXT3_CFG
 
@@ -189,6 +190,77 @@ class TestLifecycle:
         for _ in range(5):
             stack.read_block(1)
         assert stack.stats.reads == before  # write-through filled the LRU
+
+
+class TestRecorderAndHighWater:
+    def test_recorder_composes_uppermost(self):
+        stack = DeviceStack.build(BLOCKS, BS, inject=True, cache_blocks=8,
+                                  record=True)
+        assert isinstance(stack.top, WriteRecorder)
+        assert stack.describe() == (
+            "SimulatedDisk -> FaultInjector -> BlockCache -> WriteRecorder"
+        )
+
+    def test_recorder_captures_write_images(self):
+        stack = DeviceStack.build(BLOCKS, BS, record=True)
+        stack.write_block(3, payload(7))
+        images = stack.events.of_type(WriteImageEvent)
+        assert [(e.block, e.data) for e in images] == [(3, payload(7))]
+
+    def test_consume_new_advances_the_mark(self):
+        stack = DeviceStack.build(BLOCKS, BS, record=True)
+        stack.write_block(1, payload(1))
+        first = stack.events.consume_new()
+        assert [e.block for e in first if isinstance(e, WriteImageEvent)] == [1]
+        assert stack.events.consume_new() == []
+        stack.write_block(2, payload(2))
+        second = stack.events.consume_new()
+        assert [e.block for e in second if isinstance(e, WriteImageEvent)] == [2]
+
+    def test_restore_resets_the_high_water_mark(self):
+        """Regression: restore() rewinds the medium and drops the event
+        history, but a stale high-water mark pointing past the (now
+        shorter) log would make the next consume_new() miss everything
+        a replayed workload writes."""
+        stack = DeviceStack.build(BLOCKS, BS, record=True)
+        snap = stack.snapshot()
+        stack.write_block(1, payload(1))
+        stack.write_block(2, payload(2))
+        stack.events.consume_new()               # mark now at the log's end
+        stack.restore(snap)
+        assert stack.events.high_water == 0
+        stack.write_block(3, payload(3))
+        replayed = [
+            e.block for e in stack.events.consume_new()
+            if isinstance(e, WriteImageEvent)
+        ]
+        assert 3 in replayed
+
+    def test_restore_never_replays_stale_events_as_new(self):
+        """After restore + consume_new, the only events handed out are
+        the ones emitted after the restore — pre-restore writes must
+        not leak into the next recording window."""
+        stack = DeviceStack.build(BLOCKS, BS, record=True)
+        stack.write_block(9, payload(9))         # pre-snapshot history
+        snap = stack.snapshot()
+        stack.events.consume_new()
+        stack.restore(snap)
+        stack.write_block(4, payload(4))
+        blocks = [
+            e.block for e in stack.events.consume_new()
+            if isinstance(e, WriteImageEvent)
+        ]
+        assert 9 not in blocks
+
+    def test_remove_where_clamps_the_mark(self):
+        log = EventLog()
+        log.emit(IOEvent(op="write", block=1, outcome="ok"))
+        log.emit(IOEvent(op="write", block=2, outcome="ok"))
+        log.consume_new()
+        log.remove_where(lambda e: True)
+        assert log.high_water == 0
+        log.emit(IOEvent(op="write", block=3, outcome="ok"))
+        assert [e.block for e in log.consume_new()] == [3]
 
 
 class TestIntrospection:

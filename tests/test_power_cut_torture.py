@@ -7,173 +7,191 @@ The journal's crash guarantee must hold at *every* cut point:
 * if the commit block made it but earlier journal copies did not
   (write-back reordering), plain ext3 replays stale bytes silently —
   while ixt3's transactional checksum detects the tear and refuses.
+
+The scenarios run on the crash-exploration engine (``repro.crash``):
+recording, state reconstruction, and oracles all come from the same
+implementation the ``python -m repro crash`` command uses, so every
+claim here is phrased as "state key X violates / passes oracle Y".
 """
 
-import itertools
+from __future__ import annotations
 
 import pytest
 
-from repro.disk import make_disk
-from repro.fs.ext3 import Ext3, fsck_ext3
+from repro.crash import (
+    CRASH_PROFILES,
+    CRASH_WORKLOADS,
+    apply_state,
+    check_state,
+    enumerate_states,
+    record,
+    state_by_key,
+    state_digest,
+)
+from repro.fingerprint.adapters import EXT3_FINGERPRINT_CONFIG
+from repro.fs.ext3.fsck import fsck_ext3
 from repro.fs.ext3.journal import parse_commit, parse_desc
-from repro.fs.ixt3 import FEAT_TXN_CSUM, Ixt3, mkfs_ixt3
+from repro.fs.ixt3 import ixt3_config
 
-from conftest import EXT3_CFG, IXT3_BASE, IXT3_CFG, make_ext3
+EXT3_CFG = EXT3_FINGERPRINT_CONFIG
+IXT3_CFG = ixt3_config(EXT3_FINGERPRINT_CONFIG)
 
-
-class WriteRecorder:
-    """Wraps a disk, remembering pre-images so any suffix/subset of
-    recent writes can be "lost" (reverted) to simulate a power cut in a
-    write-back cache."""
-
-    def __init__(self, disk):
-        self.disk = disk
-        self.log = []  # (block, pre-image)
-        self.armed = False
-
-    @property
-    def num_blocks(self):
-        return self.disk.num_blocks
-
-    @property
-    def block_size(self):
-        return self.disk.block_size
-
-    def read_block(self, block):
-        return self.disk.read_block(block)
-
-    def write_block(self, block, data):
-        if self.armed:
-            self.log.append((block, self.disk.peek(block)))
-        self.disk.write_block(block, data)
-
-    def stall(self, seconds):
-        self.disk.stall(seconds)
-
-    @property
-    def clock(self):
-        return self.disk.clock
-
-    def peek(self, block):
-        return self.disk.peek(block)
-
-    def lose_writes(self, indices):
-        """Revert the armed writes at *indices* (drive cache lost them)."""
-        for i in sorted(indices, reverse=True):
-            block, pre = self.log[i]
-            self.disk.poke(block, pre)
+_RECORDINGS = {}
 
 
-def committed_scenario(make_fs, mkfs, disk):
-    """Run one batched transaction whose journal writes are recorded."""
-    recorder = WriteRecorder(disk)
-    fs = make_fs(recorder)
-    fs.mount()
-    fs.write_file("/base", b"pre-existing state")
-    fs.sync()
-    fs.sync_mode = False
-    recorder.armed = True
-    fs.mkdir("/newdir")
-    fs.write_file("/newdir/f", b"committed payload")
-    fs.journal.commit()
-    recorder.armed = False
-    fs.crash()
-    return recorder, fs
+def recording(fs_key):
+    """One creat-workload recording per FS, cached per module (the
+    recording is deterministic, so sharing it between tests is safe —
+    each test reconstructs its own states via apply_state)."""
+    if fs_key not in _RECORDINGS:
+        _RECORDINGS[fs_key] = record(
+            CRASH_PROFILES[fs_key], CRASH_WORKLOADS["creat"]
+        )
+    return _RECORDINGS[fs_key]
 
 
-def journal_write_indices(recorder, cfg):
+def journal_write_indices(rec, cfg):
+    """Classify recorded journal writes: (copy indices, commit indices)."""
     jstart, jlen = cfg.journal_start, cfg.journal_blocks
     copies, commits = [], []
-    for i, (block, _) in enumerate(recorder.log):
+    for i, (block, data) in enumerate(rec.writes):
         if not jstart <= block < jstart + jlen:
             continue
-        raw = recorder.disk.peek(block)
-        if parse_commit(raw):
+        if parse_commit(data):
             commits.append(i)
-        elif not parse_desc(raw) and block != jstart:
+        elif not parse_desc(data) and block != jstart:
             copies.append(i)
     return copies, commits
+
+
+def torn_states_dropping(rec, indices):
+    """The enumerated torn states whose lost write is one of *indices*."""
+    wanted = set(indices)
+    return [
+        s for s in enumerate_states(rec)
+        if s.dropped is not None and s.dropped in wanted
+    ]
 
 
 class TestExt3CutPoints:
     def test_every_clean_suffix_cut_is_consistent(self):
         """Losing any *suffix* of the in-order write stream (no
         reordering) always yields a consistent volume: either the txn
-        replays fully or not at all."""
-        disk0, _ = make_ext3()
-        recorder, _ = committed_scenario(lambda d: Ext3(d),
-                                         None, disk0)
-        total = len(recorder.log)
-        for cut in range(total + 1):
-            disk, _ = make_ext3()
-            rec, _ = committed_scenario(lambda d: Ext3(d), None, disk)
-            rec.lose_writes(range(cut, len(rec.log)))
-            fs = Ext3(disk)
-            fs.mount()
-            if fs.exists("/newdir"):
-                assert fs.read_file("/newdir/f") == b"committed payload"
-            assert fs.read_file("/base") == b"pre-existing state"
-            fs.unmount()
-            assert fsck_ext3(disk).clean, f"cut at {cut}"
+        replays fully or not at all.  Engine phrasing: every prefix
+        state passes every oracle."""
+        rec = recording("ext3")
+        for state in enumerate_states(rec):
+            if not state.key.startswith("prefix:"):
+                continue
+            obs = check_state(rec, state)
+            assert not obs.violations, f"{state.key}: {obs.violations}"
 
     def test_lost_commit_block_means_no_replay(self):
-        disk, _ = make_ext3()
-        recorder, _ = committed_scenario(lambda d: Ext3(d), None, disk)
-        _, commits = journal_write_indices(recorder, EXT3_CFG)
-        assert commits
-        recorder.lose_writes(commits)
-        fs = Ext3(disk)
+        """Cutting just before an epoch's commit block lands on the
+        *previous* epoch's boundary: the half-written transaction must
+        not replay."""
+        rec = recording("ext3")
+        _, commits = journal_write_indices(rec, EXT3_CFG)
+        assert commits, "the creat workload must write commit blocks"
+        first_commit = commits[0]
+        assert first_commit + 1 in rec.boundaries  # commit ends the epoch
+        apply_state(rec, state_by_key(rec, f"prefix:{first_commit}"))
+        fs = rec.adapter.make_fs(rec.disk)
         fs.mount()
-        assert not fs.exists("/newdir")
-        assert fs.read_file("/base") == b"pre-existing state"
+        digest = state_digest(fs, rec.profile.digest_counts)
+        # The recovered state is the epoch-0 boundary (= golden state).
+        assert rec.boundary_digests[digest] == 0
+        assert not fs.exists("/f0")  # step-1 transaction did not replay
+        assert fs.read_file("/base") == rec.protected["/base"]
+        fs.unmount()
 
     def test_reordered_loss_corrupts_plain_ext3(self):
         """Commit survived, one journaled copy did not: ext3 replays the
-        stale pre-image with no idea anything is wrong."""
-        disk, _ = make_ext3()
-        recorder, _ = committed_scenario(lambda d: Ext3(d), None, disk)
-        copies, _ = journal_write_indices(recorder, EXT3_CFG)
+        stale pre-image with no idea anything is wrong — the engine's
+        oracles report it, the syslog stays silent."""
+        rec = recording("ext3")
+        copies, _ = journal_write_indices(rec, EXT3_CFG)
         assert copies
-        recorder.lose_writes([copies[0]])
-        fs = Ext3(disk)
-        fs.mount()  # replays happily
-        assert not fs.syslog.has_event("txn-checksum-mismatch")
-        # The volume may now be silently inconsistent; at minimum the
-        # replay used stale bytes for one metadata block.
+        torn = torn_states_dropping(rec, copies)
+        assert torn, "every journal copy must have a torn state"
+        flagged = []
+        for state in torn:
+            obs = check_state(rec, state)
+            if obs.violations:
+                flagged.append(state.key)
+            # Blind replay: ext3 has no checksum to notice the tear.
+            apply_state(rec, state)
+            fs = rec.adapter.make_fs(rec.disk)
+            try:
+                fs.mount()
+            except Exception:
+                continue
+            assert not fs.syslog.has_event("txn-checksum-mismatch")
+        assert flagged, "some torn journal-copy state must violate an oracle"
 
 
 class TestIxt3TcCutPoints:
-    def _scenario(self):
-        disk = make_disk(IXT3_CFG.total_blocks, IXT3_CFG.block_size)
-        mkfs_ixt3(disk, IXT3_BASE, features=FEAT_TXN_CSUM, config=IXT3_CFG)
-        return committed_scenario(lambda d: Ixt3(d), None, disk), disk
-
     def test_reordered_loss_detected_by_tc(self):
-        (recorder, _), disk = self._scenario()
-        copies, _ = journal_write_indices(recorder, IXT3_CFG)
+        """The transactional checksum catches the torn transaction and
+        refuses to replay it; recovery lands on a commit boundary."""
+        rec = recording("ixt3")
+        copies, _ = journal_write_indices(rec, IXT3_CFG)
         assert copies
-        recorder.lose_writes([copies[0]])
-        fs = Ixt3(disk)
+        state = torn_states_dropping(rec, copies)[0]
+        obs = check_state(rec, state)
+        assert not obs.violations, f"{state.key}: {obs.violations}"
+        apply_state(rec, state)
+        fs = rec.adapter.make_fs(rec.disk)
         fs.mount()
         assert fs.syslog.has_event("txn-checksum-mismatch")
-        assert not fs.exists("/newdir")  # torn txn refused
-        assert fs.read_file("/base") == b"pre-existing state"
+        assert fs.read_file("/base") == rec.protected["/base"]
         fs.unmount()
-        assert fsck_ext3(disk).clean
+        assert fsck_ext3(rec.disk).clean
 
     def test_every_single_copy_loss_detected(self):
-        (recorder0, _), _ = self._scenario()
-        copies, _ = journal_write_indices(recorder0, IXT3_CFG)
-        for lost in copies:
-            (recorder, _), disk = self._scenario()
-            recorder.lose_writes([lost])
-            fs = Ixt3(disk)
+        """No torn journal write slips past Tc, whichever copy is lost."""
+        rec = recording("ixt3")
+        copies, _ = journal_write_indices(rec, IXT3_CFG)
+        for state in torn_states_dropping(rec, copies):
+            obs = check_state(rec, state)
+            assert not obs.violations, f"{state.key}: {obs.violations}"
+            apply_state(rec, state)
+            fs = rec.adapter.make_fs(rec.disk)
             fs.mount()
-            assert fs.syslog.has_event("txn-checksum-mismatch"), f"copy {lost}"
-            assert not fs.exists("/newdir")
+            assert fs.syslog.has_event("txn-checksum-mismatch"), state.key
+            fs.unmount()
 
     def test_complete_transaction_still_replays(self):
-        (recorder, _), disk = self._scenario()
-        fs = Ixt3(disk)
+        """Tc must not cost anything when nothing tore: the full write
+        stream recovers to the final boundary with all three steps."""
+        rec = recording("ixt3")
+        full = state_by_key(rec, f"prefix:{len(rec.writes)}")
+        obs = check_state(rec, full)
+        assert not obs.violations
+        apply_state(rec, full)
+        fs = rec.adapter.make_fs(rec.disk)
         fs.mount()
-        assert fs.read_file("/newdir/f") == b"committed payload"
+        assert rec.boundary_digests[
+            state_digest(fs, rec.profile.digest_counts)
+        ] == len(rec.writes)
+        assert fs.read_file("/newdir/f") == b"committed payload\n" * 4
+        fs.unmount()
+
+    def test_differential_same_cut_ext3_fails_ixt3_passes(self):
+        """The head-to-head §6.1 claim at matching cut points: a torn
+        journal copy that breaks stock ext3 is harmless under Tc."""
+        ext3_rec = recording("ext3")
+        ixt3_rec = recording("ixt3")
+        ext3_copies, _ = journal_write_indices(ext3_rec, EXT3_CFG)
+        broken = [
+            s.key for s in torn_states_dropping(ext3_rec, ext3_copies)
+            if check_state(ext3_rec, s).violations
+        ]
+        assert broken
+        ixt3_keys = {s.key for s in enumerate_states(ixt3_rec)}
+        rescued = [
+            key for key in broken
+            if key in ixt3_keys
+            and not check_state(ixt3_rec, state_by_key(ixt3_rec, key)).violations
+        ]
+        assert rescued, "ixt3+Tc must pass cut points that break ext3"
