@@ -57,10 +57,39 @@ def bench_json_path(root: Optional[os.PathLike] = None) -> Path:
 
 
 def timed(fn: Callable[[], T]) -> Tuple[T, float]:
-    """Run *fn*, returning ``(result, wall_clock_seconds)``."""
+    """Run *fn*, returning ``(result, wall_clock_seconds)``.
+
+    When *fn* raises, the measurement is not lost: the elapsed time up
+    to the failure is attached to the exception as ``timed_wall_s``, so
+    drivers can record a failed entry (see :func:`failure_record`)
+    before re-raising instead of dropping the run from the BENCH JSON.
+    """
     started = time.perf_counter()
-    value = fn()
+    try:
+        value = fn()
+    except BaseException as exc:
+        exc.timed_wall_s = time.perf_counter() - started
+        raise
     return value, time.perf_counter() - started
+
+
+def failure_record(exc: BaseException, **context: Any) -> Dict[str, Any]:
+    """Build the JSON record for a benched run that raised.
+
+    ``wall_s`` is the elapsed time :func:`timed` attached to the
+    exception (0.0 when the failure happened outside ``timed``), and
+    ``status``/``error`` mark the entry so dashboards and the BENCH
+    sanity checks can tell a crashed run from a slow one.  Extra
+    keyword context (jobs, profile, workload...) is merged in.
+    """
+    record: Dict[str, Any] = {
+        "status": "failed",
+        "error": type(exc).__name__,
+        "error_detail": str(exc)[:200],
+        "wall_s": round(getattr(exc, "timed_wall_s", 0.0), 6),
+    }
+    record.update(context)
+    return record
 
 
 def fingerprint_record(fp, matrix, wall_s: float) -> Dict[str, Any]:
@@ -87,8 +116,10 @@ def fingerprint_record(fp, matrix, wall_s: float) -> Dict[str, Any]:
             entry["events"] = fp.workload_events[key]
         if getattr(fp, "workload_digest", {}).get(key):
             entry["event_digest"] = fp.workload_digest[key]
+        if getattr(fp, "workload_span_digest", {}).get(key):
+            entry["span_digest"] = fp.workload_span_digest[key]
         workloads[key] = entry
-    return {
+    record = {
         "wall_s": round(wall_s, 6),
         "jobs": fp.jobs,
         "tests_run": fp.tests_run,
@@ -96,6 +127,13 @@ def fingerprint_record(fp, matrix, wall_s: float) -> Dict[str, Any]:
         "applicable_cells": len(matrix.cells),
         "workloads": workloads,
     }
+    # Observability extras: the structural span-tree digest (a second
+    # jobs-width determinism witness) and the merged metrics snapshot.
+    if getattr(fp, "trace", False):
+        record["span_digest"] = fp.span_digest()
+    if getattr(fp, "metrics", False):
+        record["metrics"] = fp.merged_metrics()
+    return record
 
 
 def crash_json_path(root: Optional[os.PathLike] = None) -> Path:
@@ -114,7 +152,7 @@ def crash_record(report, wall_s: float) -> Dict[str, Any]:
     violation digest is the determinism witness compared across
     ``--jobs`` widths.
     """
-    return {
+    record = {
         "wall_s": round(wall_s, 6),
         "jobs": report.jobs,
         "profile": report.profile,
@@ -126,6 +164,9 @@ def crash_record(report, wall_s: float) -> Dict[str, Any]:
         "violations_by_oracle": report.violations_by_oracle(),
         "violation_digest": report.violation_digest(),
     }
+    if getattr(report, "traced", False):
+        record["span_digest"] = report.span_digest()
+    return record
 
 
 def table6_record(run, wall_s: float) -> Dict[str, Any]:

@@ -12,6 +12,12 @@ Commands
     (prefix cuts + torn epochs), replay each through recovery, and
     report every oracle violation with its reproducing state key.
 
+``trace FS --workload W``
+    Run one (or all) of the crash workloads with span tracing on and
+    write the Chrome trace-event JSON — loadable in Perfetto / DevTools
+    — plus a metrics snapshot.  ``fingerprint`` and ``crash`` grow
+    ``--trace`` / ``--metrics`` flags that do the same for full runs.
+
 ``table6``
     Run the Table-6 overhead sweep (all 32 ixt3 variants by default)
     and print measured-vs-paper normalized run times.
@@ -30,8 +36,35 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
+
+
+def _write_observability(
+    events,
+    metrics_snapshot,
+    trace_out: Optional[str],
+    metrics_out: Optional[str],
+) -> None:
+    """Write the Chrome trace and/or metrics snapshot files for a run.
+
+    The metrics snapshot lands both as JSON (``repro-metrics/1``) and,
+    next to it, as Prometheus text exposition (``.prom``).
+    """
+    from repro.obs.metrics import render_prometheus
+    from repro.obs.trace import write_chrome_trace
+
+    if trace_out and events is not None:
+        write_chrome_trace(events, trace_out)
+        print(f"chrome trace written to {trace_out} (load in ui.perfetto.dev)")
+    if metrics_out and metrics_snapshot is not None:
+        path = Path(metrics_out)
+        path.write_text(json.dumps(metrics_snapshot, indent=2, sort_keys=True) + "\n")
+        prom = path.with_suffix(".prom")
+        prom.write_text(render_prometheus(metrics_snapshot))
+        print(f"metrics written to {path} and {prom}")
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> int:
@@ -60,13 +93,29 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
     mode = CorruptionMode.FIELD if args.field_corruption else CorruptionMode.NOISE
     fp = Fingerprinter(adapter, workloads=workloads, corruption_mode=mode,
                        progress=(print if args.verbose else None),
-                       jobs=args.jobs)
-    matrix, wall_s = timed(fp.run)
+                       jobs=args.jobs, trace=args.trace, metrics=args.metrics)
+    try:
+        matrix, wall_s = timed(fp.run)
+    except Exception as exc:
+        if not args.no_bench_json:
+            from repro.bench.timing import failure_record
+
+            record_entry(f"fingerprint_{args.fs}",
+                         failure_record(exc, jobs=args.jobs, fs=args.fs))
+        raise
     print(render_full_figure(matrix))
     covered, total = matrix.coverage()
     print()
     print(f"{fp.tests_run} fault-injection tests; "
           f"{covered}/{total} cells show some detection or recovery")
+    if args.trace:
+        print(f"span-tree digest: {fp.span_digest()}")
+    _write_observability(
+        fp.merged_trace() if args.trace else None,
+        fp.merged_metrics() if args.metrics else None,
+        args.trace_out or (f"trace_fingerprint_{args.fs}.json" if args.trace else None),
+        args.metrics_out or (f"metrics_fingerprint_{args.fs}.json" if args.metrics else None),
+    )
     if not args.no_bench_json:
         path = record_entry(f"fingerprint_{args.fs}",
                             fingerprint_record(fp, matrix, wall_s))
@@ -93,12 +142,32 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
-    report, wall_s = timed(lambda: explore(
-        args.fs, args.workload, jobs=args.jobs,
-        max_torn_per_epoch=args.max_torn,
-        progress=(print if args.verbose else None),
-    ))
+    try:
+        report, wall_s = timed(lambda: explore(
+            args.fs, args.workload, jobs=args.jobs,
+            max_torn_per_epoch=args.max_torn,
+            progress=(print if args.verbose else None),
+            trace=args.trace,
+        ))
+    except Exception as exc:
+        if not args.no_bench_json:
+            from repro.bench.timing import failure_record
+
+            record_entry(
+                f"crash_{args.fs}_{args.workload}_j{args.jobs}",
+                failure_record(exc, jobs=args.jobs, profile=args.fs,
+                               workload=args.workload),
+                path=crash_json_path(),
+            )
+        raise
     print(report.render())
+    if args.trace:
+        print(f"span-tree digest: {report.span_digest()}")
+        _write_observability(
+            report.merged_trace(), None,
+            args.trace_out or f"trace_crash_{args.fs}_{args.workload}.json",
+            None,
+        )
     if not args.no_bench_json:
         path = record_entry(
             f"crash_{args.fs}_{args.workload}_j{args.jobs}",
@@ -107,6 +176,45 @@ def _cmd_crash(args: argparse.Namespace) -> int:
         )
         print(f"timing written to {path} ({wall_s:.2f}s wall, jobs={args.jobs})")
     return 1 if (args.fail_on_violation and report.violations) else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.crash import CRASH_PROFILES, CRASH_WORKLOADS
+    from repro.obs.capture import trace_workloads
+
+    if args.list:
+        for key in sorted(CRASH_WORKLOADS):
+            print(f"{key:10} {CRASH_WORKLOADS[key].name}")
+        return 0
+    if args.fs not in CRASH_PROFILES:
+        print(f"unknown file system {args.fs!r}; pick from {sorted(CRASH_PROFILES)}",
+              file=sys.stderr)
+        return 2
+    keys = args.workload or None
+    if keys:
+        unknown = [k for k in keys if k not in CRASH_WORKLOADS]
+        if unknown:
+            print(f"unknown workloads {unknown}; pick from "
+                  f"{sorted(CRASH_WORKLOADS)}", file=sys.stderr)
+            return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    capture = trace_workloads(args.fs, keys, jobs=args.jobs)
+    merged = capture.merged()
+    for label, events in capture.streams:
+        print(f"{label:10} {len(events)} events")
+    print(f"span-tree digest: {capture.span_digest()}")
+    suffix = "-".join(k for k, _ in capture.streams)
+    _write_observability(
+        merged,
+        capture.metrics if not args.no_metrics else None,
+        args.output or f"trace_{args.fs}_{suffix}.json",
+        args.metrics_out or (
+            None if args.no_metrics else f"metrics_{args.fs}_{suffix}.json"
+        ),
+    )
+    return 0
 
 
 def _cmd_table6(args: argparse.Namespace) -> int:
@@ -199,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(output is byte-identical to --jobs 1)")
     p.add_argument("--no-bench-json", action="store_true",
                    help="skip writing timing records to BENCH_fingerprint.json")
+    p.add_argument("--trace", action="store_true",
+                   help="record spans and write a Chrome trace-event JSON")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="trace output path (default: trace_fingerprint_FS.json)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect metrics; write JSON snapshot + Prometheus text")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="metrics output path (default: metrics_fingerprint_FS.json)")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_fingerprint)
 
@@ -218,8 +334,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero when any oracle is violated")
     p.add_argument("--no-bench-json", action="store_true",
                    help="skip writing timing records to BENCH_crash.json")
+    p.add_argument("--trace", action="store_true",
+                   help="keep every state's recovery stream and write a "
+                        "Chrome trace-event JSON")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="trace output path (default: trace_crash_FS_W.json)")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_crash)
+
+    p = sub.add_parser("trace",
+                       help="trace a workload; write Chrome/Perfetto JSON")
+    p.add_argument("fs", nargs="?", default="ext3",
+                   help="ext3 | reiserfs | jfs | ntfs | ixt3")
+    p.add_argument("--workload", action="append", metavar="W",
+                   help="crash workload key, repeatable (default: all)")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="fan workloads out across N worker processes "
+                        "(the merged trace is byte-identical to --jobs 1)")
+    p.add_argument("-o", "--output", metavar="PATH",
+                   help="trace output path (default: trace_FS_WORKLOADS.json)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="metrics output path (default: metrics_FS_WORKLOADS.json)")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="skip the metrics snapshot")
+    p.add_argument("--list", action="store_true",
+                   help="list traceable workloads and exit")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("table6", help="run the Table-6 overhead sweep")
     p.add_argument("--quick", action="store_true",

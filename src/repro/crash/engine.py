@@ -50,6 +50,7 @@ reports are identical to ``--jobs 1``.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -62,10 +63,20 @@ from repro.fingerprint.parallel import pool_map
 from repro.fs.ext3.fsck import fsck_ext3
 from repro.fs.ixt3 import FEAT_TXN_CSUM
 from repro.obs.events import (
+    DetectionEvent,
     EventLog,
     JournalCommitEvent,
+    PolicyActionEvent,
     RecoveryEvent,
+    StorageEvent,
     WriteImageEvent,
+)
+from repro.obs.trace import (
+    enable_tracing,
+    event_ref,
+    merge_streams,
+    span_ref,
+    span_tree_digest,
 )
 
 #: Default cap on torn states per epoch (None = every single-write loss).
@@ -123,8 +134,17 @@ class Violation:
     state_key: str
     oracle: str
     detail: str
+    #: Explainability: references into the state's recovery-event
+    #: stream — at minimum the per-state replay span, plus the first
+    #: detection/recovery/policy event recovery emitted.  Resolve with
+    #: :func:`repro.obs.trace.resolve_ref` against
+    #: :meth:`CrashReport.streams`.
+    provenance: Tuple[str, ...] = ()
 
     def as_tuple(self) -> Tuple[str, str, str]:
+        # Provenance deliberately excluded: the violation digest is the
+        # cross-jobs determinism witness and must stay comparable with
+        # records produced before tracing existed.
         return (self.state_key, self.oracle, self.detail)
 
 
@@ -136,6 +156,11 @@ class StateObservation:
     outcome: str  # "recovered" | "degraded-ro" | "panic" | "unmountable"
     digest: Optional[str]
     violations: Tuple[Violation, ...]
+    #: The state's recovery event stream (replay span + everything the
+    #: recovering FS emitted).  Kept only for violating states, or for
+    #: every state when the exploration ran with ``trace=True`` —
+    #: provenance references resolve against this.
+    trace: Tuple[StorageEvent, ...] = ()
 
 
 @dataclass
@@ -154,23 +179,58 @@ class Recording:
     boundary_digests: Dict[str, int] = field(default_factory=dict)
     #: Acknowledged-before-recording file contents.
     protected: Dict[str, bytes] = field(default_factory=dict)
+    #: Keep per-state recovery streams for *every* state (not just
+    #: violating ones) — set by ``record(trace=True)``.
+    trace: bool = False
+    #: The recording phase's own event stream (op spans + write images
+    #: + commit barriers), retained only when ``trace=True``.
+    trace_events: List[StorageEvent] = field(default_factory=list)
 
 
 # -- record -------------------------------------------------------------------
 
 
-def record(profile: CrashProfile, workload: CrashWorkload) -> Recording:
-    """Run *workload* behind a recording stack and capture its stream."""
+def record(
+    profile: CrashProfile,
+    workload: CrashWorkload,
+    trace: bool = False,
+    max_events: Optional[int] = None,
+) -> Recording:
+    """Run *workload* behind a recording stack and capture its stream.
+
+    The recorder consumes incrementally — :meth:`EventLog.drain` after
+    every step — so the shared log never holds more than one step's
+    events, however long the workload (``drain() + drain() + ...``
+    yields exactly the stream a single trailing ``consume_new()``
+    would).  *max_events* additionally arms the log's ring mode as a
+    hard backstop for steps that are themselves enormous.
+    """
     adapter = ADAPTERS[profile.registry_key](**profile.registry_kwargs)
     disk = adapter.build_device()
     adapter.mkfs(disk)
-    stack = DeviceStack(disk, record=True)
+    stack = DeviceStack(disk, record=True, events=EventLog(max_events=max_events))
     fs = adapter.make_fs(stack)
+    if trace:
+        enable_tracing(stack.events)
     fs.mount()
     workload.setup(fs)
     fs.sync()
-    stack.events.consume_new()  # setup writes are below the golden line
+    stack.events.drain()  # setup writes are below the golden line
     golden = disk.snapshot()
+
+    writes: List[Tuple[int, bytes]] = []
+    boundaries: List[int] = []
+    trace_events: List[StorageEvent] = []
+
+    def ingest(batch: List[StorageEvent]) -> None:
+        for event in batch:
+            if isinstance(event, WriteImageEvent):
+                writes.append((event.block, event.data))
+            elif isinstance(event, JournalCommitEvent):
+                if not boundaries or boundaries[-1] != len(writes):
+                    boundaries.append(len(writes))
+        if trace:
+            trace_events.extend(batch)
 
     # Batched journaling: one transaction per step, committed to the
     # log but never checkpointed — every epoch leaves recovery real
@@ -179,16 +239,9 @@ def record(profile: CrashProfile, workload: CrashWorkload) -> Recording:
     for step in workload.steps:
         step(fs)
         fs.commit_transaction()
+        ingest(stack.events.drain())
     fs.crash()
-
-    writes: List[Tuple[int, bytes]] = []
-    boundaries: List[int] = []
-    for event in stack.events.consume_new():
-        if isinstance(event, WriteImageEvent):
-            writes.append((event.block, event.data))
-        elif isinstance(event, JournalCommitEvent):
-            if not boundaries or boundaries[-1] != len(writes):
-                boundaries.append(len(writes))
+    ingest(stack.events.drain())
 
     rec = Recording(
         profile=profile,
@@ -198,6 +251,8 @@ def record(profile: CrashProfile, workload: CrashWorkload) -> Recording:
         golden=golden,
         writes=writes,
         boundaries=boundaries,
+        trace=trace,
+        trace_events=trace_events,
     )
     _prepare_reference(rec)
     return rec
@@ -322,9 +377,45 @@ def state_digest(fs, include_counts: bool) -> str:
 # -- check --------------------------------------------------------------------
 
 
+def _evidence(
+    stream: EventLog, label: str, span_id: int
+) -> Tuple[str, ...]:
+    """Provenance for one violation: the state's replay span plus the
+    first detection / recovery / policy event recovery emitted (when
+    there is one) — both resolvable against the state's kept stream."""
+    refs = [span_ref(label, span_id)]
+    for index, event in enumerate(stream):
+        if isinstance(event, (DetectionEvent, RecoveryEvent, PolicyActionEvent)):
+            refs.append(event_ref(label, index, event))
+            break
+    return tuple(refs)
+
+
 def check_state(rec: Recording, state: CrashState) -> StateObservation:
-    """Replay one crash state and run every applicable oracle."""
+    """Replay one crash state and run every applicable oracle.
+
+    Every state's recovery runs under a traced replay span, so each
+    violation carries provenance into the stream that convicted it; the
+    stream itself is kept on the observation for violating states (all
+    states when the recording was made with ``trace=True``).
+    """
     apply_state(rec, state)
+    stream = rec.disk.events
+    tracer = enable_tracing(stream)
+    span_id = tracer.start(f"replay:{state.key}", "run", source=rec.profile.key)
+    obs = _judge_state(rec, state, stream, span_id)
+    tracer.end(span_id, "error" if obs.violations else "ok")
+    if rec.trace or obs.violations:
+        obs = dataclasses.replace(obs, trace=tuple(stream))
+    return obs
+
+
+def _judge_state(
+    rec: Recording,
+    state: CrashState,
+    stream: EventLog,
+    span_id: int,
+) -> StateObservation:
     profile = rec.profile
     violations: List[Violation] = []
 
@@ -334,7 +425,8 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
     except KernelPanic as exc:
         return StateObservation(
             state.key, "panic", None,
-            (Violation(state.key, "mountability", f"recovery panicked: {exc}"),),
+            (Violation(state.key, "mountability", f"recovery panicked: {exc}",
+                       _evidence(stream, state.key, span_id)),),
         )
     except StorageError as exc:
         return StateObservation(
@@ -342,6 +434,7 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
             (Violation(
                 state.key, "mountability",
                 f"mount refused: {type(exc).__name__}: {exc}",
+                _evidence(stream, state.key, span_id),
             ),),
         )
 
@@ -354,6 +447,7 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
                 state.key, "consistency",
                 f"namespace unreadable after recovery: "
                 f"{type(exc).__name__}: {exc}",
+                _evidence(stream, state.key, span_id),
             ),),
         )
 
@@ -361,6 +455,7 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
         violations.append(Violation(
             state.key, "atomicity",
             f"recovered state {digest} matches no journal-commit boundary",
+            _evidence(stream, state.key, span_id),
         ))
 
     for path, payload in rec.protected.items():
@@ -372,6 +467,7 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
             violations.append(Violation(
                 state.key, "lost-data",
                 f"acknowledged file {path} lost or changed",
+                _evidence(stream, state.key, span_id),
             ))
 
     if fs.read_only:
@@ -386,6 +482,7 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
         violations.append(Violation(
             state.key, "idempotence",
             f"unmount after recovery failed: {type(exc).__name__}: {exc}",
+            _evidence(stream, state.key, span_id),
         ))
         return StateObservation(state.key, "recovered", digest, tuple(violations))
 
@@ -398,6 +495,7 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
             violations.append(Violation(
                 state.key, "idempotence",
                 f"second mount changed state: {digest} -> {digest2}",
+                _evidence(stream, state.key, span_id),
             ))
         if any(
             isinstance(e, RecoveryEvent) and e.mechanism == "journal-replay"
@@ -406,12 +504,14 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
             violations.append(Violation(
                 state.key, "idempotence",
                 "second mount replayed the journal again",
+                _evidence(stream, state.key, span_id),
             ))
         fs2.unmount()
     except StorageError as exc:
         violations.append(Violation(
             state.key, "idempotence",
             f"remount failed: {type(exc).__name__}: {exc}",
+            _evidence(stream, state.key, span_id),
         ))
 
     if profile.fsck:
@@ -420,6 +520,7 @@ def check_state(rec: Recording, state: CrashState) -> StateObservation:
             problems = "; ".join(report.messages[:3]) or "problems found"
             violations.append(Violation(
                 state.key, "consistency", f"fsck unclean: {problems}",
+                _evidence(stream, state.key, span_id),
             ))
 
     return StateObservation(state.key, "recovered", digest, tuple(violations))
@@ -438,6 +539,9 @@ class CrashReport:
     writes: int
     epochs: int
     observations: List[StateObservation]
+    #: Whether every state's stream was kept (``explore(trace=True)``),
+    #: as opposed to only the violating states'.
+    traced: bool = False
 
     @property
     def states_explored(self) -> int:
@@ -460,6 +564,26 @@ class CrashReport:
         for v in self.violations:
             h.update(repr(v.as_tuple()).encode())
         return h.hexdigest()
+
+    def streams(self) -> Dict[str, List[StorageEvent]]:
+        """Kept per-state recovery streams, by state key — what the
+        violations' provenance references resolve against."""
+        return {
+            obs.key: list(obs.trace) for obs in self.observations if obs.trace
+        }
+
+    def merged_trace(self) -> List[StorageEvent]:
+        """All kept state streams spliced into one deterministic trace
+        (enumeration order), exportable as Chrome trace-event JSON."""
+        return merge_streams(
+            [(obs.key, list(obs.trace)) for obs in self.observations if obs.trace],
+            root=f"crash:{self.profile}:{self.workload}",
+        )
+
+    def span_digest(self) -> str:
+        """Structural span-tree digest over :meth:`merged_trace` — the
+        jobs-width determinism witness for traced crash runs."""
+        return span_tree_digest(self.merged_trace())
 
     def render(self) -> str:
         lines = [
@@ -488,9 +612,11 @@ def _explore_chunk(
     max_torn_per_epoch: Optional[int],
     lo: int,
     hi: int,
+    trace: bool = False,
 ) -> List[StateObservation]:
     """Pool entry point: re-record deterministically, check one slice."""
-    rec = record(CRASH_PROFILES[profile_key], CRASH_WORKLOADS[workload_key])
+    rec = record(CRASH_PROFILES[profile_key], CRASH_WORKLOADS[workload_key],
+                 trace=trace)
     states = enumerate_states(rec, max_torn_per_epoch)
     return [check_state(rec, state) for state in states[lo:hi]]
 
@@ -501,16 +627,18 @@ def explore(
     jobs: int = 1,
     max_torn_per_epoch: Optional[int] = DEFAULT_MAX_TORN,
     progress: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> CrashReport:
     """Record one workload and check every enumerated crash state.
 
     Output is deterministic and independent of *jobs*: workers re-run
     the (deterministic) recording and results merge in enumeration
-    order.
+    order.  With ``trace=True``, every state's recovery stream is kept
+    (not just violating ones) for Chrome-trace export.
     """
     profile = CRASH_PROFILES[profile_key]
     workload = CRASH_WORKLOADS[workload_key]
-    rec = record(profile, workload)
+    rec = record(profile, workload, trace=trace)
     states = enumerate_states(rec, max_torn_per_epoch)
     total = len(states)
     if progress:
@@ -529,7 +657,7 @@ def explore(
         chunks = pool_map(
             _explore_chunk,
             [
-                (profile_key, workload_key, max_torn_per_epoch, lo, hi)
+                (profile_key, workload_key, max_torn_per_epoch, lo, hi, trace)
                 for lo, hi in bounds
             ],
             jobs,
@@ -543,6 +671,7 @@ def explore(
         writes=len(rec.writes),
         epochs=len(rec.boundaries),
         observations=observations,
+        traced=trace,
     )
     if progress:
         progress(

@@ -96,6 +96,10 @@ class SimulatedDisk:
         #: Shared typed-event stream, when this disk is part of a
         #: DeviceStack (upper layers and the mounted FS adopt it).
         self.events = None
+        #: Optional ``(op, seconds)`` callback invoked with each
+        #: request's virtual service time — the metrics layer hangs a
+        #: latency histogram here (virtual time, so deterministic).
+        self.latency_observer = None
 
     # -- BlockDevice protocol ----------------------------------------------
 
@@ -153,6 +157,8 @@ class SimulatedDisk:
         self.clock += t
         self.stats.busy_time_s += t
         self._head = block
+        if self.latency_observer is not None:
+            self.latency_observer("write" if is_write else "read", t)
 
     # -- control -------------------------------------------------------------
 

@@ -29,6 +29,8 @@ class WriteRecorder:
         self.lower = lower
         self.events = events
         self.enabled = True
+        #: Write images captured since construction (metrics source).
+        self.recorded = 0
 
     @property
     def num_blocks(self) -> int:
@@ -44,6 +46,7 @@ class WriteRecorder:
     def write_block(self, block: int, data: bytes) -> None:
         if self.enabled:
             self.events.emit(WriteImageEvent(block=block, data=bytes(data)))
+            self.recorded += 1
         self.lower.write_block(block, data)
 
     # -- uniform stack lifecycle --------------------------------------------

@@ -150,6 +150,52 @@ class DeviceStack:
     def poke(self, block: int, data: bytes) -> None:
         self.disk.poke(block, data)
 
+    # -- metrics -------------------------------------------------------------
+
+    def observe_latencies(self, registry) -> None:
+        """Feed the raw disk's per-request virtual service times into a
+        ``repro_io_latency_seconds`` histogram on *registry*.  Virtual
+        time is deterministic, so the histogram is too."""
+        hist = {
+            op: registry.histogram("repro_io_latency_seconds", op=op)
+            for op in ("read", "write")
+        }
+        self.disk.latency_observer = lambda op, t: hist[op].observe(t)
+
+    def collect_metrics(self, registry) -> None:
+        """Export every layer's cumulative counters into *registry*.
+
+        This is the single source the BENCH records and the Prometheus
+        exporter both read (the same numbers, one origin): raw-device
+        :class:`DiskStats`, buffer-cache hit/miss + hit rate, injector
+        armed-fault count, and recorder write captures.
+        """
+        stats = self.disk.stats
+        registry.counter("repro_device_reads_total").inc(stats.reads)
+        registry.counter("repro_device_writes_total").inc(stats.writes)
+        registry.counter("repro_device_bytes_read_total").inc(stats.bytes_read)
+        registry.counter("repro_device_bytes_written_total").inc(stats.bytes_written)
+        registry.counter("repro_device_seeks_total").inc(stats.seeks)
+        registry.counter("repro_device_busy_seconds_total").inc(stats.busy_time_s)
+        if self.cache is not None:
+            registry.counter("repro_cache_hits_total", layer="block-cache").inc(
+                self.cache.hits
+            )
+            registry.counter("repro_cache_misses_total", layer="block-cache").inc(
+                self.cache.misses
+            )
+            registry.gauge("repro_cache_hit_rate", layer="block-cache").set(
+                self.cache.hit_rate()
+            )
+        if self.injector is not None:
+            registry.gauge("repro_faults_currently_armed").set(
+                len(self.injector.faults)
+            )
+        if self.recorder is not None:
+            registry.counter("repro_recorded_writes_total").inc(
+                self.recorder.recorded
+            )
+
     # -- introspection -------------------------------------------------------
 
     def layers(self) -> List[BlockDevice]:

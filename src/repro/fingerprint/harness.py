@@ -27,7 +27,9 @@ from repro.disk.faults import CorruptionMode, Fault, FaultKind, FaultOp
 from repro.disk.stack import DeviceStack
 from repro.fingerprint.inference import RunObservation, infer_policy
 from repro.fingerprint.workloads import WORKLOADS, OpResult, Recorder, Workload
-from repro.obs.events import fold_digest
+from repro.obs.events import StorageEvent, fold_digest
+from repro.obs.metrics import MetricsRegistry, metrics_from_events
+from repro.obs.trace import enable_tracing, merge_streams, span_tree_digest
 from repro.taxonomy.policy import FAULT_CLASSES, PolicyMatrix, PolicyObservation
 from repro.vfs.api import FileSystem
 
@@ -104,6 +106,14 @@ class WorkloadOutcome:
     #: (``jobs=N`` must reproduce ``jobs=1`` exactly).
     event_count: int = 0
     event_digest: str = ""
+    #: ``repro-metrics/1`` snapshot for this workload (None unless the
+    #: fingerprinter ran with ``metrics=True``); per-worker snapshots
+    #: merge associatively in the parent.
+    metrics: Optional[Dict[str, Any]] = None
+    #: Labeled per-run event streams (only when ``trace=True``) and the
+    #: structural span-tree digest over their deterministic merge.
+    trace: List[Tuple[str, List[StorageEvent]]] = field(default_factory=list)
+    span_digest: str = ""
 
 
 class Fingerprinter:
@@ -116,6 +126,8 @@ class Fingerprinter:
         corruption_mode: CorruptionMode = CorruptionMode.NOISE,
         progress: Optional[Callable[[str], None]] = None,
         jobs: int = 1,
+        trace: bool = False,
+        metrics: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -126,6 +138,11 @@ class Fingerprinter:
         self.corruption_mode = corruption_mode
         self.progress = progress or (lambda msg: None)
         self.jobs = jobs
+        #: Emit spans into every run's event stream and keep the labeled
+        #: streams for export (Chrome trace) and digesting.
+        self.trace = trace
+        #: Accumulate per-workload metrics registries (merged after run).
+        self.metrics = metrics
         self.tests_run = 0
         self.cells: List[CellResult] = []
         #: Per-workload wall-clock seconds (key -> seconds) and raw
@@ -135,7 +152,13 @@ class Fingerprinter:
         #: Per-workload typed-event totals and determinism digests.
         self.workload_events: Dict[str, int] = {}
         self.workload_digest: Dict[str, str] = {}
+        #: Per-workload observability products (trace / metrics runs).
+        self.workload_trace: Dict[str, List[Tuple[str, List[StorageEvent]]]] = {}
+        self.workload_span_digest: Dict[str, str] = {}
+        self.workload_metrics: Dict[str, Optional[Dict[str, Any]]] = {}
         self._io_acc: Optional[DiskStats] = None
+        self._metrics_acc: Optional[MetricsRegistry] = None
+        self._trace_acc: Optional[List[Tuple[str, List[StorageEvent]]]] = None
 
     # -- public entry point --------------------------------------------------
 
@@ -168,13 +191,18 @@ class Fingerprinter:
         an ordered op list so serial and parallel runs merge identically."""
         started = time.perf_counter()
         self._io_acc = DiskStats()
+        self._metrics_acc = MetricsRegistry() if self.metrics else None
+        self._trace_acc = [] if self.trace else None
         ops: List[MatrixOp] = []
         cells: List[CellResult] = []
         tests_run = 0
         event_count = 0
         hasher = hashlib.sha256()
         snapshot, oracle = self._golden(workload)
-        baseline = self._observe(workload, snapshot, oracle, fault=None)
+        baseline = self._observe(
+            workload, snapshot, oracle, fault=None,
+            label=f"{workload.key}:baseline",
+        )
         fold_digest(hasher, f"{workload.key}:baseline", baseline.typed_events)
         event_count += len(baseline.typed_events)
         read_types = self._accessed_types(baseline, "read")
@@ -190,7 +218,10 @@ class Fingerprinter:
                     ops.append(("na", fault_class, btype, None))
                     continue
                 fault = self._build_fault(fault_class, btype)
-                obs = self._observe(workload, snapshot, oracle, fault)
+                obs = self._observe(
+                    workload, snapshot, oracle, fault,
+                    label=f"{workload.key}:{fault_class}:{btype}",
+                )
                 fold_digest(
                     hasher, f"{workload.key}:{fault_class}:{btype}", obs.typed_events
                 )
@@ -206,6 +237,16 @@ class Fingerprinter:
                 )
                 ops.append(("put", fault_class, btype, observation))
         io, self._io_acc = self._io_acc, None
+        metrics_snapshot = None
+        if self._metrics_acc is not None:
+            metrics_snapshot = self._metrics_acc.snapshot()
+            self._metrics_acc = None
+        trace_streams, self._trace_acc = self._trace_acc or [], None
+        span_digest = ""
+        if trace_streams:
+            span_digest = span_tree_digest(
+                merge_streams(trace_streams, root=workload.key, root_category="workload")
+            )
         return WorkloadOutcome(
             key=workload.key,
             name=workload.name,
@@ -216,6 +257,9 @@ class Fingerprinter:
             io=io,
             event_count=event_count,
             event_digest=hasher.hexdigest(),
+            metrics=metrics_snapshot,
+            trace=trace_streams,
+            span_digest=span_digest,
         )
 
     def _merge(self, matrix: PolicyMatrix, outcome: WorkloadOutcome) -> None:
@@ -230,6 +274,49 @@ class Fingerprinter:
         self.workload_io[outcome.key] = outcome.io
         self.workload_events[outcome.key] = outcome.event_count
         self.workload_digest[outcome.key] = outcome.event_digest
+        self.workload_trace[outcome.key] = outcome.trace
+        self.workload_span_digest[outcome.key] = outcome.span_digest
+        self.workload_metrics[outcome.key] = outcome.metrics
+
+    # -- observability products ----------------------------------------------
+
+    def merged_trace(self) -> List[StorageEvent]:
+        """All traced runs spliced into one deterministic stream.
+
+        Two-level structure: a root span for the fingerprint run, one
+        container per workload, one container per (baseline / cell)
+        run.  Workload order — not completion order — drives the merge,
+        so ``jobs=N`` produces the identical stream.
+        """
+        workload_streams = []
+        for workload in self.workloads:
+            streams = self.workload_trace.get(workload.key) or []
+            if not streams:
+                continue
+            workload_streams.append((
+                workload.key,
+                merge_streams(streams, root=workload.key,
+                              root_category="workload"),
+            ))
+        return merge_streams(
+            workload_streams, root=f"fingerprint:{self.adapter.name}"
+        )
+
+    def span_digest(self) -> str:
+        """Structural digest of :meth:`merged_trace` — the jobs-width
+        determinism witness recorded in BENCH JSON."""
+        return span_tree_digest(self.merged_trace())
+
+    def merged_metrics(self) -> Optional[Dict[str, Any]]:
+        """Associative merge of the per-workload metrics snapshots
+        (None when the run did not collect metrics)."""
+        snapshots = [
+            snap for workload in self.workloads
+            if (snap := self.workload_metrics.get(workload.key)) is not None
+        ]
+        if not snapshots:
+            return None
+        return MetricsRegistry.merge_snapshots(snapshots)
 
     # -- image preparation ------------------------------------------------------
 
@@ -264,9 +351,12 @@ class Fingerprinter:
         snapshot: list,
         frozen_oracle: Dict[int, str],
         fault: Optional[Fault],
+        label: str = "",
     ) -> RunObservation:
         stack = self.adapter.build_stack()
         stack.restore(snapshot)
+        if self._metrics_acc is not None:
+            stack.observe_latencies(self._metrics_acc)
         fs = self.adapter.make_fs(stack)
         stack.injector.set_type_oracle(
             lambda b: fs.block_type(b) or frozen_oracle.get(b)
@@ -283,6 +373,12 @@ class Fingerprinter:
             # workloads whose subject is not the mount path itself.
             stack.events.clear()
 
+        # Enable tracing only now: the run span must open after the
+        # mount-traffic clear above, or its start would be erased.
+        tracer = enable_tracing(stack.events) if self.trace else None
+        run_span = tracer.start(label or workload.key, "run",
+                                source=self.adapter.name) if tracer else 0
+
         if fault is not None:
             stack.injector.arm(fault)
 
@@ -292,6 +388,9 @@ class Fingerprinter:
             panic = str(exc)
         except FSError as exc:
             recorder.results.append(OpResult("unexpected-error", exc.errno.name))
+
+        if tracer is not None:
+            tracer.end(run_span, "error" if panic is not None else "ok")
 
         free_blocks: Optional[int] = None
         final_ro = False
@@ -317,6 +416,12 @@ class Fingerprinter:
             acc.seeks += s.seeks
             acc.busy_time_s += s.busy_time_s
 
+        if self._metrics_acc is not None:
+            metrics_from_events(stack.events, self._metrics_acc)
+            stack.collect_metrics(self._metrics_acc)
+        if self._trace_acc is not None:
+            self._trace_acc.append((label or workload.key, list(stack.events)))
+
         return RunObservation(
             results=recorder.results,
             events=list(stack.events),
@@ -326,6 +431,7 @@ class Fingerprinter:
             fault_block=fault_block,
             final_read_only=final_ro,
             free_blocks=free_blocks,
+            label=label,
         )
 
     # -- helpers --------------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.obs.events import (
     StorageEvent,
     classify_log,
 )
+from repro.obs.trace import SpanEndEvent, SpanStartEvent, event_ref, span_ref
 from repro.taxonomy.detection import Detection
 from repro.taxonomy.policy import PolicyObservation
 from repro.taxonomy.recovery import Recovery
@@ -66,6 +67,10 @@ class RunObservation:
     fault_block: Optional[int] = None
     final_read_only: bool = False
     free_blocks: Optional[int] = None
+    #: Stream label provenance references resolve against (the harness
+    #: sets "{workload}:{fault_class}:{btype}", matching the digest
+    #: fold labels; empty for hand-built observations).
+    label: str = ""
     #: Normalized typed stream (computed once at construction).
     typed_events: List[StorageEvent] = field(init=False, repr=False)
 
@@ -137,6 +142,47 @@ def _type_read_counts(io: List[IOEvent]) -> Dict[str, int]:
 
 def _requests_of(io: List[IOEvent], op: str, block: int) -> int:
     return sum(1 for e in io if e.op == op and e.block == block)
+
+
+def _collect_provenance(observed: RunObservation) -> List[str]:
+    """Evidence references justifying a cell's classification.
+
+    Deterministic and bounded: the *first* faulty I/O event (the
+    injected fault firing — present in every cell that reaches
+    inference), the first event of each detection / recovery mechanism
+    and policy action, and each trace span the evidence occurred under
+    (when the run was traced).  All references resolve against the
+    run's recorded stream via :func:`repro.obs.trace.resolve_ref`.
+    """
+    label = observed.label or "observed"
+    refs: List[str] = []
+    seen = set()
+    open_spans: List[int] = []
+    cited_spans = set()
+    for index, event in enumerate(observed.typed_events):
+        if isinstance(event, SpanStartEvent):
+            open_spans.append(event.span_id)
+            continue
+        if isinstance(event, SpanEndEvent):
+            if open_spans and open_spans[-1] == event.span_id:
+                open_spans.pop()
+            continue
+        marker = None
+        if isinstance(event, IOEvent):
+            if event.outcome in ("error", "corrupted"):
+                marker = "faulty-io"
+        elif isinstance(event, (DetectionEvent, RecoveryEvent)):
+            marker = (event.kind, event.mechanism)
+        elif isinstance(event, PolicyActionEvent):
+            marker = (event.kind, event.tag)
+        if marker is None or marker in seen:
+            continue
+        seen.add(marker)
+        refs.append(event_ref(label, index, event))
+        if open_spans and open_spans[-1] not in cited_spans:
+            cited_spans.add(open_spans[-1])
+            refs.append(span_ref(label, open_spans[-1]))
+    return refs
 
 
 def infer_policy(
@@ -265,4 +311,6 @@ def infer_policy(
             f"space leaked: {baseline.free_blocks - observed.free_blocks} blocks"
         )
 
-    return PolicyObservation.of(detection, recovery, notes)
+    return PolicyObservation.of(
+        detection, recovery, notes, _collect_provenance(observed)
+    )

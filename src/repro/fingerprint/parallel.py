@@ -52,6 +52,8 @@ def _worker(
     registry_kwargs: Dict[str, Any],
     workload_key: str,
     corruption_mode: CorruptionMode,
+    trace: bool = False,
+    metrics: bool = False,
 ) -> "WorkloadOutcome":
     """Pool entry point: rebuild the adapter by name, run one workload."""
     from repro.fingerprint.adapters import ADAPTERS
@@ -60,7 +62,9 @@ def _worker(
 
     adapter = ADAPTERS[registry_key](**registry_kwargs)
     workload = WORKLOAD_BY_KEY[workload_key]
-    fp = Fingerprinter(adapter, workloads=[workload], corruption_mode=corruption_mode)
+    fp = Fingerprinter(adapter, workloads=[workload],
+                       corruption_mode=corruption_mode,
+                       trace=trace, metrics=metrics)
     return fp._run_workload(workload)
 
 
@@ -98,6 +102,8 @@ def run_parallel(fp: "Fingerprinter") -> List["WorkloadOutcome"]:
                 fp.adapter.registry_kwargs,
                 workload.key,
                 fp.corruption_mode,
+                fp.trace,
+                fp.metrics,
             )
             for workload in fp.workloads
         ],

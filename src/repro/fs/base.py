@@ -9,6 +9,7 @@ locates the interesting behaviour.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Optional
 
 from repro.common.errors import Errno, FSError, KernelPanic, ReadOnlyError
@@ -54,6 +55,8 @@ class JournaledFS(FileSystem):
         self._mounted = False
         self._read_only = False
         self._ops_since_commit = 0
+        #: Open floating journal-transaction span (0 = none / untraced).
+        self._txn_span = 0
 
     # -- state -------------------------------------------------------------
 
@@ -72,6 +75,21 @@ class JournaledFS(FileSystem):
     def _ensure_mounted(self) -> None:
         if not self._mounted:
             raise FSError(Errno.EINVAL, f"{self.name}: not mounted")
+
+    # -- tracing -----------------------------------------------------------
+
+    def _tracer(self):
+        """The span tracer bound to this FS's event stream (or None)."""
+        return getattr(self.events, "tracer", None)
+
+    def _span(self, name: str, category: str = "phase", detail: str = ""):
+        """Context manager for an FS-internal span (mount phases,
+        journal replay, checksum sweeps).  A no-op context when tracing
+        is off, so call sites never branch."""
+        tracer = self._tracer()
+        if tracer is None or not tracer.enabled:
+            return contextlib.nullcontext(0)
+        return tracer.span(name, category, detail, source=self.name)
 
     # -- operation framing ------------------------------------------------------
 
@@ -97,6 +115,15 @@ class JournaledFS(FileSystem):
                 raise ReadOnlyError()
             if self.journal is not None:
                 self.journal.begin()
+                tracer = self._tracer()
+                if tracer is not None and tracer.enabled and not self._txn_span:
+                    # Floating: the transaction outlives the op that
+                    # opened it (async mode batches many ops per txn),
+                    # so it must not capture the op-span nesting stack.
+                    self._txn_span = tracer.start(
+                        f"{self.name}-txn", "txn",
+                        source=self.name, floating=True,
+                    )
 
     def _end_op(self, modifying: bool) -> None:
         if not modifying or self.journal is None or self.journal.aborted:
@@ -116,6 +143,11 @@ class JournaledFS(FileSystem):
     def _note_commit(self, ops: int) -> None:
         """Emit the typed commit-barrier event (not a syslog line)."""
         self.events.emit(JournalCommitEvent(self.name, ops))
+        if self._txn_span:
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.end(self._txn_span)
+            self._txn_span = 0
 
     def _journal_pressure(self) -> bool:
         """Commit early when the running transaction approaches the
@@ -173,6 +205,11 @@ class JournaledFS(FileSystem):
         self.fdtable.close_all()
         self._mounted = False
         self._read_only = False
+        if self._txn_span:
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.end(self._txn_span, "error")
+            self._txn_span = 0
 
     def crash_after(self, ops) -> None:
         """Run *ops* committed-but-not-checkpointed, then crash."""

@@ -189,7 +189,8 @@ class Ext3(JournaledFS):
         self.journal = self._make_journal()
         self._rebuild_types()
         try:
-            replayed = self.journal.recover()
+            with self._span("journal-replay", "txn"):
+                replayed = self.journal.recover()
             if replayed:
                 # Replay may have rewritten the superblock and group
                 # descriptors; refresh the in-memory copies before the

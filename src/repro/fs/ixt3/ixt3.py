@@ -106,11 +106,12 @@ class Ixt3(Ext3):
             if self.meta_csum or self.data_csum:
                 # Checksums are small and cached for read verification
                 # (§6.1): one sequential sweep at mount warms the cache.
-                for i in range(cfg.checksum_blocks):
-                    try:
-                        self.checksums._load(cfg.checksum_start + i)
-                    except DiskError:
-                        break
+                with self._span("checksum-warm", "phase"):
+                    for i in range(cfg.checksum_blocks):
+                        try:
+                            self.checksums._load(cfg.checksum_start + i)
+                        except DiskError:
+                            break
         if cfg.replica_blocks:
             self.replicas = ReplicaMap(
                 region_start=cfg.replica_start,

@@ -159,7 +159,8 @@ class JFS(JournaledFS):
         )
         self._rebuild_types()
         try:
-            self.journal.recover()
+            with self._span("journal-replay", "txn"):
+                self.journal.recover()
         except CorruptionDetected as exc:
             # A sanity-check failure during replay aborts the replay
             # (R_stop) and the volume comes up read-only (§5.3).

@@ -161,7 +161,8 @@ class NTFS(JournaledFS):
         )
         self._rebuild_types()
         try:
-            self.journal.recover()
+            with self._span("journal-replay", "txn"):
+                self.journal.recover()
         except CorruptionDetected as exc:
             # The journal is the one structure whose corruption does not
             # make the volume unmountable (§5.4): reset the log.

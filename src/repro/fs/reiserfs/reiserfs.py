@@ -185,7 +185,8 @@ class ReiserFS(JournaledFS):
             # No sanity or type check protects journal *data* blocks: a
             # corrupted copy is replayed to wherever its descriptor
             # points (§5.2).
-            self.journal.recover()
+            with self._span("journal-replay", "txn"):
+                self.journal.recover()
         except CorruptionDetected as exc:
             self.syslog.detection(self.name, "sanity-fail", str(exc),
                                   mechanism="sanity", block=exc.block)

@@ -6,6 +6,12 @@ system's policy code — reports through :class:`StorageEvent` records
 appended to a shared :class:`EventLog`.  ``SysLog`` and ``IOTrace``
 are rendering views over this stream; policy inference matches the
 structured events directly.
+
+:mod:`repro.obs.trace` layers hierarchical spans over the same stream
+(run → workload → VFS op → journal transaction → block I/O) and exports
+Chrome trace-event JSON for Perfetto; :mod:`repro.obs.metrics` folds
+the stream and the device stack's counters into a mergeable metrics
+registry with Prometheus-text and JSON-snapshot exporters.
 """
 
 from repro.obs.events import (
@@ -26,6 +32,28 @@ from repro.obs.events import (
     classify_log,
     fold_digest,
 )
+from repro.obs.capture import TraceCapture, trace_workloads
+from repro.obs.metrics import (
+    MetricsRegistry,
+    metrics_from_events,
+    render_prometheus,
+    validate_snapshot,
+)
+from repro.obs.trace import (
+    SpanEndEvent,
+    SpanStartEvent,
+    Tracer,
+    chrome_trace,
+    enable_tracing,
+    event_ref,
+    merge_streams,
+    resolve_ref,
+    span_ref,
+    span_tree,
+    span_tree_digest,
+    tracer_for,
+    write_chrome_trace,
+)
 
 __all__ = [
     "DETECTION_MECHANISMS",
@@ -44,4 +72,23 @@ __all__ = [
     "WriteImageEvent",
     "classify_log",
     "fold_digest",
+    "TraceCapture",
+    "trace_workloads",
+    "MetricsRegistry",
+    "metrics_from_events",
+    "render_prometheus",
+    "validate_snapshot",
+    "SpanEndEvent",
+    "SpanStartEvent",
+    "Tracer",
+    "chrome_trace",
+    "enable_tracing",
+    "event_ref",
+    "merge_streams",
+    "resolve_ref",
+    "span_ref",
+    "span_tree",
+    "span_tree_digest",
+    "tracer_for",
+    "write_chrome_trace",
 ]

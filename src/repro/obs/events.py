@@ -254,19 +254,41 @@ class EventLog:
     detection followed by its policy action — is preserved exactly.
     """
 
-    __slots__ = ("_events", "high_water")
+    __slots__ = ("_events", "high_water", "max_events", "dropped", "released", "tracer")
 
-    def __init__(self, events: Optional[List[StorageEvent]] = None):
+    def __init__(
+        self,
+        events: Optional[List[StorageEvent]] = None,
+        max_events: Optional[int] = None,
+    ):
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1")
         self._events: List[StorageEvent] = list(events) if events else []
         #: Index of the first event *not yet consumed* by an incremental
         #: reader (the crash recorder).  ``consume_new()`` advances it;
         #: ``clear()`` and ``reset_high_water()`` rewind it.
         self.high_water: int = 0
+        #: Ring-mode capacity: when set, :meth:`emit` evicts the oldest
+        #: events past this bound (long crash sweeps opt in to cap
+        #: memory).  ``None`` keeps the log unbounded.
+        self.max_events = max_events
+        #: Events evicted by ring mode since the last clear().
+        self.dropped: int = 0
+        #: Events released by :meth:`drain` since the last clear().
+        self.released: int = 0
+        #: The span tracer bound to this stream, when tracing is in use
+        #: (set by :func:`repro.obs.trace.tracer_for`; None otherwise).
+        self.tracer = None
 
     # -- emission ------------------------------------------------------------
 
     def emit(self, event: StorageEvent) -> StorageEvent:
         self._events.append(event)
+        if self.max_events is not None and len(self._events) > self.max_events:
+            excess = len(self._events) - self.max_events
+            del self._events[:excess]
+            self.dropped += excess
+            self.high_water = max(0, self.high_water - excess)
         return event
 
     # -- access --------------------------------------------------------------
@@ -307,6 +329,23 @@ class EventLog:
         self.high_water = len(self._events)
         return new
 
+    def drain(self) -> List[StorageEvent]:
+        """Like :meth:`consume_new`, but also *release* the consumed
+        prefix so a long-running producer (the crash recorder during a
+        multi-step workload) never holds the whole stream in memory.
+
+        Everything before the high-water mark was handed out by an
+        earlier ``consume_new()``/``drain()`` call; this returns the new
+        tail and then empties the log, so the interleaved consumption
+        ``drain() + drain() + ...`` yields exactly the same stream as a
+        single trailing ``consume_new()`` would have.
+        """
+        new = self._events[self.high_water:]
+        self.released += len(self._events)
+        self._events.clear()
+        self.high_water = 0
+        return new
+
     def reset_high_water(self, mark: int = 0) -> None:
         """Rewind the incremental-consumption mark (clamped to the log).
 
@@ -321,6 +360,8 @@ class EventLog:
     def clear(self) -> None:
         self._events.clear()
         self.high_water = 0
+        self.dropped = 0
+        self.released = 0
 
     def remove_where(self, predicate: Callable[[StorageEvent], bool]) -> None:
         self._events[:] = [e for e in self._events if not predicate(e)]

@@ -27,6 +27,11 @@ class PolicyObservation:
     detection: FrozenSet[Detection]
     recovery: FrozenSet[Recovery]
     notes: Tuple[str, ...] = ()
+    #: Explainability: references into the recorded event stream that
+    #: justify this classification ("{run-label}#e{index}:{kind}" /
+    #: "{run-label}#s{span-id}"; resolvable via
+    #: :func:`repro.obs.trace.resolve_ref`).
+    provenance: Tuple[str, ...] = ()
 
     @classmethod
     def of(
@@ -34,8 +39,12 @@ class PolicyObservation:
         detection: Iterable[Detection] = (),
         recovery: Iterable[Recovery] = (),
         notes: Sequence[str] = (),
+        provenance: Sequence[str] = (),
     ) -> "PolicyObservation":
-        return cls(frozenset(detection), frozenset(recovery), tuple(notes))
+        return cls(
+            frozenset(detection), frozenset(recovery),
+            tuple(notes), tuple(provenance),
+        )
 
     def detection_symbols(self) -> str:
         """Superimposed symbols, as Figure 2 overlays multiple mechanisms."""

@@ -10,12 +10,55 @@ list of on-disk block types (Table 4).
 from __future__ import annotations
 
 import abc
+import functools
 from typing import Dict, List, Optional
 
 from repro.common.errors import Errno, FSError
 from repro.vfs.fdtable import O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
 from repro.vfs.paths import normalize
 from repro.vfs.stat import F_OK, StatResult, StatVFS
+
+#: The syscall surface auto-wrapped in trace spans (category ``op``).
+#: Every concrete override of these methods gets span instrumentation
+#: via :meth:`FileSystem.__init_subclass__` — file systems never
+#: hand-instrument their entry points.
+_TRACED_OPS = frozenset({
+    "mount", "unmount", "sync",
+    "creat", "open", "close", "read", "write", "truncate",
+    "link", "unlink", "symlink", "readlink",
+    "mkdir", "rmdir", "rename", "getdirentries",
+    "stat", "lstat", "statfs", "chmod", "chown", "utimes", "fsync",
+})
+
+
+def _trace_op(name: str, fn):
+    """Wrap one syscall implementation in an op span.
+
+    The fast path — no tracer bound to the FS's event stream, or
+    tracing disabled — is two attribute probes and a call, so untraced
+    runs (the default) keep their behaviour and event digests exactly.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        tracer = getattr(getattr(self, "events", None), "tracer", None)
+        if tracer is None or not tracer.enabled:
+            return fn(self, *args, **kwargs)
+        detail = ""
+        if args and isinstance(args[0], (str, int)):
+            detail = str(args[0])
+        span_id = tracer.start(name, "op", detail=detail,
+                               source=getattr(self, "name", "fs"))
+        try:
+            result = fn(self, *args, **kwargs)
+        except BaseException:
+            tracer.end(span_id, "error")
+            raise
+        tracer.end(span_id)
+        return result
+
+    wrapper._repro_traced = True
+    return wrapper
 
 
 class FileSystem(abc.ABC):
@@ -31,6 +74,27 @@ class FileSystem(abc.ABC):
     name: str = "abstract"
     #: Table-4 inventory: block type -> purpose.
     BLOCK_TYPES: Dict[str, str] = {}
+
+    def __init_subclass__(cls, **kwargs):
+        """Auto-instrument the syscall surface with trace spans.
+
+        Each method of :data:`_TRACED_OPS` *defined by this subclass*
+        is wrapped once (inherited already-wrapped methods are left
+        alone), so every file system — including ones defined in tests
+        — emits op spans when tracing is enabled on its event stream,
+        with zero per-FS code.
+        """
+        super().__init_subclass__(**kwargs)
+        for name in _TRACED_OPS:
+            fn = cls.__dict__.get(name)
+            if (
+                fn is None
+                or not callable(fn)
+                or getattr(fn, "_repro_traced", False)
+                or getattr(fn, "__isabstractmethod__", False)
+            ):
+                continue
+            setattr(cls, name, _trace_op(name, fn))
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -5,9 +5,12 @@ import json
 
 import pytest
 
+import time
+
 from repro.bench.timing import (
     SCHEMA,
     bench_json_path,
+    failure_record,
     fingerprint_record,
     record_entry,
     table6_record,
@@ -22,6 +25,32 @@ class TestTimed:
         value, wall = timed(lambda: 42)
         assert value == 42
         assert wall >= 0.0
+
+    def test_exception_keeps_the_measurement(self):
+        def boom():
+            time.sleep(0.01)
+            raise RuntimeError("mid-run failure")
+
+        with pytest.raises(RuntimeError) as excinfo:
+            timed(boom)
+        # The elapsed time up to the failure rides on the exception, so
+        # drivers can still record the run instead of dropping it.
+        assert excinfo.value.timed_wall_s >= 0.01
+
+    def test_failure_record_shape(self):
+        try:
+            timed(lambda: (_ for _ in ()).throw(ValueError("x" * 500)))
+        except ValueError as exc:
+            record = failure_record(exc, jobs=4, fs="ext3")
+        assert record["status"] == "failed"
+        assert record["error"] == "ValueError"
+        assert len(record["error_detail"]) <= 200
+        assert record["wall_s"] >= 0.0
+        assert (record["jobs"], record["fs"]) == (4, "ext3")
+
+    def test_failure_record_outside_timed_defaults_to_zero(self):
+        record = failure_record(RuntimeError("never timed"))
+        assert record["wall_s"] == 0.0
 
 
 class TestBenchJsonPath:

@@ -69,6 +69,54 @@ class TestCLI:
         assert "(baseline)" in out
         assert "Mc Mr Dc Dp Tc" in out
 
+    def test_trace_writes_chrome_json_and_metrics(self, capsys, tmp_path):
+        trace_out = tmp_path / "t.json"
+        metrics_out = tmp_path / "m.json"
+        assert main(["trace", "ext3", "--workload", "creat",
+                     "-o", str(trace_out), "--metrics-out",
+                     str(metrics_out)]) == 0
+        out = capsys.readouterr().out
+        assert "span-tree digest:" in out
+        doc = json.loads(trace_out.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["span_tree_digest"]
+        snap = json.loads(metrics_out.read_text())
+        assert snap["schema"] == "repro-metrics/1"
+        assert metrics_out.with_suffix(".prom").read_text().startswith("# ")
+
+    def test_trace_list_and_unknown_fs(self, capsys):
+        assert main(["trace", "--list"]) == 0
+        assert "creat" in capsys.readouterr().out
+        assert main(["trace", "fat32"]) == 2
+        assert "unknown file system" in capsys.readouterr().err
+
+    def test_fingerprint_trace_and_metrics_flags(self, capsys, tmp_path,
+                                                 bench_json):
+        trace_out = tmp_path / "t.json"
+        metrics_out = tmp_path / "m.json"
+        assert main(["fingerprint", "ext3", "--workloads", "a",
+                     "--trace", "--trace-out", str(trace_out),
+                     "--metrics", "--metrics-out", str(metrics_out)]) == 0
+        out = capsys.readouterr().out
+        assert "span-tree digest:" in out
+        assert json.loads(trace_out.read_text())["traceEvents"]
+        entry = json.loads(bench_json.read_text())["entries"]["fingerprint_ext3"]
+        assert entry["span_digest"]
+        assert entry["metrics"]["schema"] == "repro-metrics/1"
+
+    def test_crash_trace_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CRASH_JSON",
+                           str(tmp_path / "BENCH_crash.json"))
+        trace_out = tmp_path / "c.json"
+        assert main(["crash", "ext3", "--workload", "creat",
+                     "--trace", "--trace-out", str(trace_out)]) == 0
+        assert "span-tree digest:" in capsys.readouterr().out
+        assert json.loads(trace_out.read_text())["traceEvents"]
+        entry = json.loads(
+            (tmp_path / "BENCH_crash.json").read_text()
+        )["entries"]["crash_ext3_creat_j1"]
+        assert entry["span_digest"]
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
