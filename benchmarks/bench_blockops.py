@@ -1,0 +1,118 @@
+"""Microbenchmarks of the zero-copy block substrate.
+
+Times the primitive operations every harness loop is built from —
+block reads and writes, snapshot/restore cycles, golden-image restores
+— on both the slab :class:`SimulatedDisk` and the pre-slab
+:class:`LegacyListDisk` reference, and records the results to
+``BENCH_blockops.json`` at the repo root (schema
+``repro-bench-timing/1``, one entry per op/substrate pair).
+
+The structural claims are asserted, not just measured: a clean-device
+snapshot must be identity-aliasing on the slab substrate, and restore
+must not copy blocks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import REPO_ROOT, run_once, save_result
+
+from repro.bench.timing import record_entry
+from repro.disk.disk import make_disk
+from repro.disk.legacy import make_legacy_disk
+
+NUM_BLOCKS = 512
+BS = 4096
+ROUNDS = 200
+
+BLOCKOPS_JSON = REPO_ROOT / "BENCH_blockops.json"
+
+
+def _payload(seed: int) -> bytes:
+    return bytes([seed & 0xFF]) * BS
+
+
+def _seed(disk) -> None:
+    for b in range(NUM_BLOCKS):
+        disk.write_block(b, _payload(b))
+
+
+def _time_op(fn, rounds: int = ROUNDS) -> float:
+    started = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return time.perf_counter() - started
+
+
+def _bench_substrate(make):
+    disk = make(NUM_BLOCKS, BS)
+    _seed(disk)
+    golden = disk.snapshot()
+    results = {}
+
+    def seq_read():
+        for b in range(NUM_BLOCKS):
+            disk.read_block(b)
+
+    def seq_write():
+        for b in range(NUM_BLOCKS):
+            disk.write_block(b, _payload(b))
+
+    def snap_restore():
+        disk.restore(golden)
+        disk.write_block(7, _payload(0xAB))
+        disk.snapshot()
+
+    def golden_restore():
+        disk.restore(golden)
+
+    results["seq_read_s"] = _time_op(seq_read, rounds=20)
+    results["seq_write_s"] = _time_op(seq_write, rounds=20)
+    results["snapshot_restore_s"] = _time_op(snap_restore)
+    results["golden_restore_s"] = _time_op(golden_restore)
+    results["blocks"] = NUM_BLOCKS
+    results["block_size"] = BS
+    return results
+
+
+def test_blockops(benchmark):
+    def run():
+        return {
+            "slab": _bench_substrate(make_disk),
+            "legacy": _bench_substrate(make_legacy_disk),
+        }
+
+    results = run_once(benchmark, run)
+
+    # Structural guarantees behind the numbers: clean snapshots alias.
+    disk = make_disk(NUM_BLOCKS, BS)
+    _seed(disk)
+    golden = disk.snapshot()
+    disk.restore(golden)
+    assert disk.snapshot() is golden
+    assert disk.dirty_count == 0
+
+    for substrate, entry in results.items():
+        record = {"wall_s": round(sum(
+            v for k, v in entry.items() if k.endswith("_s")), 6)}
+        record.update({k: (round(v, 6) if isinstance(v, float) else v)
+                       for k, v in entry.items()})
+        record_entry(f"blockops_{substrate}", record, path=BLOCKOPS_JSON)
+
+    lines = ["block-substrate microbenchmarks "
+             f"({NUM_BLOCKS} blocks x {BS} B, {ROUNDS} rounds)", ""]
+    for op in ("seq_read_s", "seq_write_s", "snapshot_restore_s",
+               "golden_restore_s"):
+        slab = results["slab"][op]
+        legacy = results["legacy"][op]
+        ratio = legacy / slab if slab else float("inf")
+        lines.append(f"{op:20} slab {slab * 1e3:8.2f} ms   "
+                     f"legacy {legacy * 1e3:8.2f} ms   ({ratio:5.1f}x)")
+    save_result("blockops", "\n".join(lines))
+
+    # The headline: golden restores (the inner loop of every fault
+    # matrix) must be far cheaper on the slab substrate than on the
+    # copying reference.
+    assert results["slab"]["golden_restore_s"] * 5 \
+        < results["legacy"]["golden_restore_s"]

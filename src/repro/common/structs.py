@@ -1,0 +1,38 @@
+"""Shared precompiled :class:`struct.Struct` instances.
+
+Every on-disk record in the tree serializes through module-level
+precompiled ``Struct`` objects instead of inline format strings —
+``struct.pack("<II", ...)`` re-parses the format on every call, which
+dominates hot paths that touch thousands of records per mount.
+``tools/lint_struct.py`` (wired into CI) rejects new inline call sites.
+
+For variable-length runs of fixed-width integers (pointer blocks,
+journal descriptor tables, directory name prefixes) use the cached
+factories below; they compile each distinct length once per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from struct import Struct
+
+#: Single little-endian primitives, shared by all parsers.
+U8 = Struct("<B")
+U16 = Struct("<H")
+U32 = Struct("<I")
+U64 = Struct("<Q")
+U16x2 = Struct("<HH")
+U32x2 = Struct("<II")
+U32x3 = Struct("<III")
+
+
+@lru_cache(maxsize=None)
+def u32_seq(count: int) -> Struct:
+    """``Struct`` for *count* consecutive little-endian u32 values."""
+    return Struct(f"<{count}I")
+
+
+@lru_cache(maxsize=None)
+def compiled(fmt: str) -> Struct:
+    """Cached ``Struct`` for an arbitrary format built at runtime."""
+    return Struct(fmt)

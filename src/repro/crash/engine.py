@@ -41,11 +41,13 @@ This engine validates them systematically instead of by spot checks:
 Every violation carries the exact state key (``prefix:i`` or
 ``torn:e:j``) that reproduces it; :func:`apply_state` rebuilds the
 disk image for any key.  Exploration fans out across the same
-process-pool machinery as fingerprinting
-(:func:`repro.fingerprint.parallel.pool_map`): recording is fully
-deterministic (virtual clock, no randomness), so workers re-record
-independently and results merge in enumeration order — ``--jobs N``
-reports are identical to ``--jobs 1``.
+persistent process pool as fingerprinting
+(:mod:`repro.common.pool`): the parent records **once**, publishes the
+golden slab in shared memory, and ships workers the recorded write
+stream plus the reference digests — each worker attaches the golden
+image zero-copy, rebuilds a :class:`Recording` around it, and checks
+its slice of the state space.  Results merge in enumeration order, so
+``--jobs N`` reports are identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -56,10 +58,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import KernelPanic, StorageError
+from repro.common.pool import (
+    SharedSlab,
+    attach_image,
+    begin_run,
+    effective_jobs,
+    run_token,
+)
 from repro.crash.workloads import CRASH_WORKLOADS, CrashWorkload
 from repro.disk.stack import DeviceStack
 from repro.fingerprint.adapters import ADAPTERS
-from repro.fingerprint.parallel import pool_map
+from repro.fingerprint.parallel import adapter_for, pool_map
 from repro.fs.ext3.fsck import fsck_ext3
 from repro.fs.ixt3 import FEAT_TXN_CSUM
 from repro.obs.events import (
@@ -72,6 +81,8 @@ from repro.obs.events import (
     WriteImageEvent,
 )
 from repro.obs.trace import (
+    SpanEndEvent,
+    SpanStartEvent,
     enable_tracing,
     event_ref,
     merge_streams,
@@ -171,7 +182,9 @@ class Recording:
     workload: CrashWorkload
     disk: object
     adapter: object
-    golden: list
+    #: Golden slab image (snapshot after setup); restored O(1) per state
+    #: and shareable across processes via :mod:`repro.common.pool`.
+    golden: object
     writes: List[Tuple[int, bytes]]
     #: Prefix lengths at each journal-commit barrier, strictly increasing.
     boundaries: List[int]
@@ -185,6 +198,23 @@ class Recording:
     #: The recording phase's own event stream (op spans + write images
     #: + commit barriers), retained only when ``trace=True``.
     trace_events: List[StorageEvent] = field(default_factory=list)
+    #: Content-keyed memos for the *untraced* pure-read checks — the
+    #: second-mount digest walk and read-only fsck.  Distinct crash
+    #: states routinely recover to identical on-disk contents, and
+    #: neither check emits into the state's kept event stream, so equal
+    #: contents (golden image + privatized delta) imply equal results.
+    digest_memo: Dict[tuple, str] = field(default_factory=dict)
+    fsck_memo: Dict[tuple, Tuple[bool, str]] = field(default_factory=dict)
+    #: Memo for the *traced* first-mount walk (digest + protected-file
+    #: checks).  Unlike the two above, this segment emits VFS-op spans
+    #: into the state's kept stream (they are part of the span-tree
+    #: digest), so a hit cannot simply skip it: the cached entry carries
+    #: a structural template of everything the segment emitted, and
+    #: :func:`_replay_segment` re-plays it through the state's own
+    #: tracer so span ids / parents / ordering come out exactly as a
+    #: live walk would have produced them.  ``None`` marks a segment
+    #: that wrote to the disk (a repairing policy): never replayed.
+    walk_memo: Dict[tuple, Optional[tuple]] = field(default_factory=dict)
 
 
 # -- record -------------------------------------------------------------------
@@ -336,6 +366,69 @@ def apply_state(rec: Recording, state: CrashState) -> None:
     rec.disk.events = EventLog()
 
 
+def _content_key(disk, exclude: Optional[Tuple[int, int]] = None) -> tuple:
+    """Immutable key for the disk's current *logical* contents.  The
+    golden base never changes within a :class:`Recording`, so the
+    privatized delta identifies the state — canonicalized: entries
+    whose payload equals the base image's (or all-zeroes over a
+    never-written base block) are dropped, so crash states that
+    recover to identical contents key equal even though they dirtied
+    different block sets on the way there.  *exclude* elides a
+    half-open block range the memoized computation provably never
+    reads (the journal region: post-recovery it holds per-state replay
+    residue that neither the namespace walk nor read-only fsck looks
+    at)."""
+    image = getattr(disk, "base_image", None)
+    out = []
+    for b, payload in disk.dirty_items():
+        if exclude is not None and exclude[0] <= b < exclude[1]:
+            continue
+        if image is not None:
+            base = image.block(b)
+            if base is None:
+                if payload.count(0) == len(payload):
+                    continue
+            elif payload == base:
+                continue
+        out.append((b, payload))
+    return tuple(out)
+
+
+def _segment_template(events) -> tuple:
+    """Structural template of one traced segment's emissions: span
+    starts/ends reduced to their content (donor span ids kept only to
+    pair ends with starts at replay time), other events — detections a
+    verifying read surfaced, policy actions — kept verbatim (they are
+    frozen and content-pure, so sharing the objects is safe)."""
+    ops = []
+    for e in events:
+        if isinstance(e, SpanStartEvent):
+            ops.append(("s", e.span_id, e.name, e.category, e.detail, e.source))
+        elif isinstance(e, SpanEndEvent):
+            ops.append(("e", e.span_id, e.status))
+        else:
+            ops.append(("v", e))
+    return tuple(ops)
+
+
+def _replay_segment(stream: EventLog, template: tuple) -> None:
+    """Re-emit a recorded segment through *stream*'s own (enabled)
+    tracer.  Span ids are assigned fresh by the tracer — the donor ids
+    in the template only pair each end with its start — so ids, parent
+    links and ordering land exactly as a live walk over the same disk
+    contents would have produced them."""
+    tracer = stream.tracer
+    id_map: Dict[int, int] = {}
+    for op in template:
+        tag = op[0]
+        if tag == "s":
+            id_map[op[1]] = tracer.start(op[2], op[3], op[4], op[5])
+        elif tag == "e":
+            tracer.end(id_map.get(op[1], 0), op[2])
+        else:
+            stream.emit(op[1])
+
+
 def state_digest(fs, include_counts: bool) -> str:
     """Digest of the observable state: namespace, types, sizes, link
     targets — and, for the ext3 family, statfs free counts.
@@ -438,15 +531,75 @@ def _judge_state(
             ),),
         )
 
-    try:
-        digest = state_digest(fs, profile.digest_counts)
-    except StorageError as exc:
+    # The traced walk (digest + protected-file reads) is a pure
+    # function of the mounted state: post-recovery disk contents
+    # outside the journal, the in-memory free counts, the fail-stop
+    # flag, and any degraded-mode history (visible as detection /
+    # policy events from recovery).  All of that is in the key, so a
+    # hit replays the recorded segment — spans included — instead of
+    # re-walking; see ``Recording.walk_memo``.
+    region = getattr(fs, "journal_region", lambda: None)()
+    sb = getattr(fs, "sb", None)
+    # In-memory free counts come straight off the superblock object —
+    # statfs() would work for any FS but is op-traced, and key
+    # computation must not emit spans.  FSes without those fields
+    # (reiserfs) just skip the memo and walk live.
+    free_blocks = getattr(sb, "free_blocks", None)
+    free_inodes = getattr(sb, "free_inodes", None)
+    walk_key = None
+    if (free_blocks is not None and free_inodes is not None
+            and hasattr(rec.disk, "dirty_items")):
+        walk_key = (
+            _content_key(rec.disk, region),
+            free_blocks, free_inodes, fs.read_only,
+            sum(1 for e in stream
+                if isinstance(e, (DetectionEvent, PolicyActionEvent))),
+        )
+    cached = rec.walk_memo.get(walk_key) if walk_key is not None else None
+    if cached is not None:
+        digest, exc_info, intact_flags, walk_ro = cached[:4]
+        _replay_segment(stream, cached[4])
+    else:
+        pos = len(stream)
+        stats = getattr(rec.disk, "stats", None)
+        writes_before = stats.writes if stats is not None else None
+        exc_info = None
+        intact_flags: Tuple[bool, ...] = ()
+        walk_ro = False
+        try:
+            digest = state_digest(fs, profile.digest_counts)
+        except StorageError as exc:
+            digest = None
+            exc_info = (type(exc).__name__, str(exc))
+        if digest is not None:
+            flags = []
+            for path, payload in rec.protected.items():
+                try:
+                    flags.append(
+                        fs.exists(path) and fs.read_file(path) == payload
+                    )
+                except StorageError:
+                    flags.append(False)
+            intact_flags = tuple(flags)
+            walk_ro = fs.read_only
+        if walk_key is not None:
+            if stats is not None and stats.writes == writes_before:
+                rec.walk_memo[walk_key] = (
+                    digest, exc_info, intact_flags, walk_ro,
+                    _segment_template(stream[pos:]),
+                )
+            else:
+                # The walk itself wrote (a repairing read policy);
+                # replaying its emissions would skip those writes.
+                rec.walk_memo[walk_key] = None
+
+    if digest is None:
         return StateObservation(
             state.key, "recovered", None,
             (Violation(
                 state.key, "consistency",
                 f"namespace unreadable after recovery: "
-                f"{type(exc).__name__}: {exc}",
+                f"{exc_info[0]}: {exc_info[1]}",
                 _evidence(stream, state.key, span_id),
             ),),
         )
@@ -458,11 +611,7 @@ def _judge_state(
             _evidence(stream, state.key, span_id),
         ))
 
-    for path, payload in rec.protected.items():
-        try:
-            intact = fs.exists(path) and fs.read_file(path) == payload
-        except StorageError:
-            intact = False
+    for (path, _payload), intact in zip(rec.protected.items(), intact_flags):
         if not intact:
             violations.append(Violation(
                 state.key, "lost-data",
@@ -470,7 +619,7 @@ def _judge_state(
                 _evidence(stream, state.key, span_id),
             ))
 
-    if fs.read_only:
+    if walk_ro:
         # The FS detected damage and fail-stopped: consistent-but-
         # degraded is a legitimate recovery outcome, and the remaining
         # oracles need a writable remount cycle.
@@ -490,7 +639,18 @@ def _judge_state(
     fs2 = rec.adapter.make_fs(rec.disk)
     try:
         fs2.mount()
-        digest2 = state_digest(fs2, profile.digest_counts)
+        region = getattr(fs2, "journal_region", lambda: None)()
+        # The walk reads non-journal blocks plus the mounted-in-memory
+        # free counts; both are in the key, so equal keys imply equal
+        # digests even when mount-time recovery diverged in the journal.
+        vfs2 = fs2.statfs()
+        key2 = (_content_key(rec.disk, region),
+                vfs2.free_blocks, vfs2.free_inodes)
+        digest2 = rec.digest_memo.get(key2)
+        if digest2 is None:
+            digest2 = rec.digest_memo[key2] = state_digest(
+                fs2, profile.digest_counts
+            )
         if digest2 != digest:
             violations.append(Violation(
                 state.key, "idempotence",
@@ -515,11 +675,19 @@ def _judge_state(
         ))
 
     if profile.fsck:
-        report = fsck_ext3(rec.disk)
-        if not report.clean:
-            problems = "; ".join(report.messages[:3]) or "problems found"
+        key3 = _content_key(
+            rec.disk, getattr(fs, "journal_region", lambda: None)()
+        )
+        fsck_result = rec.fsck_memo.get(key3)
+        if fsck_result is None:
+            report = fsck_ext3(rec.disk)
+            fsck_result = rec.fsck_memo[key3] = (
+                report.clean,
+                "; ".join(report.messages[:3]) or "problems found",
+            )
+        if not fsck_result[0]:
             violations.append(Violation(
-                state.key, "consistency", f"fsck unclean: {problems}",
+                state.key, "consistency", f"fsck unclean: {fsck_result[1]}",
                 _evidence(stream, state.key, span_id),
             ))
 
@@ -606,17 +774,44 @@ class CrashReport:
         return "\n".join(lines)
 
 
-def _explore_chunk(
+def _replay_chunk(
     profile_key: str,
     workload_key: str,
+    golden_descriptor,
+    writes: List[Tuple[int, bytes]],
+    boundaries: List[int],
+    boundary_digests: Dict[str, int],
+    protected: Dict[str, bytes],
     max_torn_per_epoch: Optional[int],
     lo: int,
     hi: int,
     trace: bool = False,
+    token=None,
 ) -> List[StateObservation]:
-    """Pool entry point: re-record deterministically, check one slice."""
-    rec = record(CRASH_PROFILES[profile_key], CRASH_WORKLOADS[workload_key],
-                 trace=trace)
+    """Pool entry point: attach the parent's golden image from shared
+    memory, rebuild a :class:`Recording` around it, check one slice.
+
+    The worker never re-runs the workload — the recorded write stream
+    and reference digests travel in the task arguments, and the golden
+    slab comes zero-copy out of the published segment.
+    """
+    if token is not None:
+        begin_run(token)
+    profile = CRASH_PROFILES[profile_key]
+    workload = CRASH_WORKLOADS[workload_key]
+    adapter = adapter_for(profile.registry_key, profile.registry_kwargs)
+    rec = Recording(
+        profile=profile,
+        workload=workload,
+        disk=adapter.build_device(),
+        adapter=adapter,
+        golden=attach_image(golden_descriptor),
+        writes=writes,
+        boundaries=boundaries,
+        boundary_digests=boundary_digests,
+        protected=protected,
+        trace=trace,
+    )
     states = enumerate_states(rec, max_torn_per_epoch)
     return [check_state(rec, state) for state in states[lo:hi]]
 
@@ -648,20 +843,30 @@ def explore(
         )
 
     jobs = max(1, jobs)
-    if jobs == 1:
+    if effective_jobs(jobs) == 1:
         observations = [check_state(rec, state) for state in states]
     else:
         width = min(jobs, total) or 1
         step = (total + width - 1) // width
         bounds = [(lo, min(lo + step, total)) for lo in range(0, total, step)]
-        chunks = pool_map(
-            _explore_chunk,
-            [
-                (profile_key, workload_key, max_torn_per_epoch, lo, hi, trace)
-                for lo, hi in bounds
-            ],
-            jobs,
-        )
+        slab = SharedSlab(rec.golden)
+        token = run_token()
+        try:
+            chunks = pool_map(
+                _replay_chunk,
+                [
+                    (
+                        profile_key, workload_key, slab.descriptor,
+                        rec.writes, rec.boundaries, rec.boundary_digests,
+                        rec.protected, max_torn_per_epoch, lo, hi, trace,
+                        token,
+                    )
+                    for lo, hi in bounds
+                ],
+                jobs,
+            )
+        finally:
+            slab.close()
         observations = [obs for chunk in chunks for obs in chunk]
 
     report = CrashReport(

@@ -1,7 +1,14 @@
 """The disk substrate: simulated drive, timing model, fault injection."""
 
 from repro.disk.cache import BlockCache
-from repro.disk.disk import BlockDevice, DiskStats, SimulatedDisk, make_disk
+from repro.disk.disk import (
+    BlockDevice,
+    DiskStats,
+    SimulatedDisk,
+    SlabImage,
+    Snapshot,
+    make_disk,
+)
 from repro.disk.faults import (
     CorruptionMode,
     Fault,
@@ -35,6 +42,8 @@ __all__ = [
     "ScrubReport",
     "Scrubber",
     "SimulatedDisk",
+    "SlabImage",
+    "Snapshot",
     "TraceEntry",
     "WriteRecorder",
     "corruption",

@@ -6,15 +6,149 @@ introduced by the :class:`~repro.disk.injector.FaultInjector` layered
 above, mirroring the paper's software fault-injection layer beneath the
 file system.  The disk also models whole-disk failure (the classic
 fail-stop case) directly, since that belongs to the device.
+
+Contents live in a **slab**: one contiguous immutable ``bytes`` image
+(:class:`SlabImage`) shared copy-on-write between the device and every
+snapshot taken from it, plus a dirty-block bitmap and a privatized
+delta for blocks written since the last :meth:`SimulatedDisk.restore`.
+Snapshots of a clean device and every restore are O(1) aliasing — no
+per-block copying — which is what lets the fingerprinting harness
+restore one golden image hundreds of times per matrix and the crash
+engine ship golden images between processes as a single buffer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, runtime_checkable
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple, Union, runtime_checkable
 
 from repro.common.errors import OutOfRangeError, ReadError, WriteError
 from repro.disk.geometry import DiskGeometry
+
+
+class SlabImage:
+    """An immutable full-disk image backed by one contiguous slab.
+
+    ``data`` is ``num_blocks * block_size`` bytes; ``written`` is a
+    per-block bitmap distinguishing blocks that were actually written
+    from never-touched (all-zero) ones, preserving the historical
+    list-of-``Optional[bytes]`` snapshot semantics.  The image is the
+    unit of copy-on-write sharing: :meth:`SimulatedDisk.restore`
+    aliases it in O(1) and writes privatize blocks into the device's
+    delta, so an image may back any number of devices (or processes —
+    the slab maps directly into shared memory) at once.
+
+    ``meta`` is a free-form per-process cache that layers above hang
+    derived state on (e.g. the gray-box block-type oracle caches its
+    reconstruction keyed by the blocks it depends on); it never crosses
+    process boundaries and never affects the image's identity.
+
+    The image also quacks like the legacy snapshot list: ``len``,
+    iteration, indexing and equality all behave as a list of
+    per-block ``Optional[bytes]``.
+    """
+
+    __slots__ = ("data", "num_blocks", "block_size", "written", "meta",
+                 "_view", "_blocks")
+
+    def __init__(self, data, num_blocks: int, block_size: int,
+                 written: bytes):
+        # data may be bytes or any readable buffer (e.g. a memoryview
+        # over a multiprocessing.shared_memory segment) — the image
+        # never mutates it either way.
+        if len(data) != num_blocks * block_size:
+            raise ValueError("slab length does not match geometry")
+        if len(written) != num_blocks:
+            raise ValueError("written bitmap length does not match geometry")
+        self.data = data
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self.written = written
+        self.meta: Dict = {}
+        self._view = memoryview(data)
+        self._blocks: Dict[int, bytes] = {}  # lazily materialized bytes
+
+    @classmethod
+    def from_blocks(cls, blocks: Iterable[Optional[bytes]],
+                    block_size: int) -> "SlabImage":
+        """Build an image from the legacy list-of-blocks form."""
+        blocks = list(blocks)
+        zero = b"\x00" * block_size
+        written = bytearray(len(blocks))
+        parts = []
+        for i, payload in enumerate(blocks):
+            if payload is None:
+                parts.append(zero)
+            else:
+                if len(payload) != block_size:
+                    raise ValueError("snapshot block has wrong size")
+                parts.append(payload)
+                written[i] = 1
+        return cls(b"".join(parts), len(blocks), block_size, bytes(written))
+
+    def view(self, block: int) -> memoryview:
+        """Zero-copy read-only view of one block's contents."""
+        off = block * self.block_size
+        return self._view[off:off + self.block_size]
+
+    def block(self, block: int) -> Optional[bytes]:
+        """Materialized ``bytes`` for *block*, ``None`` if never written.
+
+        Materializations are cached on the image, so repeated reads of
+        the same block across any number of restores cost one slice.
+        """
+        if not self.written[block]:
+            return None
+        cached = self._blocks.get(block)
+        if cached is None:
+            off = block * self.block_size
+            cached = bytes(self._view[off:off + self.block_size])
+            self._blocks[block] = cached
+        return cached
+
+    # -- legacy list-of-blocks compatibility --------------------------------
+
+    def __len__(self) -> int:
+        return self.num_blocks
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.block(i) for i in range(*index.indices(self.num_blocks))]
+        if index < 0:
+            index += self.num_blocks
+        if not 0 <= index < self.num_blocks:
+            raise IndexError(index)
+        return self.block(index)
+
+    def __iter__(self):
+        for i in range(self.num_blocks):
+            yield self.block(i)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SlabImage):
+            return (self.block_size == other.block_size
+                    and self.written == other.written
+                    and self._view == other._view)
+        if isinstance(other, (list, tuple)):
+            return len(other) == self.num_blocks and all(
+                self.block(i) == other[i] for i in range(self.num_blocks))
+        return NotImplemented
+
+    def __reduce__(self):
+        # meta and the materialization cache are per-process; a
+        # shared-memory-backed buffer pickles as its bytes copy.
+        return (SlabImage, (bytes(self.data), self.num_blocks,
+                            self.block_size, self.written))
+
+    def __repr__(self) -> str:
+        populated = sum(self.written)
+        return (f"SlabImage(blocks={self.num_blocks}, bs={self.block_size}, "
+                f"written={populated})")
+
+
+#: Snapshots are slab images; the legacy list-of-blocks form is still
+#: accepted by :meth:`SimulatedDisk.restore` for compatibility.
+Snapshot = Union[SlabImage, List[Optional[bytes]]]
 
 
 @runtime_checkable
@@ -42,9 +176,9 @@ class BlockDevice(Protocol):
 
     def flush(self) -> None: ...
 
-    def snapshot(self) -> List[Optional[bytes]]: ...
+    def snapshot(self) -> SlabImage: ...
 
-    def restore(self, snapshot: List[Optional[bytes]]) -> None: ...
+    def restore(self, snapshot: Snapshot) -> None: ...
 
     @property
     def stats(self) -> Optional["DiskStats"]: ...
@@ -77,18 +211,24 @@ class SimulatedDisk:
     commit path in particular) may add explicit stalls via
     :meth:`stall`, which is how commit-ordering waits are charged.
 
-    Contents are stored copy-on-write: a shared immutable *base* image
-    (the golden snapshot the fingerprinting harness restores between
-    fault-injection cells) plus a private *delta* of blocks written
-    since.  :meth:`restore` therefore aliases the snapshot in O(1)
-    instead of copying the whole block list, and the snapshot itself is
-    never modified — every write privatizes the block into the delta.
+    Contents are stored copy-on-write over a slab: a shared immutable
+    base :class:`SlabImage` (the golden snapshot the fingerprinting
+    harness restores between fault-injection cells) plus a dirty-block
+    bitmap and a private *delta* of blocks written since.
+    :meth:`restore` therefore aliases the snapshot in O(1) instead of
+    copying the whole image, :meth:`snapshot` of a clean device is an
+    O(1) freeze, and the image itself is never modified — every write
+    privatizes the block into the delta.
     """
 
     def __init__(self, geometry: DiskGeometry):
         self.geometry = geometry
-        self._base: List[Optional[bytes]] = [None] * geometry.num_blocks
-        self._delta: Dict[int, bytes] = {}
+        n = geometry.num_blocks
+        self._image: Optional[SlabImage] = None  # base slab (None = all zeros)
+        self._dirty = bytearray(n)               # 1 = privatized since restore
+        self._dirty_count = 0
+        self._delta: Dict[int, bytes] = {}       # privatized block contents
+        self._zero = b"\x00" * geometry.block_size
         self._head = 0
         self.clock = 0.0
         self.stats = DiskStats()
@@ -112,29 +252,36 @@ class SimulatedDisk:
         return self.geometry.block_size
 
     def read_block(self, block: int) -> bytes:
-        self._check_range(block, "read")
+        if not 0 <= block < self.geometry.num_blocks:
+            self._check_range(block, "read")
         if self.failed:
             raise ReadError(block, "whole-disk failure")
         self._charge(block, is_write=False)
-        self.stats.reads += 1
-        self.stats.bytes_read += self.block_size
-        data = self._get(block)
-        if data is None:
-            return b"\x00" * self.block_size
-        return data
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += self.geometry.block_size
+        if self._dirty[block]:
+            return self._delta[block]
+        if self._image is not None:
+            data = self._image.block(block)
+            if data is not None:
+                return data
+        return self._zero
 
     def write_block(self, block: int, data: bytes) -> None:
-        self._check_range(block, "write")
+        if not 0 <= block < self.geometry.num_blocks:
+            self._check_range(block, "write")
         if self.failed:
             raise WriteError(block, "whole-disk failure")
-        if len(data) != self.block_size:
+        if len(data) != self.geometry.block_size:
             raise ValueError(
                 f"write of {len(data)} bytes to device with {self.block_size}-byte blocks"
             )
         self._charge(block, is_write=True)
-        self.stats.writes += 1
-        self.stats.bytes_written += self.block_size
-        self._delta[block] = bytes(data)
+        stats = self.stats
+        stats.writes += 1
+        stats.bytes_written += self.geometry.block_size
+        self._put(block, bytes(data))
 
     def flush(self) -> None:
         """Commit buffered state to the medium.  The simulated disk
@@ -151,11 +298,14 @@ class SimulatedDisk:
         self.stats.busy_time_s += seconds
 
     def _charge(self, block: int, is_write: bool = False) -> None:
-        t = self.geometry.access_time(self._head, block, self.block_size, is_write)
-        if block not in (self._head, self._head + 1):
-            self.stats.seeks += 1
+        geometry = self.geometry
+        head = self._head
+        t = geometry.access_time(head, block, geometry.block_size, is_write)
+        stats = self.stats
+        if block != head and block != head + 1:
+            stats.seeks += 1
         self.clock += t
-        self.stats.busy_time_s += t
+        stats.busy_time_s += t
         self._head = block
         if self.latency_observer is not None:
             self.latency_observer("write" if is_write else "read", t)
@@ -170,11 +320,23 @@ class SimulatedDisk:
         self.failed = False
 
     def peek(self, block: int) -> bytes:
-        """Read raw contents without advancing time or stats (test/debug
-        aid; never used by the file systems themselves)."""
+        """Read raw contents without advancing time or stats (gray-box
+        access used by the type oracle, fsck and tests; never the data
+        path the file systems are charged for)."""
         self._check_range(block, "read")
         data = self._get(block)
-        return b"\x00" * self.block_size if data is None else data
+        return self._zero if data is None else data
+
+    def peek_view(self, block: int):
+        """Zero-copy variant of :meth:`peek`: a buffer (memoryview or
+        ``bytes``) over the block's raw contents, valid until the next
+        write to that block.  Callers must not mutate it."""
+        self._check_range(block, "read")
+        if self._dirty[block]:
+            return self._delta[block]
+        if self._image is not None and self._image.written[block]:
+            return self._image.view(block)
+        return self._zero
 
     def poke(self, block: int, data: bytes) -> None:
         """Overwrite raw contents out-of-band (used by fault injection to
@@ -182,41 +344,122 @@ class SimulatedDisk:
         self._check_range(block, "write")
         if len(data) != self.block_size:
             raise ValueError("poke payload must be exactly one block")
-        self._delta[block] = bytes(data)
+        self._put(block, bytes(data))
 
-    def snapshot(self) -> List[Optional[bytes]]:
-        """Freshly merged copy of the raw block contents (harness golden
-        images).  The returned list is independent of the device's future
-        writes, but callers must treat it as immutable once it has been
-        handed to :meth:`restore` — restore aliases it rather than
-        copying."""
-        if not self._delta:
-            return list(self._base)
-        merged = list(self._base)
+    # -- copy-on-write slab state --------------------------------------------
+
+    @property
+    def base_image(self) -> Optional[SlabImage]:
+        """The slab image this device was last restored from (or None)."""
+        return self._image
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of blocks privatized since the last restore."""
+        return self._dirty_count
+
+    def any_dirty_in(self, blocks: Iterable[int]) -> bool:
+        """True when any of *blocks* was written since the last restore.
+        Used by gray-box consumers to decide whether state derived from
+        :attr:`base_image` is still valid."""
+        dirty = self._dirty
+        return any(dirty[b] for b in blocks)
+
+    def dirty_contents(self, blocks: Iterable[int]) -> tuple:
+        """``(block, payload)`` for each of *blocks* privatized since the
+        last restore, in the given order.  Together with the (immutable)
+        base image this fingerprints everything a gray-box walk over
+        *blocks* could observe, so derived state memoized on the image
+        can be revalidated content-exactly instead of being discarded on
+        any write."""
+        dirty = self._dirty
+        delta = self._delta
+        return tuple((b, delta[b]) for b in blocks if dirty[b])
+
+    def dirty_items(self) -> List[Tuple[int, bytes]]:
+        """Every privatized ``(block, payload)`` pair, sorted by block —
+        ``dirty_contents(range(num_blocks))`` without the full-range
+        scan (the delta map holds exactly the dirty set)."""
+        return sorted(self._delta.items())
+
+    def fingerprint_matches(self, blocks: Iterable[int], fp: tuple) -> bool:
+        """Does ``dirty_contents(blocks)`` equal *fp*?  Equivalent to
+        building the tuple and comparing, but bails at the first
+        mismatching block so a stale cache entry costs one bitmap scan
+        plus at most one payload compare."""
+        dirty = self._dirty
+        delta = self._delta
+        i = 0
+        n = len(fp)
+        for b in blocks:
+            if dirty[b]:
+                if i >= n:
+                    return False
+                entry = fp[i]
+                if entry[0] != b or delta[b] != entry[1]:
+                    return False
+                i += 1
+        return i == n
+
+    def snapshot(self) -> SlabImage:
+        """Frozen image of the raw block contents (harness golden
+        images).  The image is immutable and independent of the
+        device's future writes; a clean device (no writes since the
+        last restore) returns its base image in O(1) with no per-block
+        work."""
+        if self._dirty_count == 0 and self._image is not None:
+            return self._image
+        n, bs = self.num_blocks, self.block_size
+        base = self._image
+        if base is not None:
+            merged = bytearray(base.data)
+            written = bytearray(base.written)
+        else:
+            merged = bytearray(n * bs)
+            written = bytearray(n)
         for block, data in self._delta.items():
-            merged[block] = data
-        return merged
+            off = block * bs
+            merged[off:off + bs] = data
+            written[block] = 1
+        return SlabImage(bytes(merged), n, bs, bytes(written))
 
-    def restore(self, snapshot: List[Optional[bytes]]) -> None:
+    def restore(self, snapshot: Snapshot) -> None:
         """Restore contents from a snapshot; resets head, clock and stats.
 
-        Copy-on-write: the snapshot becomes the shared base image in
-        O(1) — no per-block copy — and subsequent writes privatize
-        blocks into the delta, so the snapshot itself is never mutated
-        and may be restored any number of times.
+        Copy-on-write: the image becomes the shared base slab in O(1)
+        — no per-block copy — and subsequent writes privatize blocks
+        into the delta, so the image itself is never mutated and may be
+        restored any number of times.  The legacy list-of-blocks form
+        is converted on the way in.
         """
         if len(snapshot) != self.num_blocks:
             raise ValueError("snapshot size does not match device")
-        self._base = snapshot
-        self._delta = {}
+        if not isinstance(snapshot, SlabImage):
+            snapshot = SlabImage.from_blocks(snapshot, self.block_size)
+        elif snapshot.block_size != self.block_size:
+            raise ValueError("snapshot block size does not match device")
+        self._image = snapshot
+        if self._dirty_count:
+            self._dirty = bytearray(self.num_blocks)
+            self._dirty_count = 0
+            self._delta = {}
         self._head = 0
         self.clock = 0.0
         self.stats.reset()
         self.failed = False
 
+    def _put(self, block: int, data: bytes) -> None:
+        self._delta[block] = data
+        if not self._dirty[block]:
+            self._dirty[block] = 1
+            self._dirty_count += 1
+
     def _get(self, block: int) -> Optional[bytes]:
-        delta = self._delta.get(block)
-        return delta if delta is not None else self._base[block]
+        if self._dirty[block]:
+            return self._delta[block]
+        if self._image is not None:
+            return self._image.block(block)
+        return None
 
     def _check_range(self, block: int, op: str) -> None:
         if not 0 <= block < self.num_blocks:

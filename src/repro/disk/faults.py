@@ -12,7 +12,33 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
+
+#: Memoized noise blocks, keyed by (seed, length).  NOISE corruption is
+#: a pure function of the fault's seed and the payload length — the
+#: stream is ``random.Random(seed).randrange(256)`` per byte — so the
+#: bytes are computed once and reused across every cell that arms the
+#: same fault shape.  The generator below reproduces CPython's
+#: ``randrange(256)`` exactly (``_randbelow_with_getrandbits``: draw
+#: ``bit_length(256) == 9`` bits, reject values >= 256) without the
+#: per-byte wrapper overhead; equality with the reference stream is
+#: pinned by a unit test.
+_NOISE_CACHE: Dict[Tuple[int, int], bytes] = {}
+
+
+def _noise(seed: int, n: int) -> bytes:
+    key = (seed, n)
+    cached = _NOISE_CACHE.get(key)
+    if cached is None:
+        getrandbits = random.Random(seed).getrandbits
+        out = bytearray(n)
+        for i in range(n):
+            r = getrandbits(9)
+            while r >= 256:
+                r = getrandbits(9)
+            out[i] = r
+        cached = _NOISE_CACHE[key] = bytes(out)
+    return cached
 
 
 class FaultOp(enum.Enum):
@@ -145,8 +171,7 @@ class Fault:
             if len(out) != len(payload):
                 raise ValueError("corruptor changed the block size")
             return out
-        rng = random.Random(self.seed or 0xC0FFEE)
-        return bytes(rng.randrange(256) for _ in range(len(payload)))
+        return _noise(self.seed or 0xC0FFEE, len(payload))
 
     def describe(self) -> str:
         target = f"block={self.block}" if self.block is not None else f"type={self.block_type}"

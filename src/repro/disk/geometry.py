@@ -81,10 +81,24 @@ class DiskGeometry:
 
     def access_time(self, from_block: int, to_block: int, nbytes: int,
                     is_write: bool = False) -> float:
-        """Total service time for one request."""
-        near = 0 <= to_block - from_block <= self.near_skip_blocks
-        return (
-            self.seek_time(from_block, to_block)
-            + self.rotational_delay(near, is_write)
-            + self.transfer_time(nbytes)
-        )
+        """Total service time for one request.
+
+        Flattened composition of :meth:`seek_time`,
+        :meth:`rotational_delay` and :meth:`transfer_time` (bit-exact,
+        same summation order) — this runs once per simulated I/O and is
+        the single hottest call in long fault matrices.
+        """
+        gap = to_block - from_block
+        transfer = nbytes / self.transfer_bps
+        if 0 <= gap <= self.near_skip_blocks:
+            # On-track: free for sequential/repeat access, a pass-over
+            # wait for short forward skips; no rotational miss either way.
+            if gap > 1:
+                return gap * self.block_size / self.transfer_bps + transfer
+            return transfer
+        rot = self.rotation_s / 2.0
+        if is_write:
+            rot = rot * self.write_rot_factor
+        distance = abs(gap) / max(self.num_blocks - 1, 1)
+        return (self.seek_base_s + self.seek_full_s * distance ** 0.5
+                + rot + transfer)

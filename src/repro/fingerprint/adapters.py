@@ -9,9 +9,9 @@ cannot catch.
 
 from __future__ import annotations
 
-import struct
 from typing import Optional
 
+from repro.common.structs import U16, U32
 from repro.disk.disk import SimulatedDisk, make_disk
 from repro.fs.ext3 import Ext3, Ext3Config, mkfs_ext3
 from repro.fs.ext3.structures import Inode as Ext3Inode
@@ -54,24 +54,24 @@ def ext3_field_corruptor(payload: bytes, block_type: str) -> bytes:
         return bytes(raw)
     if block_type == "dir":
         # Entries pointing at out-of-range inodes with garbage names.
-        garbage = struct.pack("<IBB", 0xDEADBEEF, 4, 1) + b"zzzz"
+        garbage = U32.pack(0xDEADBEEF) + bytes((4, 1)) + b"zzzz"
         raw[:len(garbage)] = garbage
         return bytes(raw)
     if block_type == "indirect":
         # Pointers redirected far out of the volume.
         for off in range(0, min(len(raw), 32), 4):
-            struct.pack_into("<I", raw, off, 0x7FFFFFF0 + off)
+            raw[off:off + 4] = U32.pack(0x7FFFFFF0 + off)
         return bytes(raw)
     if block_type in ("bitmap", "i-bitmap"):
         # All-allocated bitmap: silently eats free space.
         return b"\xff" * len(raw)
     if block_type == "super":
         # Magic destroyed: the type check should catch this one.
-        struct.pack_into("<I", raw, 0, 0x0BAD0BAD)
+        raw[0:4] = U32.pack(0x0BAD0BAD)
         return bytes(raw)
     if block_type.startswith("j-"):
         # Journal block with its magic destroyed.
-        struct.pack_into("<I", raw, 0, 0x0BAD0BAD)
+        raw[0:4] = U32.pack(0x0BAD0BAD)
         return bytes(raw)
     # data / g-desc / anything else: flip a swath of bytes.
     for i in range(0, min(64, len(raw))):
@@ -101,7 +101,7 @@ def reiserfs_field_corruptor(payload: bytes, block_type: str) -> bytes:
     if block_type in ("stat item", "dir item", "indirect", "direct item",
                       "leaf node", "root", "internal"):
         # Break the node header: an absurd level defeats the sanity check.
-        struct.pack_into("<H", raw, 0, 0x7F7F)
+        raw[0:2] = U16.pack(0x7F7F)
         return bytes(raw)
     if block_type == "bitmap":
         return b"\xff" * len(raw)
@@ -109,7 +109,7 @@ def reiserfs_field_corruptor(payload: bytes, block_type: str) -> bytes:
         raw[:8] = b"NoTrEiSe"
         return bytes(raw)
     if block_type.startswith("j-"):
-        struct.pack_into("<I", raw, 0, 0x0BAD0BAD)
+        raw[0:4] = U32.pack(0x0BAD0BAD)
         return bytes(raw)
     for i in range(0, min(64, len(raw))):
         raw[i] ^= 0x5A
@@ -149,16 +149,16 @@ def jfs_field_corruptor(payload: bytes, block_type: str) -> bytes:
     if block_type in ("inode", "dir", "internal"):
         # Blast the entry/pointer count past the maximum: caught by
         # JFS's count sanity checks.
-        struct.pack_into("<H", raw, 0, 0xFFF0)
-        struct.pack_into("<H", raw, 2, 0xFFF0)
+        raw[0:2] = U16.pack(0xFFF0)
+        raw[2:4] = U16.pack(0xFFF0)
         return bytes(raw)
     if block_type in ("bmap", "imap"):
         # Break the duplicated free-count equality check.
-        struct.pack_into("<I", raw, 0, 12345)
-        struct.pack_into("<I", raw, 4, 54321)
+        raw[0:4] = U32.pack(12345)
+        raw[4:8] = U32.pack(54321)
         return bytes(raw)
     if block_type in ("super", "aggr-inode", "j-super", "j-data"):
-        struct.pack_into("<I", raw, 0, 0x0BAD0BAD)
+        raw[0:4] = U32.pack(0x0BAD0BAD)
         return bytes(raw)
     for i in range(0, min(64, len(raw))):
         raw[i] ^= 0x5A
@@ -217,7 +217,7 @@ def ntfs_field_corruptor(payload: bytes, block_type: str) -> bytes:
     if block_type in ("volume-bitmap", "MFT-bitmap"):
         return b"\xff" * len(raw)
     if block_type == "logfile":
-        struct.pack_into("<I", raw, 0, 0x0BAD0BAD)
+        raw[0:4] = U32.pack(0x0BAD0BAD)
         return bytes(raw)
     for i in range(0, min(64, len(raw))):
         raw[i] ^= 0x5A

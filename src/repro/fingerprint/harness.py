@@ -60,6 +60,12 @@ class FSAdapter:
     #: is serial-only (``jobs=1``).
     registry_key: Optional[str] = None
     registry_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Golden (snapshot, frozen-oracle) pairs keyed by the workload's
+    #: ``(setup, crash_ops)`` — the only inputs the pristine image
+    #: depends on.  Every standard workload shares one setup, so one
+    #: slab image (and the type-oracle cache hanging off its ``meta``)
+    #: serves the whole matrix instead of being rebuilt per workload.
+    golden_cache: Dict[Any, Any] = field(default_factory=dict, repr=False)
 
     def build_stack(self) -> DeviceStack:
         """Compose the fingerprinting device stack: disk + injector,
@@ -168,7 +174,9 @@ class Fingerprinter:
             block_types=list(self.adapter.figure_block_types),
             workloads=[w.name for w in self.workloads],
         )
-        if self.jobs > 1 and len(self.workloads) > 1:
+        from repro.common.pool import effective_jobs
+
+        if effective_jobs(self.jobs) > 1 and len(self.workloads) > 1:
             from repro.fingerprint.parallel import run_parallel
 
             outcomes = run_parallel(self)
@@ -320,9 +328,16 @@ class Fingerprinter:
 
     # -- image preparation ------------------------------------------------------
 
-    def _golden(self, workload: Workload) -> Tuple[list, Dict[int, str]]:
+    def _golden(self, workload: Workload) -> Tuple[Any, Dict[int, str]]:
         """Build the pristine (or deliberately crashed) image for one
-        workload, plus a frozen block-type oracle usable before mount."""
+        workload, plus a frozen block-type oracle usable before mount.
+        The pair is a pure function of the workload's setup and crash
+        schedule, so it is cached on the adapter and shared by every
+        workload with the same ``(setup, crash_ops)``."""
+        cache_key = (workload.setup, workload.crash_ops)
+        cached = self.adapter.golden_cache.get(cache_key)
+        if cached is not None:
+            return cached
         disk = self.adapter.build_device()
         self.adapter.mkfs(disk)
         fs = self.adapter.make_fs(disk)
@@ -341,6 +356,7 @@ class Fingerprinter:
             b: t for b in range(disk.num_blocks)
             if (t := shadow.block_type(b)) is not None
         }
+        self.adapter.golden_cache[cache_key] = (snapshot, oracle)
         return snapshot, oracle
 
     # -- one observed run ------------------------------------------------------------
@@ -348,7 +364,7 @@ class Fingerprinter:
     def _observe(
         self,
         workload: Workload,
-        snapshot: list,
+        snapshot: Any,
         frozen_oracle: Dict[int, str],
         fault: Optional[Fault],
         label: str = "",

@@ -3,48 +3,78 @@
 The fault matrix is embarrassingly parallel at workload granularity:
 each workload owns its golden image, baseline, and every (fault class ×
 block type) cell derived from them, with no shared state between
-workloads.  A pool worker therefore rebuilds the adapter from the
-registry recipe (:attr:`FSAdapter.registry_key` — the adapter's
-closures are not picklable), fingerprints one workload end to end, and
-ships the resulting :class:`~repro.fingerprint.harness.WorkloadOutcome`
-back.  The parent merges outcomes in submission (= workload) order, so
+workloads.  A pool worker rebuilds the adapter from the registry recipe
+(:attr:`FSAdapter.registry_key` — the adapter's closures are not
+picklable), fingerprints one workload end to end, and ships the
+resulting :class:`~repro.fingerprint.harness.WorkloadOutcome` back.
+The parent merges outcomes in submission (= workload) order, so
 ``jobs=N`` output is byte-identical to ``jobs=1``.
 
-:func:`pool_map` is the reusable core of that pattern — submission-order
-merge over a process pool with a serial fast path — shared with the
-crash-state exploration engine (:mod:`repro.crash.engine`).
+Workers are **warm**: they come from the persistent pool in
+:mod:`repro.common.pool` and memoize the rebuilt adapter per registry
+recipe, so repeated matrices reuse one adapter (and its caches) per
+worker instead of rebuilding per task.  Golden images do not travel
+through the task pickle stream either — the parent builds each
+distinct golden once, publishes its slab in shared memory, and workers
+attach the same physical pages zero-copy
+(:func:`repro.common.pool.attach_image`).
+
+:func:`pool_map` — submission-order merge over the persistent pool,
+with streaming bounded submission and optional chunking — lives in
+:mod:`repro.common.pool` and is re-exported here for its existing
+consumers (the crash engine, the capture driver).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.common.pool import (  # noqa: F401  (pool_map re-exported)
+    SharedSlab,
+    attach_image,
+    begin_run,
+    on_run_change,
+    pool_map,
+    run_token,
+)
 from repro.disk.faults import CorruptionMode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fingerprint.harness import Fingerprinter, WorkloadOutcome
 
 
-def pool_map(
-    worker: Callable[..., Any],
-    arg_tuples: Sequence[Tuple],
-    jobs: int,
-) -> List[Any]:
-    """Apply *worker* to each argument tuple, ``jobs`` at a time.
+# -- worker-side adapter memoization -----------------------------------------
 
-    Results come back in submission order regardless of completion
-    order, so callers' merges are deterministic: ``jobs=N`` output is
-    identical to ``jobs=1``.  With ``jobs <= 1`` (or one task) the work
-    runs in-process — no pool, no pickling requirement.
-    """
-    tasks = list(arg_tuples)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [worker(*args) for args in tasks]
-    max_workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [pool.submit(worker, *args) for args in tasks]
-        return [future.result() for future in futures]
+#: (registry_key, frozen kwargs) -> adapter.  Lives for the worker's
+#: lifetime, so a warm worker reuses one adapter — and its golden-image
+#: and oracle caches — across every task and matrix that names the same
+#: recipe.
+_adapter_cache: Dict[Any, Any] = {}
+
+
+def adapter_for(registry_key: str, registry_kwargs: Dict[str, Any]):
+    """Rebuild (or reuse) an adapter from its registry recipe."""
+    from repro.fingerprint.adapters import ADAPTERS
+
+    try:
+        cache_key = (registry_key, tuple(sorted(registry_kwargs.items())))
+    except TypeError:
+        return ADAPTERS[registry_key](**registry_kwargs)
+    adapter = _adapter_cache.get(cache_key)
+    if adapter is None:
+        adapter = ADAPTERS[registry_key](**registry_kwargs)
+        _adapter_cache[cache_key] = adapter
+    return adapter
+
+
+def _drop_seeded_goldens() -> None:
+    """Run-boundary cleanup: golden caches may hold images backed by the
+    previous run's shared segments; drop them so the mappings release."""
+    for adapter in _adapter_cache.values():
+        adapter.golden_cache.clear()
+
+
+on_run_change(_drop_seeded_goldens)
 
 
 def _worker(
@@ -54,14 +84,28 @@ def _worker(
     corruption_mode: CorruptionMode,
     trace: bool = False,
     metrics: bool = False,
+    golden: Optional[Tuple[Any, Dict[int, str]]] = None,
+    token: Any = None,
 ) -> "WorkloadOutcome":
-    """Pool entry point: rebuild the adapter by name, run one workload."""
-    from repro.fingerprint.adapters import ADAPTERS
+    """Pool entry point: rebuild the adapter by name, run one workload.
+
+    *golden* is the parent's pre-built image for this workload as a
+    ``(slab descriptor, oracle)`` pair; the worker attaches the shared
+    slab and seeds the adapter's golden cache so the harness never
+    rebuilds it.
+    """
     from repro.fingerprint.harness import Fingerprinter
     from repro.fingerprint.workloads import WORKLOAD_BY_KEY
 
-    adapter = ADAPTERS[registry_key](**registry_kwargs)
+    if token is not None:
+        begin_run(token)
+    adapter = adapter_for(registry_key, registry_kwargs)
     workload = WORKLOAD_BY_KEY[workload_key]
+    if golden is not None:
+        descriptor, oracle = golden
+        cache_key = (workload.setup, workload.crash_ops)
+        if cache_key not in adapter.golden_cache:
+            adapter.golden_cache[cache_key] = (attach_image(descriptor), oracle)
     fp = Fingerprinter(adapter, workloads=[workload],
                        corruption_mode=corruption_mode,
                        trace=trace, metrics=metrics)
@@ -88,27 +132,46 @@ def check_parallelizable(fp: "Fingerprinter") -> None:
 
 
 def run_parallel(fp: "Fingerprinter") -> List["WorkloadOutcome"]:
-    """Fan the fingerprinter's workloads out across a process pool.
+    """Fan the fingerprinter's workloads out across the persistent pool.
 
     Returns outcomes in workload order regardless of completion order;
-    the caller's merge is therefore deterministic.
+    the caller's merge is therefore deterministic.  Distinct golden
+    images (one per ``(setup, crash_ops)`` recipe — typically two for
+    the Table-3 matrix) are built once in the parent and published via
+    shared memory; each task carries its workload's slab descriptor.
     """
     check_parallelizable(fp)
-    outcomes: List["WorkloadOutcome"] = pool_map(
-        _worker,
-        [
-            (
-                fp.adapter.registry_key,
-                fp.adapter.registry_kwargs,
-                workload.key,
-                fp.corruption_mode,
-                fp.trace,
-                fp.metrics,
-            )
-            for workload in fp.workloads
-        ],
-        fp.jobs,
-    )
+    slabs: Dict[Any, SharedSlab] = {}
+    goldens: Dict[str, Tuple[Any, Dict[int, str]]] = {}
+    for workload in fp.workloads:
+        cache_key = (workload.setup, workload.crash_ops)
+        snapshot, oracle = fp._golden(workload)
+        slab = slabs.get(cache_key)
+        if slab is None:
+            slab = slabs[cache_key] = SharedSlab(snapshot)
+        goldens[workload.key] = (slab.descriptor, oracle)
+    token = run_token()
+    try:
+        outcomes: List["WorkloadOutcome"] = pool_map(
+            _worker,
+            [
+                (
+                    fp.adapter.registry_key,
+                    fp.adapter.registry_kwargs,
+                    workload.key,
+                    fp.corruption_mode,
+                    fp.trace,
+                    fp.metrics,
+                    goldens[workload.key],
+                    token,
+                )
+                for workload in fp.workloads
+            ],
+            fp.jobs,
+        )
+    finally:
+        for slab in slabs.values():
+            slab.close()
     for workload, outcome in zip(fp.workloads, outcomes):
         fp.progress(
             f"{fp.adapter.name}: workload {workload.key} ({workload.name}) "

@@ -16,6 +16,7 @@ objects past each system's inline capacities.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, List, Optional
 
 from repro.common.errors import FSError
@@ -82,6 +83,14 @@ class Workload:
 BIG_FILE_BLOCKS = 40  # spans direct + single/double indirect with small ptrs
 
 
+@lru_cache(maxsize=8)
+def _patterned(n: int, mul: int, add: int) -> bytes:
+    """The deterministic payload pattern setup files are filled with.
+    Memoized: setup runs once per matrix cell, and the pattern only
+    depends on (length, multiplier, offset)."""
+    return bytes((i * mul + add) % 256 for i in range(n))
+
+
 def standard_setup(fs: FileSystem) -> None:
     """Create the objects the workload bodies reference."""
     bs = fs.statfs().block_size
@@ -89,7 +98,7 @@ def standard_setup(fs: FileSystem) -> None:
     fs.mkdir("/dir1/subdir")
     fs.write_file("/dir1/subdir/leaf", b"leaf-data")
     fs.write_file("/dir1/file_small", b"small-file-contents")
-    big = bytes((i * 7 + 3) % 256 for i in range(BIG_FILE_BLOCKS * bs))
+    big = _patterned(BIG_FILE_BLOCKS * bs, 7, 3)
     fs.write_file("/dir1/file_big", big)
     fs.symlink("/dir1/file_small", "/link_to_small")
     fs.mkdir("/dir2")
@@ -97,7 +106,7 @@ def standard_setup(fs: FileSystem) -> None:
     fs.write_file("/dir2/victim", b"rename-victim")
     fs.mkdir("/empty_dir")
     fs.write_file("/file_unlink", b"to-be-unlinked")
-    trunc = bytes((i * 13 + 5) % 256 for i in range(20 * bs))
+    trunc = _patterned(20 * bs, 13, 5)
     fs.write_file("/file_trunc", trunc)
     fs.write_file("/file_chmod", b"chmod-target")
 

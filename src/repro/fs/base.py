@@ -243,3 +243,13 @@ class JournaledFS(FileSystem):
         if raw is not None:
             return raw.peek(block)
         return self.device.read_block(block)
+
+    def _peek_view(self, block: int):
+        """Zero-copy gray-box read: a buffer over the raw block contents,
+        valid until the block is next written.  Falls back to
+        :meth:`_peek` on devices without slab views."""
+        raw = self._raw_disk()
+        peek_view = getattr(raw, "peek_view", None)
+        if peek_view is not None:
+            return peek_view(block)
+        return self._peek(block)

@@ -23,6 +23,7 @@ block (defaults to the natural block_size // 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional
 
 INODE_SIZE = 128
@@ -63,34 +64,34 @@ class Ext3Config:
 
     # -- derived quantities --------------------------------------------------
 
-    @property
+    @cached_property
     def inodes_per_block(self) -> int:
         return self.block_size // INODE_SIZE
 
-    @property
+    @cached_property
     def inode_table_blocks(self) -> int:
         return self.inodes_per_group // self.inodes_per_block
 
-    @property
+    @cached_property
     def effective_ptrs(self) -> int:
         natural = self.block_size // POINTER_SIZE
         if self.ptrs_per_block is None:
             return natural
         return min(self.ptrs_per_block, natural)
 
-    @property
+    @cached_property
     def group_overhead_blocks(self) -> int:
         # sb backup + block bitmap + inode bitmap + inode table
         return 3 + self.inode_table_blocks
 
-    @property
+    @cached_property
     def data_blocks_per_group(self) -> int:
         n = self.blocks_per_group - self.group_overhead_blocks
         if n <= 0:
             raise ValueError("blocks_per_group too small for group metadata")
         return n
 
-    @property
+    @cached_property
     def total_inodes(self) -> int:
         return self.inodes_per_group * self.num_groups
 
@@ -108,25 +109,34 @@ class Ext3Config:
     def journal_start(self) -> int:
         return 2
 
-    @property
+    @cached_property
     def checksum_start(self) -> int:
         return self.journal_start + self.journal_blocks
 
-    @property
+    @cached_property
     def replica_start(self) -> int:
         return self.checksum_start + self.checksum_blocks
 
-    @property
+    @cached_property
     def groups_start(self) -> int:
         return self.replica_start + self.replica_blocks
 
-    @property
+    @cached_property
     def total_blocks(self) -> int:
         return self.groups_start + self.num_groups * self.blocks_per_group
 
+    @cached_property
+    def _group_bases(self) -> tuple:
+        return tuple(self.groups_start + g * self.blocks_per_group
+                     for g in range(self.num_groups))
+
     def group_base(self, group: int) -> int:
-        self._check_group(group)
-        return self.groups_start + group * self.blocks_per_group
+        if group < 0:
+            raise ValueError(f"group {group} out of range")
+        try:
+            return self._group_bases[group]
+        except IndexError:
+            raise ValueError(f"group {group} out of range") from None
 
     def sb_backup_block(self, group: int) -> int:
         return self.group_base(group)
@@ -151,6 +161,10 @@ class Ext3Config:
 
     # -- inode addressing ----------------------------------------------------------
 
+    @cached_property
+    def _inode_table_starts(self) -> tuple:
+        return tuple(base + 3 for base in self._group_bases)
+
     def inode_location(self, ino: int):
         """(absolute block, byte offset) of inode *ino* (1-based)."""
         if not 1 <= ino <= self.total_inodes:
@@ -158,7 +172,7 @@ class Ext3Config:
         index = ino - 1
         group, within = divmod(index, self.inodes_per_group)
         block_off, slot = divmod(within, self.inodes_per_block)
-        return self.inode_table_start(group) + block_off, slot * INODE_SIZE
+        return self._inode_table_starts[group] + block_off, slot * INODE_SIZE
 
     def group_of_inode(self, ino: int) -> int:
         return (ino - 1) // self.inodes_per_group
@@ -169,7 +183,7 @@ class Ext3Config:
 
     # -- file size limits ----------------------------------------------------------
 
-    @property
+    @cached_property
     def max_file_blocks(self) -> int:
         p = self.effective_ptrs
         return NUM_DIRECT + p + p * p + p * p * p

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.bitmap import Bitmap
+from repro.common.structs import U16x2
 from repro.disk.disk import BlockDevice
 from repro.fs.ext3.config import NUM_DIRECT, ROOT_INO, Ext3Config
 from repro.fs.ext3.structures import (
@@ -123,11 +124,22 @@ class Ext3Fsck:
     # -- passes -------------------------------------------------------------------
 
     def _load_inodes(self) -> None:
-        for ino in range(1, self.config.total_inodes + 1):
-            block, off = self.config.inode_location(ino)
-            inode = inode_slot(self.device.read_block(block), off)
-            if inode.is_allocated:
-                self._inodes[ino] = inode
+        # One read per table block (not per inode slot), and a two-field
+        # probe to skip free slots without building an Inode for them.
+        cfg = self.config
+        read = self.device.read_block
+        probe = U16x2.unpack_from
+        raw = b""
+        last_block = -1
+        for ino in range(1, cfg.total_inodes + 1):
+            block, off = cfg.inode_location(ino)
+            if block != last_block:
+                raw = read(block)
+                last_block = block
+            mode, links = probe(raw, off)
+            if links == 0 and mode == 0:
+                continue  # Inode.is_allocated is False
+            self._inodes[ino] = inode_slot(raw, off)
 
     def _valid_data_block(self, bno: int) -> bool:
         g = self.config.group_of_block(bno)
@@ -328,10 +340,12 @@ class Ext3Fsck:
         for g in range(cfg.num_groups):
             bmp = Bitmap(cfg.data_blocks_per_group)
             used_in_group = 0
-            for bit in range(cfg.data_blocks_per_group):
-                bno = cfg.data_start(g) + bit
-                if bno in self._claimed:
-                    bmp.set(bit)
+            # Claimed blocks are sparse; iterate them, not every bit.
+            start = cfg.data_start(g)
+            end = start + cfg.data_blocks_per_group
+            for bno in self._claimed:
+                if start <= bno < end:
+                    bmp.set(bno - start)
                     used_in_group += 1
             stored = Bitmap(cfg.data_blocks_per_group,
                             self.device.read_block(cfg.block_bitmap_block(g)))
@@ -363,11 +377,16 @@ class Ext3Fsck:
         for g in range(cfg.num_groups):
             bmp = Bitmap(cfg.inodes_per_group)
             used = 0
-            for bit in range(cfg.inodes_per_group):
-                ino = g * cfg.inodes_per_group + bit + 1
-                if ino == 1 or ino in self._inodes:
-                    bmp.set(bit)
+            # Allocated inodes are sparse; iterate them, not every slot.
+            lo = g * cfg.inodes_per_group + 1
+            hi = lo + cfg.inodes_per_group
+            for ino in self._inodes:
+                if lo <= ino < hi:
+                    bmp.set(ino - lo)
                     used += 1
+            if lo == 1 and 1 not in self._inodes:
+                bmp.set(0)  # reserved bad-blocks inode is always marked
+                used += 1
             stored = Bitmap(cfg.inodes_per_group,
                             self.device.read_block(cfg.inode_bitmap_block(g)))
             if stored != bmp:

@@ -20,12 +20,13 @@ writes that abort the journal.
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass, field
+from struct import Struct
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.checksum import SHA1_SIZE, transaction_checksum
 from repro.common.errors import CorruptionDetected, ReadError
+from repro.common.structs import U32, U32x2, u32_seq
 from repro.common.syslog import SysLog
 
 JMAGIC = 0x4A424454  # "JBDT"
@@ -35,23 +36,23 @@ JB_DESC = 1
 JB_COMMIT = 2
 JB_REVOKE = 3
 
-_HDR_FMT = "<III"  # magic, btype, seq
-_HDR_SIZE = struct.calcsize(_HDR_FMT)
+_HDR_STRUCT = Struct("<III")  # magic, btype, seq
+_HDR_SIZE = _HDR_STRUCT.size
 
 
 def _pack_header(btype: int, seq: int) -> bytes:
-    return struct.pack(_HDR_FMT, JMAGIC, btype, seq)
+    return _HDR_STRUCT.pack(JMAGIC, btype, seq)
 
 
 def _parse_header(data: bytes) -> Optional[Tuple[int, int]]:
-    magic, btype, seq = struct.unpack_from(_HDR_FMT, data)
+    magic, btype, seq = _HDR_STRUCT.unpack_from(data)
     if magic != JMAGIC:
         return None
     return btype, seq
 
 
 def pack_journal_super(block_size: int, next_seq: int, clean: bool) -> bytes:
-    payload = _pack_header(JB_SUPER, 0) + struct.pack("<II", next_seq, 1 if clean else 0)
+    payload = _pack_header(JB_SUPER, 0) + U32x2.pack(next_seq, 1 if clean else 0)
     return payload + b"\x00" * (block_size - len(payload))
 
 
@@ -59,7 +60,7 @@ def parse_journal_super(data: bytes) -> Optional[Tuple[int, bool]]:
     hdr = _parse_header(data)
     if hdr is None or hdr[0] != JB_SUPER:
         return None
-    next_seq, clean = struct.unpack_from("<II", data, _HDR_SIZE)
+    next_seq, clean = U32x2.unpack_from(data, _HDR_SIZE)
     return next_seq, bool(clean)
 
 
@@ -68,7 +69,8 @@ def desc_capacity(block_size: int) -> int:
 
 
 def pack_desc(block_size: int, seq: int, homes: List[int]) -> bytes:
-    payload = _pack_header(JB_DESC, seq) + struct.pack(f"<I{len(homes)}I", len(homes), *homes)
+    payload = (_pack_header(JB_DESC, seq) + U32.pack(len(homes))
+               + u32_seq(len(homes)).pack(*homes))
     return payload + b"\x00" * (block_size - len(payload))
 
 
@@ -76,16 +78,16 @@ def parse_desc(data: bytes) -> Optional[Tuple[int, List[int]]]:
     hdr = _parse_header(data)
     if hdr is None or hdr[0] != JB_DESC:
         return None
-    (count,) = struct.unpack_from("<I", data, _HDR_SIZE)
+    (count,) = U32.unpack_from(data, _HDR_SIZE)
     if count > desc_capacity(len(data)):
         return None
-    homes = list(struct.unpack_from(f"<{count}I", data, _HDR_SIZE + 4))
+    homes = list(u32_seq(count).unpack_from(data, _HDR_SIZE + 4))
     return hdr[1], homes
 
 
 def pack_commit(block_size: int, seq: int, nblocks: int, checksum: bytes = b"") -> bytes:
     csum = checksum or b"\x00" * SHA1_SIZE
-    payload = _pack_header(JB_COMMIT, seq) + struct.pack("<I", nblocks) + csum
+    payload = _pack_header(JB_COMMIT, seq) + U32.pack(nblocks) + csum
     return payload + b"\x00" * (block_size - len(payload))
 
 
@@ -93,13 +95,14 @@ def parse_commit(data: bytes) -> Optional[Tuple[int, int, bytes]]:
     hdr = _parse_header(data)
     if hdr is None or hdr[0] != JB_COMMIT:
         return None
-    (nblocks,) = struct.unpack_from("<I", data, _HDR_SIZE)
+    (nblocks,) = U32.unpack_from(data, _HDR_SIZE)
     csum = bytes(data[_HDR_SIZE + 4:_HDR_SIZE + 4 + SHA1_SIZE])
     return hdr[1], nblocks, csum
 
 
 def pack_revoke(block_size: int, seq: int, blocks: List[int]) -> bytes:
-    payload = _pack_header(JB_REVOKE, seq) + struct.pack(f"<I{len(blocks)}I", len(blocks), *blocks)
+    payload = (_pack_header(JB_REVOKE, seq) + U32.pack(len(blocks))
+               + u32_seq(len(blocks)).pack(*blocks))
     return payload + b"\x00" * (block_size - len(payload))
 
 
@@ -107,10 +110,10 @@ def parse_revoke(data: bytes) -> Optional[Tuple[int, List[int]]]:
     hdr = _parse_header(data)
     if hdr is None or hdr[0] != JB_REVOKE:
         return None
-    (count,) = struct.unpack_from("<I", data, _HDR_SIZE)
+    (count,) = U32.unpack_from(data, _HDR_SIZE)
     if count > desc_capacity(len(data)):
         return None
-    blocks = list(struct.unpack_from(f"<{count}I", data, _HDR_SIZE + 4))
+    blocks = list(u32_seq(count).unpack_from(data, _HDR_SIZE + 4))
     return hdr[1], blocks
 
 

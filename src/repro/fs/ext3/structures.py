@@ -4,10 +4,11 @@ operate on real bytes."""
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass, field, replace
+from struct import Struct
 from typing import List
 
+from repro.common.structs import U16x2, u32_seq
 from repro.fs.ext3.config import INODE_SIZE, NUM_DIRECT, Ext3Config
 
 EXT3_MAGIC = 0xEF53
@@ -29,8 +30,8 @@ FEAT_META_REPLICA = 1 << 2
 FEAT_DATA_PARITY = 1 << 3
 FEAT_TXN_CSUM = 1 << 4
 
-_SB_FMT = "<IIIIIIIIIIIIIIIHHIIIII"
-_SB_SIZE = struct.calcsize(_SB_FMT)
+_SB_STRUCT = Struct("<IIIIIIIIIIIIIIIHHIIIII")
+_SB_SIZE = _SB_STRUCT.size
 
 
 @dataclass
@@ -85,8 +86,7 @@ class Superblock:
         )
 
     def pack(self, block_size: int) -> bytes:
-        payload = struct.pack(
-            _SB_FMT,
+        payload = _SB_STRUCT.pack(
             self.magic,
             self.block_size,
             self.blocks_count,
@@ -114,7 +114,7 @@ class Superblock:
 
     @classmethod
     def unpack(cls, data: bytes) -> "Superblock":
-        fields = struct.unpack_from(_SB_FMT, data)
+        fields = _SB_STRUCT.unpack_from(data)
         return cls(
             magic=fields[0],
             block_size=fields[1],
@@ -149,8 +149,8 @@ class Superblock:
         )
 
 
-_GD_FMT = "<IIIHHII"
-_GD_SIZE = struct.calcsize(_GD_FMT)
+_GD_STRUCT = Struct("<IIIHHII")
+_GD_SIZE = _GD_STRUCT.size
 
 
 @dataclass
@@ -166,8 +166,7 @@ class GroupDescriptor:
     data_blocks: int
 
     def pack(self) -> bytes:
-        return struct.pack(
-            _GD_FMT,
+        return _GD_STRUCT.pack(
             self.block_bitmap,
             self.inode_bitmap,
             self.inode_table,
@@ -179,7 +178,7 @@ class GroupDescriptor:
 
     @classmethod
     def unpack(cls, data: bytes) -> "GroupDescriptor":
-        return cls(*struct.unpack_from(_GD_FMT, data))
+        return cls(*_GD_STRUCT.unpack_from(data))
 
 
 def pack_gdt(descriptors: List[GroupDescriptor], block_size: int) -> bytes:
@@ -190,18 +189,16 @@ def pack_gdt(descriptors: List[GroupDescriptor], block_size: int) -> bytes:
 
 
 def unpack_gdt(data: bytes, num_groups: int) -> List[GroupDescriptor]:
-    out = []
-    for g in range(num_groups):
-        out.append(GroupDescriptor.unpack(data[g * _GD_SIZE:(g + 1) * _GD_SIZE]))
-    return out
+    unpack = _GD_STRUCT.unpack_from
+    return [GroupDescriptor(*unpack(data, g * _GD_SIZE)) for g in range(num_groups)]
 
 
-_INODE_FMT = "<HHHHQdddI" + "I" * NUM_DIRECT + "IIIIII"
-_INODE_USED = struct.calcsize(_INODE_FMT)
+_INODE_STRUCT = Struct("<HHHHQdddI" + "I" * NUM_DIRECT + "IIIIII")
+_INODE_USED = _INODE_STRUCT.size
 assert _INODE_USED <= INODE_SIZE, _INODE_USED
 
 
-@dataclass
+@dataclass(slots=True)
 class Inode:
     """Info about files and directories (Table 4).
 
@@ -227,8 +224,7 @@ class Inode:
     generation: int = 0
 
     def pack(self) -> bytes:
-        payload = struct.pack(
-            _INODE_FMT,
+        payload = _INODE_STRUCT.pack(
             self.mode,
             self.links,
             self.uid,
@@ -250,7 +246,7 @@ class Inode:
 
     @classmethod
     def unpack(cls, data: bytes) -> "Inode":
-        f = struct.unpack_from(_INODE_FMT, data)
+        f = _INODE_STRUCT.unpack_from(data)
         return cls(
             mode=f[0],
             links=f[1],
@@ -280,6 +276,9 @@ class Inode:
         return self.links > 0 or self.mode != 0
 
 
+_DIRENT_HDR = Struct("<IBB")
+
+
 @dataclass(frozen=True)
 class DirEntry:
     """One directory entry: list-of-files-in-directory record."""
@@ -292,7 +291,7 @@ class DirEntry:
         # latin-1 keeps one byte per character, so even garbage names
         # recovered from a corrupted block repack at the same length.
         raw = self.name.encode("latin-1", errors="replace")[:255]
-        return struct.pack("<IBB", self.ino & 0xFFFFFFFF, len(raw), self.ftype & 0xFF) + raw
+        return _DIRENT_HDR.pack(self.ino & 0xFFFFFFFF, len(raw), self.ftype & 0xFF) + raw
 
 
 def pack_dir_block(entries: List[DirEntry], block_size: int) -> bytes:
@@ -302,6 +301,15 @@ def pack_dir_block(entries: List[DirEntry], block_size: int) -> bytes:
     return payload + b"\x00" * (block_size - len(payload))
 
 
+#: Content-keyed parse cache.  Parsing is a pure function of the block
+#: payload, directory blocks are re-read constantly (every path lookup
+#: walks them), and the zero-copy substrate returns stable ``bytes``
+#: objects for unmodified blocks — so the common hit costs one (cached)
+#: hash.  Entries are frozen, so sharing them is safe; the returned
+#: list is fresh per call because callers mutate it.
+_DIR_PARSE_CACHE: dict = {}
+
+
 def unpack_dir_block(data: bytes) -> List[DirEntry]:
     """Parse a directory block.
 
@@ -309,11 +317,17 @@ def unpack_dir_block(data: bytes) -> List[DirEntry]:
     blocks (§5.1), so garbage parses into garbage entries or an early
     stop — exactly the blind behaviour the paper documents.
     """
+    cacheable = type(data) is bytes
+    if cacheable:
+        cached = _DIR_PARSE_CACHE.get(data)
+        if cached is not None:
+            return list(cached)
     entries: List[DirEntry] = []
     off = 0
     n = len(data)
+    unpack_hdr = _DIRENT_HDR.unpack_from
     while off + 6 <= n:
-        ino, name_len, ftype = struct.unpack_from("<IBB", data, off)
+        ino, name_len, ftype = unpack_hdr(data, off)
         if ino == 0 and name_len == 0:
             break
         off += 6
@@ -323,6 +337,10 @@ def unpack_dir_block(data: bytes) -> List[DirEntry]:
         off += name_len
         if ino != 0:
             entries.append(DirEntry(ino, ftype, name))
+    if cacheable:
+        if len(_DIR_PARSE_CACHE) > 4096:
+            _DIR_PARSE_CACHE.clear()
+        _DIR_PARSE_CACHE[data] = tuple(entries)
     return entries
 
 
@@ -330,16 +348,33 @@ def pack_pointer_block(pointers: List[int], block_size: int, nptrs: int) -> byte
     """Serialize an indirect block: nptrs 4-byte little-endian pointers."""
     if len(pointers) != nptrs:
         raise ValueError("pointer list must exactly fill the block layout")
-    payload = struct.pack(f"<{nptrs}I", *pointers)
+    payload = u32_seq(nptrs).pack(*pointers)
     return payload + b"\x00" * (block_size - len(payload))
 
 
 def unpack_pointer_block(data: bytes, nptrs: int) -> List[int]:
-    return list(struct.unpack_from(f"<{nptrs}I", data))
+    return list(u32_seq(nptrs).unpack_from(data))
 
 
 def inode_slot(table_block_payload: bytes, offset: int) -> Inode:
     return Inode.unpack(table_block_payload[offset:offset + INODE_SIZE])
+
+
+def iter_allocated_inodes(table_block_payload, inodes_per_block: int):
+    """Yield ``(slot, raw-field tuple)`` for each allocated inode slot in
+    one table block, skipping free slots on a two-field header probe.
+    The tuple layout matches ``Inode.unpack``'s field order; callers
+    index it directly to avoid materializing an :class:`Inode` per slot
+    (the type-oracle rebuild walks every slot of every table block).
+    Accepts ``bytes`` or a zero-copy ``memoryview``."""
+    probe = U16x2.unpack_from
+    unpack = _INODE_STRUCT.unpack_from
+    for slot in range(inodes_per_block):
+        off = slot * INODE_SIZE
+        mode, links = probe(table_block_payload, off)
+        if links == 0 and mode == 0:
+            continue  # Inode.is_allocated is False
+        yield slot, unpack(table_block_payload, off)
 
 
 def patch_inode_block(table_block_payload: bytes, offset: int, inode: Inode) -> bytes:

@@ -15,10 +15,10 @@ or neither does.
 
 from __future__ import annotations
 
-import struct
 from typing import Callable, Dict, Optional
 
 from repro.common.checksum import SHA1_SIZE, sha1
+from repro.common.structs import U32x2
 
 ReadBlock = Callable[[int], bytes]
 JournalMeta = Callable[[int, bytes], None]
@@ -41,6 +41,11 @@ class ChecksumStore:
         self._read_block = read_block
         self._journal_meta = journal_meta
         self._cache: Dict[int, bytes] = {}  # cksum block -> payload
+        #: Last payload that verified clean per covered block.  A repeat
+        #: read of identical bytes short-circuits on equality instead of
+        #: re-hashing; any in-flight corruption changes the bytes, so the
+        #: comparison fails and the full SHA-1 path runs as before.
+        self._verified: Dict[int, bytes] = {}
 
     def covers(self, block: int) -> bool:
         return block // self.per_block < self.region_blocks
@@ -69,7 +74,12 @@ class ChecksumStore:
         expected = self.stored_digest(block)
         if expected is None:
             return True
-        return sha1(data) == expected
+        if self._verified.get(block) == data:
+            return True
+        ok = sha1(data) == expected
+        if ok:
+            self._verified[block] = bytes(data)
+        return ok
 
     def update(self, block: int, data: bytes) -> None:
         """Record the new digest of *block*, journaling the checksum
@@ -81,6 +91,9 @@ class ChecksumStore:
         payload[offset:offset + SHA1_SIZE] = sha1(data)
         frozen = bytes(payload)
         self._cache[cks_block] = frozen
+        # The stored digest is sha1(data) by construction, so the new
+        # payload is the verified image for this block.
+        self._verified[block] = bytes(data)
         self._journal_meta(cks_block, frozen)
 
     def forget(self, block: int) -> None:
@@ -92,15 +105,17 @@ class ChecksumStore:
         payload[offset:offset + SHA1_SIZE] = _ZERO_DIGEST
         frozen = bytes(payload)
         self._cache[cks_block] = frozen
+        self._verified.pop(block, None)
         self._journal_meta(cks_block, frozen)
 
     def drop_cache(self) -> None:
         self._cache.clear()
+        self._verified.clear()
 
 
 #: Replica map entry: (home block, slot index), 8 bytes each.
-_MAP_ENTRY = "<II"
-_MAP_HDR = "<II"  # count, pad
+_MAP_ENTRY = U32x2
+_MAP_HDR = U32x2  # count, pad
 
 
 class ReplicaMap:
@@ -160,11 +175,11 @@ class ReplicaMap:
         for i in range(self.map_blocks):
             data = self._read_block(self.region_start + i)
             if i == 0:
-                (count, _) = struct.unpack_from(_MAP_HDR, data)
+                (count, _) = _MAP_HDR.unpack_from(data)
             in_this_block = max(0, min(per, count - i * per))
             off = 8
             for _ in range(in_this_block):
-                home, slot = struct.unpack_from(_MAP_ENTRY, data, off)
+                home, slot = _MAP_ENTRY.unpack_from(data, off)
                 self.slots[home] = slot
                 off += 8
         self._loaded = True
@@ -174,9 +189,9 @@ class ReplicaMap:
         per = (self.block_size - 8) // 8
         for i in range(self.map_blocks):
             chunk = entries[i * per:(i + 1) * per]
-            out = bytearray(struct.pack(_MAP_HDR, len(entries) if i == 0 else 0, 0))
+            out = bytearray(_MAP_HDR.pack(len(entries) if i == 0 else 0, 0))
             for home, slot in chunk:
-                out += struct.pack(_MAP_ENTRY, home, slot)
+                out += _MAP_ENTRY.pack(home, slot)
             out += b"\x00" * (self.block_size - len(out))
             self._journal_meta(self.region_start + i, bytes(out))
 

@@ -20,10 +20,11 @@ count instead of crashing.
 from __future__ import annotations
 
 import stat as _stat
+from functools import lru_cache
 from typing import Dict, List, Optional
 
 from repro.common.errors import CorruptionDetected, DiskError, Errno, FSError
-from repro.fs.ext3.ext3 import Ext3
+from repro.fs.ext3.ext3 import Ext3, _static_types_ext3
 from repro.fs.ext3.structures import (
     FEAT_DATA_CSUM,
     FEAT_DATA_PARITY,
@@ -40,6 +41,21 @@ META_TYPES = frozenset(
 )
 #: Block types covered by data checksumming.
 DATA_TYPES = frozenset(["data", "parity"])
+
+
+@lru_cache(maxsize=16)
+def _static_types_ixt3(cfg) -> List[Optional[str]]:
+    """ext3's static table plus ixt3's redundancy regions (checksum
+    and replica stores live between the journal and the block groups,
+    at geometry-determined offsets)."""
+    table = list(_static_types_ext3(cfg))
+    for b in range(cfg.checksum_start,
+                   cfg.checksum_start + cfg.checksum_blocks):
+        table[b] = "cksum"
+    for b in range(cfg.replica_start,
+                   cfg.replica_start + cfg.replica_blocks):
+        table[b] = "replica"
+    return table
 
 
 class Ixt3(Ext3):
@@ -491,18 +507,9 @@ class Ixt3(Ext3):
     # Gray-box oracle additions
     # ==================================================================
 
-    def block_type(self, block: int) -> Optional[str]:
-        cfg = self.config
-        if cfg is not None:
-            if cfg.checksum_blocks and (
-                cfg.checksum_start <= block < cfg.checksum_start + cfg.checksum_blocks
-            ):
-                return "cksum"
-            if cfg.replica_blocks and (
-                cfg.replica_start <= block < cfg.replica_start + cfg.replica_blocks
-            ):
-                return "replica"
-        return super().block_type(block)
+    @staticmethod
+    def _static_type_table(cfg):
+        return _static_types_ixt3(cfg)
 
     def redundancy_types(self) -> List[str]:
         return ["replica", "parity"]

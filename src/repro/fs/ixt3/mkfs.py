@@ -5,14 +5,14 @@ copies, §5.1)."""
 
 from __future__ import annotations
 
-import struct
 from dataclasses import replace
 from typing import Optional
 
-from repro.common.checksum import SHA1_SIZE, sha1
+from repro.common.checksum import SHA1_SIZE, sha1_many
 from repro.disk.disk import BlockDevice
 from repro.fs.ext3.config import Ext3Config
 from repro.fs.ext3.mkfs import mkfs_ext3
+from repro.common.structs import U32x2
 from repro.fs.ext3.structures import (
     FEAT_DATA_CSUM,
     FEAT_DATA_PARITY,
@@ -79,11 +79,12 @@ def mkfs_ixt3(device: BlockDevice, base: Ext3Config,
     if features & FEAT_META_CSUM and cfg.checksum_blocks:
         per = bs // SHA1_SIZE
         images = {}
-        for home in static:
+        digests = sha1_many(device.read_block(home) for home in static)
+        for home, digest in zip(static, digests):
             cks_block = cfg.checksum_start + home // per
             payload = images.setdefault(cks_block, bytearray(bs))
             off = (home % per) * SHA1_SIZE
-            payload[off:off + SHA1_SIZE] = sha1(device.read_block(home))
+            payload[off:off + SHA1_SIZE] = digest
         for cks_block, payload in images.items():
             device.write_block(cks_block, bytes(payload))
 
@@ -96,9 +97,9 @@ def mkfs_ixt3(device: BlockDevice, base: Ext3Config,
         per_map = (bs - 8) // 8
         for i in range(REPLICA_MAP_BLOCKS):
             chunk = entries[i * per_map:(i + 1) * per_map]
-            out = bytearray(struct.pack("<II", len(entries) if i == 0 else 0, 0))
+            out = bytearray(U32x2.pack(len(entries) if i == 0 else 0, 0))
             for home, slot in chunk:
-                out += struct.pack("<II", home, slot)
+                out += U32x2.pack(home, slot)
             out += b"\x00" * (bs - len(out))
             device.write_block(cfg.replica_start + i, bytes(out))
     return sb

@@ -41,6 +41,7 @@ from repro.common.errors import (
     FSError,
     KernelPanic,
 )
+from repro.common.structs import U32x2
 from repro.common.syslog import Severity
 from repro.fs.base import JournaledFS
 from repro.fs.jfs.config import JFSConfig
@@ -659,8 +660,7 @@ class JFS(JournaledFS):
             o = 8 + slot * self.config.inode_size
             if JFSInode.unpack(bytes(raw[o:o + self.config.inode_size])).is_allocated:
                 count += 1
-        import struct as _struct
-        raw[0:8] = _struct.pack("<II", count, 0)
+        raw[0:8] = U32x2.pack(count, 0)
         self._meta_update(block, bytes(raw))
 
     def _stat_of(self, ino: int) -> StatResult:

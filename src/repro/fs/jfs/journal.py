@@ -18,31 +18,32 @@ illogical inconsistencies.
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass
+from struct import Struct
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import CorruptionDetected, DiskError
+from repro.common.structs import U32
 from repro.common.syslog import SysLog
 
 JLOG_MAGIC = 0x474F4C4A  # "JLOG"
 
-_SUPER_FMT = "<IIII"  # magic, next_seq, clean, pad
-_BLOCK_HDR = "<IIHH"  # magic, seq, nrecords, flags
-_BLOCK_HDR_SIZE = struct.calcsize(_BLOCK_HDR)
-_REC_HDR = "<IHH"  # home block, offset, length
-_REC_HDR_SIZE = struct.calcsize(_REC_HDR)
+_SUPER_STRUCT = Struct("<IIII")  # magic, next_seq, clean, pad
+_BLOCK_HDR = Struct("<IIHH")  # magic, seq, nrecords, flags
+_BLOCK_HDR_SIZE = _BLOCK_HDR.size
+_REC_HDR = Struct("<IHH")  # home block, offset, length
+_REC_HDR_SIZE = _REC_HDR.size
 
 FLAG_COMMIT = 1
 
 
 def pack_log_super(block_size: int, next_seq: int, clean: bool) -> bytes:
-    payload = struct.pack(_SUPER_FMT, JLOG_MAGIC, next_seq, 1 if clean else 0, 0)
+    payload = _SUPER_STRUCT.pack(JLOG_MAGIC, next_seq, 1 if clean else 0, 0)
     return payload + b"\x00" * (block_size - len(payload))
 
 
 def parse_log_super(data: bytes) -> Optional[Tuple[int, bool]]:
-    magic, next_seq, clean, _ = struct.unpack_from(_SUPER_FMT, data)
+    magic, next_seq, clean, _ = _SUPER_STRUCT.unpack_from(data)
     if magic != JLOG_MAGIC:
         return None
     return next_seq, bool(clean)
@@ -62,10 +63,10 @@ class LogRecord:
 
 def _pack_record_block(block_size: int, seq: int, records: List[LogRecord],
                        commit: bool) -> bytes:
-    out = bytearray(struct.pack(_BLOCK_HDR, JLOG_MAGIC, seq, len(records),
+    out = bytearray(_BLOCK_HDR.pack(JLOG_MAGIC, seq, len(records),
                                 FLAG_COMMIT if commit else 0))
     for rec in records:
-        out += struct.pack(_REC_HDR, rec.home, rec.offset, len(rec.data))
+        out += _REC_HDR.pack(rec.home, rec.offset, len(rec.data))
         out += rec.data
     if len(out) > block_size:
         raise ValueError("record block overflow")
@@ -73,7 +74,7 @@ def _pack_record_block(block_size: int, seq: int, records: List[LogRecord],
 
 
 def _parse_record_block(data: bytes, block: int) -> Tuple[int, List[LogRecord], bool]:
-    magic, seq, nrecords, flags = struct.unpack_from(_BLOCK_HDR, data)
+    magic, seq, nrecords, flags = _BLOCK_HDR.unpack_from(data)
     if magic != JLOG_MAGIC:
         raise CorruptionDetected(block, "journal record block has bad magic")
     records: List[LogRecord] = []
@@ -81,7 +82,7 @@ def _parse_record_block(data: bytes, block: int) -> Tuple[int, List[LogRecord], 
     for _ in range(nrecords):
         if off + _REC_HDR_SIZE > len(data):
             raise CorruptionDetected(block, "journal record runs off the block")
-        home, roff, rlen = struct.unpack_from(_REC_HDR, data, off)
+        home, roff, rlen = _REC_HDR.unpack_from(data, off)
         off += _REC_HDR_SIZE
         if off + rlen > len(data):
             raise CorruptionDetected(block, "journal record payload truncated")
@@ -268,7 +269,7 @@ class RecordJournal:
         while pos < self.nblocks:
             block = self.data_start + pos
             data = self._read_block(block)
-            magic = struct.unpack_from("<I", data)[0]
+            magic = U32.unpack_from(data)[0]
             if magic != JLOG_MAGIC:
                 break
             seq, records, commit = _parse_record_block(data, block)

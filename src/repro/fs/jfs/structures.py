@@ -9,17 +9,18 @@ field").
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass, field
+from struct import Struct
 from typing import List, Optional, Tuple
 
 from repro.common.bitmap import Bitmap
 from repro.common.errors import CorruptionDetected
+from repro.common.structs import U32x2, U32x3, u32_seq
 
 JFS_MAGIC = 0x3153464A  # "JFS1"
 JFS_VERSION = 2
 
-_SB_FMT = "<IIIIIIIIIIII"
+_SB_STRUCT = Struct("<IIIIIIIIIIII")
 
 
 @dataclass
@@ -40,8 +41,8 @@ class JFSSuper:
     generation: int = 0
 
     def pack(self, block_size: int) -> bytes:
-        payload = struct.pack(
-            _SB_FMT, self.magic, self.version, self.block_size,
+        payload = _SB_STRUCT.pack(
+            self.magic, self.version, self.block_size,
             self.total_blocks, self.free_blocks, self.free_inodes,
             self.num_inodes, self.journal_blocks, self.num_direct,
             self.tree_fanout, self.state, self.generation,
@@ -50,7 +51,7 @@ class JFSSuper:
 
     @classmethod
     def unpack(cls, data: bytes) -> "JFSSuper":
-        return cls(*struct.unpack_from(_SB_FMT, data))
+        return cls(*_SB_STRUCT.unpack_from(data))
 
     def is_valid(self) -> bool:
         """Magic and version check (D_sanity, §5.3)."""
@@ -62,8 +63,8 @@ class JFSSuper:
         )
 
 
-_INODE_FMT = "<HHHHQddd8IIII"
-INODE_USED = struct.calcsize(_INODE_FMT)
+_INODE_STRUCT = Struct("<HHHHQddd8IIII")
+INODE_USED = _INODE_STRUCT.size
 
 
 @dataclass
@@ -84,8 +85,8 @@ class JFSInode:
     nblocks: int = 0
 
     def pack(self, inode_size: int) -> bytes:
-        payload = struct.pack(
-            _INODE_FMT, self.mode, self.links, self.uid, self.gid,
+        payload = _INODE_STRUCT.pack(
+            self.mode, self.links, self.uid, self.gid,
             self.size, self.atime, self.mtime, self.ctime,
             *self.direct, self.tree_root, self.tree_levels, self.nblocks,
         )
@@ -93,7 +94,7 @@ class JFSInode:
 
     @classmethod
     def unpack(cls, data: bytes) -> "JFSInode":
-        f = struct.unpack_from(_INODE_FMT, data)
+        f = _INODE_STRUCT.unpack_from(data)
         return cls(
             mode=f[0], links=f[1], uid=f[2], gid=f[3], size=f[4],
             atime=f[5], mtime=f[6], ctime=f[7], direct=list(f[8:16]),
@@ -110,7 +111,7 @@ def pack_inode_block(inodes: List[Optional[JFSInode]], block_size: int,
     """Inode extent block: header carries the used-slot count, which
     JFS sanity-checks against the maximum (§5.3)."""
     count = sum(1 for i in inodes if i is not None and i.is_allocated)
-    out = bytearray(struct.pack("<II", count, 0))
+    out = bytearray(U32x2.pack(count, 0))
     for inode in inodes:
         raw = (inode or JFSInode()).pack(inode_size)
         out += raw
@@ -119,20 +120,21 @@ def pack_inode_block(inodes: List[Optional[JFSInode]], block_size: int,
 
 
 def check_inode_block(data: bytes, block: int, inodes_per_block: int) -> None:
-    count, _ = struct.unpack_from("<II", data)
+    count, _ = U32x2.unpack_from(data)
     if count > inodes_per_block:
         raise CorruptionDetected(block, f"inode block count {count} exceeds maximum")
 
 
-DIR_HDR = "<II"  # nentries, pad
+_DIR_HDR = U32x2  # nentries, pad
+_DIRENT_HDR = Struct("<IBB")
 
 
 def pack_dir_block(entries: List[Tuple[int, int, str]], block_size: int) -> bytes:
     """Directory block: header count + (ino, ftype, name) entries."""
-    out = bytearray(struct.pack(DIR_HDR, len(entries), 0))
+    out = bytearray(_DIR_HDR.pack(len(entries), 0))
     for ino, ftype, name in entries:
         raw = name.encode("latin-1", errors="replace")[:255]
-        out += struct.pack("<IBB", ino, ftype & 0xFF, len(raw)) + raw
+        out += _DIRENT_HDR.pack(ino, ftype & 0xFF, len(raw)) + raw
     if len(out) > block_size:
         raise ValueError("directory block overflow")
     return bytes(out) + b"\x00" * (block_size - len(out))
@@ -140,7 +142,7 @@ def pack_dir_block(entries: List[Tuple[int, int, str]], block_size: int) -> byte
 
 def unpack_dir_block(data: bytes, block: int, block_size: int) -> List[Tuple[int, int, str]]:
     """Parse a directory block, sanity-checking the entry count (§5.3)."""
-    nentries, _ = struct.unpack_from(DIR_HDR, data)
+    nentries, _ = _DIR_HDR.unpack_from(data)
     max_entries = (block_size - 8) // 6
     if nentries > max_entries:
         raise CorruptionDetected(block, f"directory entry count {nentries} exceeds maximum")
@@ -149,7 +151,7 @@ def unpack_dir_block(data: bytes, block: int, block_size: int) -> List[Tuple[int
     for _ in range(nentries):
         if off + 6 > len(data):
             raise CorruptionDetected(block, "directory entry runs off the block")
-        ino, ftype, nlen = struct.unpack_from("<IBB", data, off)
+        ino, ftype, nlen = _DIRENT_HDR.unpack_from(data, off)
         off += 6
         name = data[off:off + nlen].decode("latin-1")
         off += nlen
@@ -157,7 +159,7 @@ def unpack_dir_block(data: bytes, block: int, block_size: int) -> List[Tuple[int
     return out
 
 
-TREE_HDR = "<HHI"  # level, count, pad
+_TREE_HDR = Struct("<HHI")  # level, count, pad
 
 
 def pack_tree_block(level: int, pointers: List[int], block_size: int,
@@ -165,32 +167,32 @@ def pack_tree_block(level: int, pointers: List[int], block_size: int,
     """Internal (extent tree) block: level + pointer count + pointers."""
     if len(pointers) > fanout:
         raise ValueError("tree block overflow")
-    out = bytearray(struct.pack(TREE_HDR, level, len(pointers), 0))
-    out += struct.pack(f"<{len(pointers)}I", *pointers)
+    out = bytearray(_TREE_HDR.pack(level, len(pointers), 0))
+    out += u32_seq(len(pointers)).pack(*pointers)
     return bytes(out) + b"\x00" * (block_size - len(out))
 
 
 def unpack_tree_block(data: bytes, block: int, fanout: int) -> Tuple[int, List[int]]:
     """Parse an internal block, checking the pointer count (§5.3)."""
-    level, count, _ = struct.unpack_from(TREE_HDR, data)
+    level, count, _ = _TREE_HDR.unpack_from(data)
     if count > fanout or level == 0 or level > 4:
         raise CorruptionDetected(block, f"tree block level={level} count={count} invalid")
-    ptrs = list(struct.unpack_from(f"<{count}I", data, 8))
+    ptrs = list(u32_seq(count).unpack_from(data, 8))
     return level, ptrs
 
 
-MAP_HDR = "<II"  # free count, free count copy (equality-checked)
+_MAP_HDR = U32x2  # free count, free count copy (equality-checked)
 
 
 def pack_map_block(bmp: Bitmap, block_size: int) -> bytes:
     free = bmp.count_free()
-    return struct.pack(MAP_HDR, free, free) + bmp.to_bytes(pad_to=block_size - 8)
+    return _MAP_HDR.pack(free, free) + bmp.to_bytes(pad_to=block_size - 8)
 
 
 def unpack_map_block(data: bytes, block: int, nbits: int) -> Bitmap:
     """Parse an allocation-map page, performing JFS's equality check on
     the duplicated free-count field (§5.3)."""
-    free_a, free_b = struct.unpack_from(MAP_HDR, data)
+    free_a, free_b = _MAP_HDR.unpack_from(data)
     if free_a != free_b:
         raise CorruptionDetected(block, "allocation map free-count fields disagree")
     bmp = Bitmap(nbits, data[8:])
@@ -199,7 +201,7 @@ def unpack_map_block(data: bytes, block: int, nbits: int) -> Bitmap:
     return bmp
 
 
-_AGGR_FMT = "<IIIII"  # magic, bmap_desc, imap_cntl, log_start, generation
+_AGGR_STRUCT = Struct("<IIIII")  # magic, bmap_desc, imap_cntl, log_start, generation
 AGGR_MAGIC = 0x41475232  # "AGR2"
 
 
@@ -215,39 +217,39 @@ class AggregateInode:
     generation: int = 0
 
     def pack(self, block_size: int) -> bytes:
-        payload = struct.pack(_AGGR_FMT, self.magic, self.bmap_desc,
-                              self.imap_cntl, self.log_start, self.generation)
+        payload = _AGGR_STRUCT.pack(self.magic, self.bmap_desc,
+                                    self.imap_cntl, self.log_start, self.generation)
         return payload + b"\x00" * (block_size - len(payload))
 
     @classmethod
     def unpack(cls, data: bytes) -> "AggregateInode":
-        return cls(*struct.unpack_from(_AGGR_FMT, data))
+        return cls(*_AGGR_STRUCT.unpack_from(data))
 
     def is_valid(self) -> bool:
         return self.magic == AGGR_MAGIC
 
 
-_BMAPDESC_FMT = "<III"  # total blocks, nmaps, pad
+_BMAPDESC_STRUCT = U32x3  # total blocks, nmaps, pad
 
 
 def pack_bmap_desc(total_blocks: int, nmaps: int, block_size: int) -> bytes:
-    payload = struct.pack(_BMAPDESC_FMT, total_blocks, nmaps, 0)
+    payload = _BMAPDESC_STRUCT.pack(total_blocks, nmaps, 0)
     return payload + b"\x00" * (block_size - len(payload))
 
 
 def unpack_bmap_desc(data: bytes) -> Tuple[int, int]:
-    total, nmaps, _ = struct.unpack_from(_BMAPDESC_FMT, data)
+    total, nmaps, _ = _BMAPDESC_STRUCT.unpack_from(data)
     return total, nmaps
 
 
-_IMAPCTL_FMT = "<III"  # num inodes, free inodes, next search hint
+_IMAPCTL_STRUCT = U32x3  # num inodes, free inodes, next search hint
 
 
 def pack_imap_control(num_inodes: int, free_inodes: int, hint: int,
                       block_size: int) -> bytes:
-    payload = struct.pack(_IMAPCTL_FMT, num_inodes, free_inodes, hint)
+    payload = _IMAPCTL_STRUCT.pack(num_inodes, free_inodes, hint)
     return payload + b"\x00" * (block_size - len(payload))
 
 
 def unpack_imap_control(data: bytes) -> Tuple[int, int, int]:
-    return struct.unpack_from(_IMAPCTL_FMT, data)
+    return _IMAPCTL_STRUCT.unpack_from(data)

@@ -10,8 +10,8 @@ whatever it happens to name (§5.4).
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass, field
+from struct import Struct
 from typing import List, Tuple
 
 from repro.common.errors import CorruptionDetected
@@ -28,7 +28,7 @@ FIRST_USER_MFT = 16
 #: Data runs stored inline in an MFT record.
 NUM_RUNS = 48
 
-_BOOT_FMT = "<8sIIIIIIII"
+_BOOT_STRUCT = Struct("<8sIIIIIIII")
 
 
 @dataclass
@@ -46,8 +46,8 @@ class BootFile:
     mft_bitmap_block: int
 
     def pack(self, block_size: int) -> bytes:
-        payload = struct.pack(
-            _BOOT_FMT, self.magic, self.block_size, self.total_blocks,
+        payload = _BOOT_STRUCT.pack(
+            self.magic, self.block_size, self.total_blocks,
             self.mft_start, self.mft_records, self.logfile_start,
             self.logfile_blocks, self.vol_bitmap_start, self.mft_bitmap_block,
         )
@@ -55,7 +55,7 @@ class BootFile:
 
     @classmethod
     def unpack(cls, data: bytes) -> "BootFile":
-        return cls(*struct.unpack_from(_BOOT_FMT, data))
+        return cls(*_BOOT_STRUCT.unpack_from(data))
 
     def is_valid(self) -> bool:
         return self.magic == BOOT_MAGIC and self.block_size >= 512
@@ -64,7 +64,7 @@ class BootFile:
 FLAG_IN_USE = 1
 FLAG_IS_DIR = 2
 
-_MFT_FMT = "<4sHHHHIIQddd" + f"{NUM_RUNS}I"
+_MFT_STRUCT = Struct("<4sHHHHIIQddd" + f"{NUM_RUNS}I")
 
 
 @dataclass
@@ -83,8 +83,8 @@ class MFTRecord:
     runs: List[int] = field(default_factory=lambda: [0] * NUM_RUNS)
 
     def pack(self, block_size: int) -> bytes:
-        payload = struct.pack(
-            _MFT_FMT, FILE_MAGIC, self.flags, self.links, self.uid, self.gid,
+        payload = _MFT_STRUCT.pack(
+            FILE_MAGIC, self.flags, self.links, self.uid, self.gid,
             self.mode, 0, self.size, self.atime, self.mtime, self.ctime,
             *self.runs,
         )
@@ -92,7 +92,7 @@ class MFTRecord:
 
     @classmethod
     def unpack(cls, data: bytes, block: int) -> "MFTRecord":
-        f = struct.unpack_from(_MFT_FMT, data)
+        f = _MFT_STRUCT.unpack_from(data)
         if f[0] != FILE_MAGIC:
             raise CorruptionDetected(block, "MFT record magic invalid")
         return cls(flags=f[1], links=f[2], uid=f[3], gid=f[4], mode=f[5],
@@ -108,22 +108,23 @@ class MFTRecord:
         return bool(self.flags & FLAG_IS_DIR)
 
 
-_INDX_HDR = "<4sII"  # magic, nentries, pad
+_INDX_HDR = Struct("<4sII")  # magic, nentries, pad
+_INDX_ENT = Struct("<IBB")
 
 
 def pack_index_block(entries: List[Tuple[int, int, str]], block_size: int) -> bytes:
     """Directory index block: INDX magic + entries of (mft#, ftype, name)."""
-    out = bytearray(struct.pack(_INDX_HDR, INDX_MAGIC, len(entries), 0))
+    out = bytearray(_INDX_HDR.pack(INDX_MAGIC, len(entries), 0))
     for mft, ftype, name in entries:
         raw = name.encode("latin-1", errors="replace")[:255]
-        out += struct.pack("<IBB", mft, ftype & 0xFF, len(raw)) + raw
+        out += _INDX_ENT.pack(mft, ftype & 0xFF, len(raw)) + raw
     if len(out) > block_size:
         raise ValueError("index block overflow")
     return bytes(out) + b"\x00" * (block_size - len(out))
 
 
 def unpack_index_block(data: bytes, block: int, block_size: int) -> List[Tuple[int, int, str]]:
-    magic, nentries, _ = struct.unpack_from(_INDX_HDR, data)
+    magic, nentries, _ = _INDX_HDR.unpack_from(data)
     if magic != INDX_MAGIC:
         raise CorruptionDetected(block, "index block magic invalid")
     max_entries = (block_size - 12) // 6
@@ -134,7 +135,7 @@ def unpack_index_block(data: bytes, block: int, block_size: int) -> List[Tuple[i
     for _ in range(nentries):
         if off + 6 > len(data):
             raise CorruptionDetected(block, "index entry runs off the block")
-        mft, ftype, nlen = struct.unpack_from("<IBB", data, off)
+        mft, ftype, nlen = _INDX_ENT.unpack_from(data, off)
         off += 6
         name = data[off:off + nlen].decode("latin-1")
         off += nlen

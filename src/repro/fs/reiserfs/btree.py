@@ -15,12 +15,13 @@ deep trees arise with tiny images.
 
 from __future__ import annotations
 
-import struct
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from struct import Struct
 from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import CorruptionDetected
+from repro.common.structs import U32, u32_seq
 
 # Item types, in key sort order.
 IT_STAT = 0
@@ -31,12 +32,12 @@ IT_DIRECT = 3
 #: Key: (dirid, objectid, offset, type).
 Key = Tuple[int, int, int, int]
 
-_HDR_FMT = "<HHHH"  # level, nitems, free_space, pad
-_HDR_SIZE = struct.calcsize(_HDR_FMT)
-_KEY_FMT = "<IIII"
-_KEY_SIZE = struct.calcsize(_KEY_FMT)
-_IHEAD_FMT = "<IIIIHH"  # key + length + location
-_IHEAD_SIZE = struct.calcsize(_IHEAD_FMT)
+_HDR_STRUCT = Struct("<HHHH")  # level, nitems, free_space, pad
+_HDR_SIZE = _HDR_STRUCT.size
+_KEY_STRUCT = Struct("<IIII")
+_KEY_SIZE = _KEY_STRUCT.size
+_IHEAD_STRUCT = Struct("<IIIIHH")  # key + length + location
+_IHEAD_SIZE = _IHEAD_STRUCT.size
 
 MAX_HEIGHT = 7
 
@@ -81,31 +82,31 @@ class Node:
             loc = block_size
             for item in self.items:
                 loc -= len(item.body)
-                heads += struct.pack(_IHEAD_FMT, *item.key, len(item.body), loc)
+                heads += _IHEAD_STRUCT.pack(*item.key, len(item.body), loc)
             for item in reversed(self.items):
                 bodies += item.body
             used = _HDR_SIZE + len(heads) + len(bodies)
             free = block_size - used
             if free < 0:
                 raise ValueError("leaf node overflow")
-            hdr = struct.pack(_HDR_FMT, self.level, len(self.items), free, 0)
+            hdr = _HDR_STRUCT.pack(self.level, len(self.items), free, 0)
             return hdr + bytes(heads) + b"\x00" * free + bytes(bodies)
         body = bytearray()
         for key in self.keys:
-            body += struct.pack(_KEY_FMT, *key)
+            body += _KEY_STRUCT.pack(*key)
         for child in self.children:
-            body += struct.pack("<I", child)
+            body += U32.pack(child)
         free = block_size - _HDR_SIZE - len(body)
         if free < 0:
             raise ValueError("internal node overflow")
-        hdr = struct.pack(_HDR_FMT, self.level, len(self.keys), free, 0)
+        hdr = _HDR_STRUCT.pack(self.level, len(self.keys), free, 0)
         return hdr + bytes(body) + b"\x00" * free
 
     @classmethod
     def unpack(cls, data: bytes, block: int) -> "Node":
         """Parse and sanity-check a node (D_sanity: level, item count,
         free space are all verified — §5.2)."""
-        level, nitems, free, _pad = struct.unpack_from(_HDR_FMT, data)
+        level, nitems, free, _pad = _HDR_STRUCT.unpack_from(data)
         if not 1 <= level <= MAX_HEIGHT:
             raise CorruptionDetected(block, f"tree node level {level} out of range")
         bs = len(data)
@@ -115,7 +116,7 @@ class Node:
             items: List[Item] = []
             total_body = 0
             for i in range(nitems):
-                f = struct.unpack_from(_IHEAD_FMT, data, _HDR_SIZE + i * _IHEAD_SIZE)
+                f = _IHEAD_STRUCT.unpack_from(data, _HDR_SIZE + i * _IHEAD_SIZE)
                 key = (f[0], f[1], f[2], f[3])
                 length, loc = f[4], f[5]
                 if loc + length > bs or loc < _HDR_SIZE:
@@ -134,10 +135,10 @@ class Node:
         keys: List[Key] = []
         off = _HDR_SIZE
         for _ in range(nkeys):
-            f = struct.unpack_from(_KEY_FMT, data, off)
+            f = _KEY_STRUCT.unpack_from(data, off)
             keys.append((f[0], f[1], f[2], f[3]))
             off += _KEY_SIZE
-        children = list(struct.unpack_from(f"<{nkeys + 1}I", data, off))
+        children = list(u32_seq(nkeys + 1).unpack_from(data, off))
         expect_free = bs - need
         if free != expect_free:
             raise CorruptionDetected(block, "internal free-space field inconsistent")

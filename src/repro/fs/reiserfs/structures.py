@@ -3,16 +3,17 @@ bodies (stat, directory-entry, indirect, direct)."""
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass
+from struct import Struct
 from typing import List, Tuple
 
 from repro.common.checksum import crc32
+from repro.common.structs import U32, u32_seq
 
 REISER_MAGIC = b"ReIsErFs"
 
-_SB_FMT = "<8sIIIIIIIIIIIH"
-_SB_SIZE = struct.calcsize(_SB_FMT)
+_SB_STRUCT = Struct("<8sIIIIIIIIIIIH")
+_SB_SIZE = _SB_STRUCT.size
 
 #: Root object identity: (dirid, objectid).
 ROOT_KEY_PAIR = (1, 2)
@@ -38,19 +39,18 @@ class ReiserSuper:
     nobjects: int = 1
 
     def pack(self, block_size: int) -> bytes:
-        payload = struct.pack(
-            _SB_FMT,
+        payload = _SB_STRUCT.pack(
             self.magic, self.block_size, self.total_blocks, self.free_blocks,
             self.root_block, self.height, self.next_objid, self.journal_start,
             self.journal_blocks, self.bitmap_start, self.bitmap_blocks,
             self.data_start, self.state,
-        ) + struct.pack("<I", self.nobjects)
+        ) + U32.pack(self.nobjects)
         return payload + b"\x00" * (block_size - len(payload))
 
     @classmethod
     def unpack(cls, data: bytes) -> "ReiserSuper":
-        f = struct.unpack_from(_SB_FMT, data)
-        (nobjects,) = struct.unpack_from("<I", data, _SB_SIZE)
+        f = _SB_STRUCT.unpack_from(data)
+        (nobjects,) = U32.unpack_from(data, _SB_SIZE)
         return cls(*f, nobjects=nobjects)
 
     def is_valid(self) -> bool:
@@ -63,8 +63,8 @@ class ReiserSuper:
         )
 
 
-_STAT_FMT = "<HHHHQddd"
-STAT_BODY_SIZE = struct.calcsize(_STAT_FMT)
+_STAT_STRUCT = Struct("<HHHHQddd")
+STAT_BODY_SIZE = _STAT_STRUCT.size
 
 
 @dataclass
@@ -81,34 +81,37 @@ class StatBody:
     ctime: float = 0.0
 
     def pack(self) -> bytes:
-        return struct.pack(
-            _STAT_FMT, self.mode, self.links, self.uid, self.gid,
+        return _STAT_STRUCT.pack(
+            self.mode, self.links, self.uid, self.gid,
             self.size, self.atime, self.mtime, self.ctime,
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "StatBody":
-        return cls(*struct.unpack_from(_STAT_FMT, data))
+        return cls(*_STAT_STRUCT.unpack_from(data))
+
+
+_DIRENT_HDR = Struct("<IIBB")
 
 
 def pack_dirent_body(child: Tuple[int, int], ftype: int, name: str) -> bytes:
     raw = name.encode("latin-1", errors="replace")[:255]
-    return struct.pack("<IIBB", child[0], child[1], ftype & 0xFF, len(raw)) + raw
+    return _DIRENT_HDR.pack(child[0], child[1], ftype & 0xFF, len(raw)) + raw
 
 
 def unpack_dirent_body(data: bytes) -> Tuple[Tuple[int, int], int, str]:
-    dirid, objid, ftype, nlen = struct.unpack_from("<IIBB", data)
+    dirid, objid, ftype, nlen = _DIRENT_HDR.unpack_from(data)
     name = data[10:10 + nlen].decode("latin-1")
     return (dirid, objid), ftype, name
 
 
 def pack_indirect_body(pointers: List[int]) -> bytes:
-    return struct.pack(f"<{len(pointers)}I", *pointers)
+    return u32_seq(len(pointers)).pack(*pointers)
 
 
 def unpack_indirect_body(data: bytes) -> List[int]:
     n = len(data) // 4
-    return list(struct.unpack_from(f"<{n}I", data))
+    return list(u32_seq(n).unpack_from(data))
 
 
 def name_hash(name: str) -> int:

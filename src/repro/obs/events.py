@@ -49,6 +49,12 @@ class Severity(enum.IntEnum):
     CRITICAL = 4
 
 
+#: Per-class field-name tuples: ``dataclasses.fields`` resolves the
+#: class metadata on every call, which dominates digesting when a run
+#: keys tens of thousands of events.
+_FIELD_NAMES: dict = {}
+
+
 @dataclass(frozen=True)
 class StorageEvent:
     """Base class for everything observable in the storage stack."""
@@ -57,9 +63,11 @@ class StorageEvent:
 
     def key(self) -> Tuple:
         """Stable content tuple (used for digests and determinism checks)."""
-        return (self.kind,) + tuple(
-            getattr(self, f.name) for f in fields(self)
-        )
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = _FIELD_NAMES[cls] = tuple(f.name for f in fields(self))
+        return (self.kind,) + tuple(getattr(self, name) for name in names)
 
 
 @dataclass(frozen=True)

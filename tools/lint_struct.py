@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Reject inline ``struct`` format strings in the source tree.
+
+Every ``struct.pack("<II", ...)`` call re-parses its format string; on
+the simulator's hot paths (inode probes, journal header scans, tree
+node packing) that parse shows up directly in matrix wall-clock.  The
+repo's rule is: formats compile once, at module import, into
+``struct.Struct`` objects (or the shared ones in
+``repro.common.structs``), and call sites use the compiled object's
+``pack`` / ``unpack_from`` methods.
+
+This linter walks the AST of every Python file under the given roots
+and fails on:
+
+* any call through the ``struct`` module — ``struct.pack``,
+  ``struct.unpack``, ``struct.unpack_from``, ``struct.pack_into``,
+  ``struct.iter_unpack``, ``struct.calcsize`` — since each re-parses
+  its format argument;
+* ``Struct(...)`` construction inside a function or method body, which
+  re-compiles per call (module-level construction is the point).
+
+Files may opt a line out with ``# lint-struct: ok`` (none currently
+need to).
+
+Usage::
+
+    python tools/lint_struct.py src [more roots...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: repro.common.structs itself compiles formats (that is its job); its
+#: lazily-compiled-and-cached helpers are the sanctioned exception.
+ALLOWED = {Path("src/repro/common/structs.py")}
+
+STRUCT_FUNCS = {
+    "pack", "unpack", "pack_into", "unpack_from", "iter_unpack", "calcsize",
+}
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: Path, source: str):
+        self.path = path
+        self.lines = source.splitlines()
+        self.problems: list[str] = []
+        self.depth = 0  # function-body nesting
+
+    def _waived(self, node: ast.AST) -> bool:
+        line = self.lines[node.lineno - 1]
+        return "lint-struct: ok" in line
+
+    def visit_FunctionDef(self, node):  # noqa: N802
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # noqa: N815
+
+    def visit_Call(self, node):  # noqa: N802
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "struct"
+                and func.attr in STRUCT_FUNCS
+                and not self._waived(node)):
+            self.problems.append(
+                f"{self.path}:{node.lineno}: struct.{func.attr}() re-parses "
+                f"its format string; precompile a module-level struct.Struct "
+                f"(or use repro.common.structs)"
+            )
+        if (isinstance(func, ast.Name) and func.id == "Struct"
+                and self.depth > 0 and not self._waived(node)):
+            self.problems.append(
+                f"{self.path}:{node.lineno}: Struct(...) inside a function "
+                f"re-compiles per call; hoist it to module level"
+            )
+        self.generic_visit(node)
+
+
+def lint(roots: list[str]) -> list[str]:
+    problems: list[str] = []
+    for root in roots:
+        for path in sorted(Path(root).rglob("*.py")):
+            if path in ALLOWED:
+                continue
+            source = path.read_text()
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                problems.append(f"{path}: unparseable: {exc}")
+                continue
+            checker = _Checker(path, source)
+            checker.visit(tree)
+            problems.extend(checker.problems)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = argv or ["src"]
+    problems = lint(roots)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} inline struct format site(s); see "
+              f"tools/lint_struct.py for the rule", file=sys.stderr)
+        return 1
+    print(f"struct lint clean across {', '.join(roots)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
