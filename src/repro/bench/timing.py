@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 SCHEMA = "repro-bench-timing/1"
 DEFAULT_FILENAME = "BENCH_fingerprint.json"
 CRASH_FILENAME = "BENCH_crash.json"
+ARRAY_FILENAME = "BENCH_array.json"
 
 T = TypeVar("T")
 
@@ -166,6 +167,44 @@ def crash_record(report, wall_s: float) -> Dict[str, Any]:
     }
     if getattr(report, "traced", False):
         record["span_digest"] = report.span_digest()
+    return record
+
+
+def array_json_path(root: Optional[os.PathLike] = None) -> Path:
+    """Where redundancy-array records land: ``$REPRO_BENCH_ARRAY_JSON``
+    when set, else ``BENCH_array.json`` under *root* (default: cwd)."""
+    env = os.environ.get("REPRO_BENCH_ARRAY_JSON")
+    if env:
+        return Path(env)
+    return Path(root) / ARRAY_FILENAME if root else Path.cwd() / ARRAY_FILENAME
+
+
+def array_record(geometry: str, members: int, wall_s: float,
+                 throughput: Dict[str, Any],
+                 stats: Optional[Any] = None,
+                 **extra: Any) -> Dict[str, Any]:
+    """Build the JSON record for one array-geometry benchmark.
+
+    *throughput* carries the per-phase numbers (healthy read/write,
+    degraded read, rebuild — blocks and virtual MB/s); *stats* is the
+    array's logical :class:`~repro.disk.disk.DiskStats` after the run.
+    Extra keyword context (event digests, scrub counts...) merges in.
+    """
+    record: Dict[str, Any] = {
+        "geometry": geometry,
+        "members": members,
+        "wall_s": round(wall_s, 6),
+        "throughput": throughput,
+    }
+    if stats is not None:
+        record["io"] = {
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "bytes_read": stats.bytes_read,
+            "bytes_written": stats.bytes_written,
+            "busy_time_s": round(stats.busy_time_s, 6),
+        }
+    record.update(extra)
     return record
 
 

@@ -18,6 +18,11 @@ Commands
     — plus a metrics snapshot.  ``fingerprint`` and ``crash`` grow
     ``--trace`` / ``--metrics`` flags that do the same for full runs.
 
+``array``
+    Run the member-fault fingerprint rows against the redundancy
+    arrays (mirror / rotating parity / RDP) — same IRON D_*/R_*
+    classification machinery, one layer down.
+
 ``table6``
     Run the Table-6 overhead sweep (all 32 ixt3 variants by default)
     and print measured-vs-paper normalized run times.
@@ -251,6 +256,63 @@ def _cmd_table6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_array(args: argparse.Namespace) -> int:
+    from repro.bench.timing import array_json_path, record_entry, timed
+    from repro.redundancy.fingerprint import (
+        ARRAY_GEOMETRIES,
+        run_array_fingerprint,
+    )
+
+    known = [label for label, _, _ in ARRAY_GEOMETRIES]
+    labels = args.geometry or None
+    if labels:
+        unknown = [label for label in labels if label not in known]
+        if unknown:
+            print(f"unknown geometry labels {unknown}; pick from {known}",
+                  file=sys.stderr)
+            return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs > 1:
+        from repro.common.pool import effective_jobs, warm_pool
+
+        if effective_jobs(args.jobs) > 1:
+            warm_pool(args.jobs)
+    fp, wall_s = timed(lambda: run_array_fingerprint(
+        jobs=args.jobs, labels=labels,
+        progress=(print if args.verbose else None)))
+    print(fp.render())
+    if not args.no_bench_json:
+        record = {
+            "wall_s": round(wall_s, 6),
+            "jobs": args.jobs,
+            "cells": sum(len(m.cells) for m in fp.matrices.values()),
+            "geometries": sorted(fp.matrices),
+            f"event_digest_jobs{args.jobs}": fp.digest,
+        }
+        path = record_entry(
+            f"array_fingerprint_j{args.jobs}", record,
+            path=array_json_path(),
+        )
+        print(f"timing written to {path} ({wall_s:.2f}s wall, jobs={args.jobs})")
+    return 0
+
+
+def _digest_mismatches(entries) -> List[str]:
+    """Entries whose own jobs-width event digests disagree — a
+    determinism failure, not a perf regression."""
+    bad = []
+    for name, record in sorted(entries.items()):
+        if not isinstance(record, dict):
+            continue
+        digests = {value for key, value in record.items()
+                   if key.startswith("event_digest") and value}
+        if len(digests) > 1:
+            bad.append(name)
+    return bad
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Compare two BENCH timing JSONs entry by entry (warn-only gate)."""
     if not args.compare:
@@ -294,6 +356,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # job (use --strict to turn warnings into a non-zero exit).
         print(f"::warning::{name} slowed {ratio:.2f}x "
               f"(> {args.threshold:.1f}x gate)")
+    # Digest disagreement across jobs widths inside either file is a
+    # determinism failure, so it fails hard regardless of --strict.
+    broken = [f"{path}:{name}"
+              for path, entries in ((old_path, old_entries),
+                                    (new_path, new_entries))
+              for name in _digest_mismatches(entries)]
+    for item in broken:
+        print(f"::error::{item} event digests disagree across jobs widths")
+    if broken:
+        return 1
     if regressions and args.strict:
         return 1
     return 0
@@ -428,6 +500,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benches", help="comma list: SSH,Web,Post,TPCB")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_table6)
+
+    p = sub.add_parser("array",
+                       help="fingerprint the redundancy arrays' failure policy")
+    p.add_argument("--geometry", action="append", metavar="LABEL",
+                   help="geometry label, repeatable: mirror2 | mirror3 | "
+                        "parity4 | rdp5 (default: all)")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="fan (geometry, scenario) cells across N worker "
+                        "processes (output is byte-identical to --jobs 1)")
+    p.add_argument("--no-bench-json", action="store_true",
+                   help="skip writing timing records to BENCH_array.json")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_array)
 
     p = sub.add_parser("bench", help="compare BENCH timing JSON files")
     p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),

@@ -207,6 +207,68 @@ class SharedSlab:
                 pass
 
 
+class SharedSnapshot:
+    """A published golden *snapshot* — slab or composite.
+
+    Generalizes :class:`SharedSlab` to the snapshot types a device
+    stack can produce: a bare :class:`SlabImage` (single disk) or a
+    composite carrying one slab per array member (anything exposing an
+    ``images`` tuple plus positional extra state via ``__reduce__``,
+    e.g. :class:`repro.redundancy.array.ArraySnapshot`).  Each member
+    slab is published once; the descriptor ships the segment names plus
+    the composite's class path and non-slab state, and
+    :func:`attach_snapshot` rebuilds the same snapshot on the worker
+    side over zero-copy attachments.
+    """
+
+    def __init__(self, snapshot):
+        self._slabs: List[SharedSlab] = []
+        if isinstance(snapshot, SlabImage):
+            slab = SharedSlab(snapshot)
+            self._slabs.append(slab)
+            self.descriptor = ("slab", slab.descriptor)
+            return
+        images = getattr(snapshot, "images", None)
+        if images is None:
+            raise TypeError(
+                f"cannot publish snapshot of type {type(snapshot).__name__}")
+        cls, state = snapshot.__reduce__()
+        if tuple(state[0]) != tuple(images):  # pragma: no cover - invariant
+            raise TypeError("composite snapshot must lead with its images")
+        self._slabs = [SharedSlab(image) for image in images]
+        self.descriptor = (
+            "composite",
+            f"{cls.__module__}:{cls.__qualname__}",
+            tuple(slab.descriptor for slab in self._slabs),
+            tuple(state[1:]),
+        )
+
+    def close(self) -> None:
+        for slab in self._slabs:
+            slab.close()
+
+
+def attach_snapshot(descriptor):
+    """Rebuild a published snapshot on the worker side (zero-copy).
+
+    The inverse of :class:`SharedSnapshot`: slab descriptors go through
+    :func:`attach_image`; composite descriptors re-import the snapshot
+    class by path and reconstruct it over the attached member images.
+    """
+    kind = descriptor[0]
+    if kind == "slab":
+        return attach_image(descriptor[1])
+    if kind != "composite":
+        raise ValueError(f"unknown snapshot descriptor kind {kind!r}")
+    _, path, slab_descriptors, extra = descriptor
+    import importlib
+
+    module, _, qualname = path.partition(":")
+    cls = getattr(importlib.import_module(module), qualname)
+    images = tuple(attach_image(d) for d in slab_descriptors)
+    return cls(images, *extra)
+
+
 _run_counter = itertools.count(1)
 
 

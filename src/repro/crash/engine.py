@@ -59,8 +59,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import KernelPanic, StorageError
 from repro.common.pool import (
-    SharedSlab,
-    attach_image,
+    SharedSnapshot,
+    attach_snapshot,
     begin_run,
     effective_jobs,
     run_token,
@@ -120,6 +120,16 @@ CRASH_PROFILES: Dict[str, CrashProfile] = {
     "reiserfs": CrashProfile("reiserfs", "reiserfs"),
     "jfs": CrashProfile("jfs", "jfs"),
     "ntfs": CrashProfile("ntfs", "ntfs"),
+    # Array-backed twins: the same file system with its single disk
+    # swapped for a redundancy array.  Crash exploration is geometry-
+    # agnostic — the composite array snapshot restores O(1) per state
+    # and travels across workers like a slab image.
+    "ext3@mirror2": CrashProfile(
+        "ext3@mirror2", "ext3@mirror2", fsck=True, digest_counts=True
+    ),
+    "ext3@rdp5": CrashProfile(
+        "ext3@rdp5", "ext3@rdp5", fsck=True, digest_counts=True
+    ),
 }
 
 
@@ -805,7 +815,7 @@ def _replay_chunk(
         workload=workload,
         disk=adapter.build_device(),
         adapter=adapter,
-        golden=attach_image(golden_descriptor),
+        golden=attach_snapshot(golden_descriptor),
         writes=writes,
         boundaries=boundaries,
         boundary_digests=boundary_digests,
@@ -849,7 +859,7 @@ def explore(
         width = min(jobs, total) or 1
         step = (total + width - 1) // width
         bounds = [(lo, min(lo + step, total)) for lo in range(0, total, step)]
-        slab = SharedSlab(rec.golden)
+        slab = SharedSnapshot(rec.golden)
         token = run_token()
         try:
             chunks = pool_map(

@@ -37,12 +37,44 @@ from repro.disk.recorder import WriteRecorder
 from repro.obs.events import EventLog
 
 
+def walk_devices(root) -> List[BlockDevice]:
+    """Every device reachable from *root*, top-down.
+
+    Follows ``.lower`` chains through stacked layers and descends into
+    redundancy arrays (anything exposing ``.members`` whose entries
+    carry a ``.device`` sub-stack), so a consumer auditing the
+    composition — fault-armament checks, metrics sweeps, isinstance
+    walks that used to assume ``DeviceStack.layers()`` was flat — sees
+    the member disks and injectors of a nested array too.  An id-based
+    guard makes accidental cycles terminate.
+    """
+    out: List[BlockDevice] = []
+    seen = set()
+
+    def visit(dev) -> None:
+        if dev is None or id(dev) in seen:
+            return
+        seen.add(id(dev))
+        out.append(dev)
+        members = getattr(dev, "members", None)
+        if members is not None:
+            for member in members:
+                visit(getattr(member, "device", member))
+        visit(getattr(dev, "lower", None))
+
+    if isinstance(root, DeviceStack):
+        visit(root.top)
+    else:
+        visit(root)
+    return out
+
+
 class DeviceStack:
     """A composed block-device stack with one shared event stream."""
 
     def __init__(
         self,
-        disk: SimulatedDisk,
+        disk: BlockDevice,
         *,
         inject: bool = False,
         cache_blocks: Optional[int] = None,
@@ -82,11 +114,26 @@ class DeviceStack:
         type_oracle: Optional[TypeOracle] = None,
         events: Optional[EventLog] = None,
         record: bool = False,
+        array: Optional[str] = None,
+        members: int = 2,
         **timing,
     ) -> "DeviceStack":
-        """Build a fresh disk and compose the requested layers over it."""
+        """Build a fresh bottom device and compose the requested layers.
+
+        By default the bottom is a bare :func:`make_disk`; pass
+        ``array="mirror" | "parity" | "rdp"`` (with *members* copies /
+        members / the RDP prime) to put a redundancy array there
+        instead — everything above it composes identically.
+        """
+        if array is not None:
+            from repro.redundancy.array import make_array
+
+            bottom: BlockDevice = make_array(
+                array, num_blocks, block_size, members=members, **timing)
+        else:
+            bottom = make_disk(num_blocks, block_size, **timing)
         return cls(
-            make_disk(num_blocks, block_size, **timing),
+            bottom,
             inject=inject,
             cache_blocks=cache_blocks,
             type_oracle=type_oracle,
@@ -219,11 +266,20 @@ class DeviceStack:
             registry.counter("repro_recorded_writes_total").inc(
                 self.recorder.recorded
             )
+        # An array bottom exports its own per-member + redundancy-path
+        # counters in addition to the logical DiskStats above.
+        collect = getattr(self.disk, "collect_metrics", None)
+        if collect is not None:
+            collect(registry)
 
     # -- introspection -------------------------------------------------------
 
     def layers(self) -> List[BlockDevice]:
-        """The composed layers, bottom-up."""
+        """The composed *stack* layers, bottom-up.
+
+        The bottom entry may itself be an array of member sub-stacks;
+        use :func:`walk_devices` to enumerate every nested device.
+        """
         out: List[BlockDevice] = [self.disk]
         if self.injector is not None:
             out.append(self.injector)
@@ -233,9 +289,18 @@ class DeviceStack:
             out.append(self.recorder)
         return out
 
+    def walk_devices(self) -> List[BlockDevice]:
+        """Every device in the stack, top-down, arrays included."""
+        return walk_devices(self)
+
     def describe(self) -> str:
         """One-line bottom-up rendering of the composition."""
-        return " -> ".join(type(layer).__name__ for layer in self.layers())
+        parts = []
+        for layer in self.layers():
+            describe = getattr(layer, "describe", None)
+            parts.append(describe() if describe is not None
+                         else type(layer).__name__)
+        return " -> ".join(parts)
 
     def __repr__(self) -> str:
         return f"DeviceStack({self.describe()}, events={len(self.events)})"

@@ -277,3 +277,50 @@ ADAPTERS = {
     "ntfs": make_ntfs_adapter,
     "ixt3": make_ixt3_adapter,
 }
+
+
+def make_array_adapter(base: str = "ext3", geometry: str = "mirror",
+                       members: int = 2, **base_kwargs) -> FSAdapter:
+    """A registered adapter's file system mounted on a redundancy array.
+
+    Clones the *base* adapter and swaps its ``build_device`` for a
+    :func:`repro.redundancy.array.make_array` of the same logical
+    geometry — everything else (mkfs, workloads, corruptors, figure
+    rows) is inherited, which is the point: the array drops in below
+    an unchanged file system.  *members* is the copy/member count
+    (the RDP prime for ``geometry="rdp"``).
+    """
+    import dataclasses
+
+    from repro.redundancy.array import make_array
+
+    inner = ADAPTERS[base](**base_kwargs)
+    probe = inner.build_device()
+    num_blocks, block_size = probe.num_blocks, probe.block_size
+
+    def build_device():
+        return make_array(geometry, num_blocks, block_size, members=members)
+
+    return dataclasses.replace(
+        inner,
+        name=f"{inner.name}@{geometry}{members}",
+        build_device=build_device,
+        registry_key=f"{base}@{geometry}{members}",
+        registry_kwargs=dict(base_kwargs),
+        golden_cache={},
+    )
+
+
+def _register_array_adapters() -> None:
+    """Array-backed variants of every base adapter: 2-way mirror,
+    4-member rotating parity, RDP at p=5 (six members)."""
+    import functools
+
+    for base in ("ext3", "reiserfs", "jfs", "ntfs", "ixt3"):
+        for geometry, members in (("mirror", 2), ("parity", 4), ("rdp", 5)):
+            ADAPTERS[f"{base}@{geometry}{members}"] = functools.partial(
+                make_array_adapter, base=base, geometry=geometry,
+                members=members)
+
+
+_register_array_adapters()

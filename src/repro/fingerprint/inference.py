@@ -258,6 +258,15 @@ def infer_policy(
         recovery.add(Recovery.REMAP)
         notes.append("remapped to a different locale")
 
+    # Typed redundancy recoveries — a redundancy array (or any future
+    # replica/parity layer) reconstructing around the fault reports
+    # mechanism="redundancy" directly, so R_redundancy is structural
+    # even when the extra reads happen below the type oracle's view.
+    if (Recovery.REDUNDANCY not in recovery
+            and new_mechanisms.get("redundancy", 0) > 0):
+        recovery.add(Recovery.REDUNDANCY)
+        notes.append("reconstructed from redundancy")
+
     if fault.kind is FaultKind.FAIL and fault.op is FaultOp.READ and data_diff and not errors_new:
         # A failed read, yet the API "succeeded" with different contents:
         # the file system manufactured a response.

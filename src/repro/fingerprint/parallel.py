@@ -30,8 +30,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.common.pool import (  # noqa: F401  (pool_map re-exported)
-    SharedSlab,
-    attach_image,
+    SharedSnapshot,
+    attach_snapshot,
     begin_run,
     on_run_change,
     pool_map,
@@ -105,7 +105,7 @@ def _worker(
         descriptor, oracle = golden
         cache_key = (workload.setup, workload.crash_ops)
         if cache_key not in adapter.golden_cache:
-            adapter.golden_cache[cache_key] = (attach_image(descriptor), oracle)
+            adapter.golden_cache[cache_key] = (attach_snapshot(descriptor), oracle)
     fp = Fingerprinter(adapter, workloads=[workload],
                        corruption_mode=corruption_mode,
                        trace=trace, metrics=metrics)
@@ -141,14 +141,14 @@ def run_parallel(fp: "Fingerprinter") -> List["WorkloadOutcome"]:
     shared memory; each task carries its workload's slab descriptor.
     """
     check_parallelizable(fp)
-    slabs: Dict[Any, SharedSlab] = {}
+    slabs: Dict[Any, SharedSnapshot] = {}
     goldens: Dict[str, Tuple[Any, Dict[int, str]]] = {}
     for workload in fp.workloads:
         cache_key = (workload.setup, workload.crash_ops)
         snapshot, oracle = fp._golden(workload)
         slab = slabs.get(cache_key)
         if slab is None:
-            slab = slabs[cache_key] = SharedSlab(snapshot)
+            slab = slabs[cache_key] = SharedSnapshot(snapshot)
         goldens[workload.key] = (slab.descriptor, oracle)
     token = run_token()
     try:

@@ -187,6 +187,44 @@ class PolicyActionEvent(LogEvent):
         return self.tag
 
 
+# -- redundancy-array events --------------------------------------------------
+#
+# Multi-disk arrays (:mod:`repro.redundancy.array`) report through the
+# same detection / recovery / policy-action vocabulary the file systems
+# use — same mechanisms, same IRON levels — with one extra coordinate:
+# which *member* of the array the observation concerns.  Inference and
+# the metrics layer match these by their base classes (isinstance), so
+# R_redundancy classification is structural, not string-matched.
+
+
+@dataclass(frozen=True)
+class ArrayDetectionEvent(DetectionEvent):
+    """The array detected a member failure (D_errorcode: the member's
+    error code surfaced at the array boundary) or a redundancy
+    mismatch between members (D_redundancy, during scrub)."""
+
+    member: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ArrayRecoveryEvent(RecoveryEvent):
+    """The array recovered through redundancy (R_redundancy): a
+    degraded read reconstructed from surviving members, a read-repair
+    wrote the reconstruction back, or a rebuild repopulated a
+    replaced member."""
+
+    member: Optional[int] = None
+    mechanism: str = "redundancy"
+
+
+@dataclass(frozen=True)
+class ArrayPolicyEvent(PolicyActionEvent):
+    """An array-level policy action: a scrub pass completed, or a
+    scrub found damage it could not attribute/repair (scrub-loss)."""
+
+    member: Optional[int] = None
+
+
 # -- tag classification -------------------------------------------------------
 #
 # The central mapping from the historical free-text syslog tags to typed

@@ -288,6 +288,15 @@ _HELP = {
     "repro_recoveries_total": "Recovery attempts bucketed by IRON level (R_*)",
     "repro_policy_actions_total": "Failure-policy actions taken by the file system",
     "repro_journal_commits_total": "Journal transaction commit barriers",
+    "repro_array_member_reads_total": "Raw reads issued to one array member",
+    "repro_array_member_writes_total": "Raw writes issued to one array member",
+    "repro_array_member_busy_seconds_total": "Virtual busy time of one array member",
+    "repro_array_degraded_reads_total": "Logical reads served by reconstruction",
+    "repro_array_degraded_writes_total": "Logical writes landed with a member missing",
+    "repro_array_read_repairs_total": "Reconstructed blocks written back to the erring member",
+    "repro_array_rebuilt_blocks_total": "Member blocks repopulated by rebuild",
+    "repro_array_scrub_repairs_total": "Member blocks repaired during scrub passes",
+    "repro_array_suspect_blocks": "Member blocks currently known stale or unwritten",
     "repro_spans_total": "Trace spans opened, by category",
     "repro_cache_hits_total": "Buffer-cache read hits",
     "repro_cache_misses_total": "Buffer-cache read misses",

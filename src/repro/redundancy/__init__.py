@@ -1,5 +1,31 @@
 """Redundancy codes beyond single parity (§3.3's future exploration)."""
 
+from repro.redundancy.array import (
+    ArrayDevice,
+    ArrayMember,
+    ArrayScrubReport,
+    ArraySnapshot,
+    GEOMETRIES,
+    MirrorDevice,
+    RDPDevice,
+    ScrubSchedule,
+    StripeParityDevice,
+    make_array,
+)
 from repro.redundancy.rdp import RDPStripe, encode_blocks, is_prime
 
-__all__ = ["RDPStripe", "encode_blocks", "is_prime"]
+__all__ = [
+    "ArrayDevice",
+    "ArrayMember",
+    "ArrayScrubReport",
+    "ArraySnapshot",
+    "GEOMETRIES",
+    "MirrorDevice",
+    "RDPDevice",
+    "RDPStripe",
+    "ScrubSchedule",
+    "StripeParityDevice",
+    "encode_blocks",
+    "is_prime",
+    "make_array",
+]

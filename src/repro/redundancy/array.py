@@ -1,0 +1,1352 @@
+"""Multi-disk redundancy arrays (§3.3, R_redundancy made real).
+
+The repro historically mounted every file system on exactly one
+:class:`~repro.disk.disk.SimulatedDisk`; this module generalizes the
+bottom of the stack into an *array*: N member sub-stacks (each a
+``SimulatedDisk`` plus its own :class:`~repro.disk.injector.FaultInjector`)
+behind one logical ``BlockDevice``.  An array drops into
+:class:`~repro.disk.stack.DeviceStack` wherever a bare disk goes, so
+all five file systems mount on it unchanged.
+
+Three geometries:
+
+* :class:`MirrorDevice` — N-way replication.  Reads fail over between
+  replicas and *read-repair* the copy that errored; scrub compares
+  replicas and majority-votes silent corruption (N >= 3).
+* :class:`StripeParityDevice` — RAID-5-style rotating single parity.
+  One stripe block per member per stripe; reads of a failed member
+  reconstruct by XOR of the survivors; writes are read-modify-write
+  with a full-stripe fallback.
+* :class:`RDPDevice` — Row-Diagonal Parity (Corbett et al., FAST '04),
+  backed by the :class:`~repro.redundancy.rdp.RDPStripe` kernel:
+  ``p - 1`` data columns, row parity, diagonal parity; survives any
+  **two** member erasures — the second latent sector error during
+  reconstruction that motivates double parity.
+
+Everything the array observes or does is reported through the typed
+event stream with IRON levels attached: member errors surface as
+:class:`~repro.obs.events.ArrayDetectionEvent` (D_errorcode during I/O,
+D_redundancy during scrub) and every reconstruction path — degraded
+read, degraded write, read-repair, rebuild, scrub repair — emits an
+:class:`~repro.obs.events.ArrayRecoveryEvent` with mechanism
+``"redundancy"``, which is exactly what
+:func:`repro.fingerprint.inference.infer_policy` classifies as
+R_redundancy structurally.
+
+The array is crash-engine compatible: ``snapshot()`` composes the
+members' O(1) CoW snapshots into an :class:`ArraySnapshot`, ``poke``
+applies a logical write out-of-band *with parity maintained*, and the
+logical dirty-block delta backs the engine's content-keyed memos, so
+power-cut/torn-state enumeration replays through degraded-mode
+recovery like it does over a bare disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.errors import OutOfRangeError, ReadError, WriteError
+from repro.disk.disk import DiskStats, SimulatedDisk, SlabImage, make_disk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.injector import FaultInjector
+from repro.obs.events import (
+    ArrayDetectionEvent,
+    ArrayPolicyEvent,
+    ArrayRecoveryEvent,
+    EventLog,
+    Severity,
+    StorageEvent,
+)
+from repro.redundancy.rdp import RDPStripe, _xor
+
+
+class ArrayMember:
+    """One member sub-stack: a raw disk under its own fault injector.
+
+    The member keeps a private event log for its boundary I/O trace
+    (the injector's :class:`~repro.obs.events.IOEvent` stream); the
+    array's *logical* events — detections, recoveries, policy actions
+    — go to the array's shared stream instead, so the stream a mounted
+    file system joins tells the logical story.
+    """
+
+    def __init__(self, index: int, num_blocks: int, block_size: int,
+                 timing: Optional[dict] = None,
+                 member_log_events: Optional[int] = 4096):
+        self.index = index
+        self.events = EventLog(max_events=member_log_events)
+        self.disk = make_disk(num_blocks, block_size, **(timing or {}))
+        self.disk.events = self.events
+        self.injector = FaultInjector(self.disk, events=self.events)
+        #: The top of the member sub-stack — what the array issues I/O to.
+        self.device = self.injector
+
+    def replace(self) -> None:
+        """Swap in a blank disk of the same geometry (a spare)."""
+        old = self.disk
+        self.disk = SimulatedDisk(old.geometry)
+        self.disk.events = self.events
+        self.disk.latency_observer = old.latency_observer
+        self.injector.lower = self.disk
+
+    @property
+    def failed(self) -> bool:
+        return self.disk.failed
+
+    def __repr__(self) -> str:
+        return f"ArrayMember({self.index}, {self.disk!r})"
+
+
+class ArraySnapshot:
+    """A composed snapshot: one member CoW image per member, plus the
+    array's suspect-block set.  Composing is O(members), not O(blocks)
+    — each member image is the usual O(1) slab alias."""
+
+    __slots__ = ("images", "suspects", "stale")
+
+    def __init__(self, images: Iterable[SlabImage],
+                 suspects: Iterable[Tuple[int, int]] = (),
+                 stale: Iterable[int] = ()):
+        self.images: Tuple[SlabImage, ...] = tuple(images)
+        self.suspects: Tuple[Tuple[int, int], ...] = tuple(sorted(suspects))
+        self.stale: Tuple[int, ...] = tuple(sorted(stale))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ArraySnapshot):
+            return NotImplemented
+        return (list(self.images) == list(other.images)
+                and self.suspects == other.suspects
+                and self.stale == other.stale)
+
+    def __reduce__(self):
+        return (ArraySnapshot, (self.images, self.suspects, self.stale))
+
+    def __repr__(self) -> str:
+        return (f"ArraySnapshot(members={len(self.images)}, "
+                f"suspects={len(self.suspects)})")
+
+
+class _ArrayBaseView:
+    """Adapter giving the array a ``base_image``-shaped object: the
+    *logical* golden contents, decoded lazily from the member base
+    images.  :meth:`block` serves the crash engine's content-key
+    canonicalization; :attr:`meta` serves the mount-walk memos the
+    file systems keep on their golden image."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: "ArrayDevice"):
+        self._array = array
+
+    def block(self, block: int) -> Optional[bytes]:
+        m, mb = self._array._locate(block)
+        image = self._array.members[m].disk.base_image
+        return None if image is None else image.block(mb)
+
+    @property
+    def meta(self) -> Dict:
+        """Per-golden memo dict, like ``SlabImage.meta``.
+
+        Memo soundness requires the dict to change identity whenever
+        the *composite* golden changes, so it is keyed by the tuple of
+        member base-image objects (the key holds strong references,
+        keeping ids stable for the dict's lifetime)."""
+        return self._array._base_meta()
+
+
+@dataclass
+class ArrayScrubReport:
+    """Outcome of one scrub pass (or one scheduled increment)."""
+
+    units_scanned: int = 0
+    blocks_scanned: int = 0
+    #: (member, member-block) pairs that returned device errors.
+    latent_errors: List[Tuple[int, int]] = None
+    #: (member, member-block) pairs whose contents mismatched redundancy.
+    corruptions: List[Tuple[int, int]] = None
+    repaired: List[Tuple[int, int]] = None
+    unrepairable: List[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("latent_errors", "corruptions", "repaired", "unrepairable"):
+            if getattr(self, name) is None:
+                setattr(self, name, [])
+
+    @property
+    def problems(self) -> int:
+        return len(self.latent_errors) + len(self.corruptions)
+
+    def merge(self, other: "ArrayScrubReport") -> None:
+        self.units_scanned += other.units_scanned
+        self.blocks_scanned += other.blocks_scanned
+        self.latent_errors.extend(other.latent_errors)
+        self.corruptions.extend(other.corruptions)
+        self.repaired.extend(other.repaired)
+        self.unrepairable.extend(other.unrepairable)
+
+    def render(self) -> str:
+        return (f"scrubbed {self.blocks_scanned} member blocks: "
+                f"{len(self.latent_errors)} latent errors, "
+                f"{len(self.corruptions)} corruptions, "
+                f"{len(self.repaired)} repaired, "
+                f"{len(self.unrepairable)} unrepairable")
+
+
+@dataclass
+class ScrubSchedule:
+    """Background-scrub scheduling: every *every_ops* logical I/Os the
+    array scrubs the next *units_per_step* scrub units (a unit is one
+    logical block for a mirror, one stripe for parity geometries)."""
+
+    every_ops: int
+    units_per_step: int = 8
+    hook: Optional[Callable[[ArrayScrubReport], None]] = None
+
+
+class ArrayDevice:
+    """Common machinery for every geometry: the ``BlockDevice``
+    protocol plus the gray-box surface a :class:`DeviceStack` (and the
+    file systems' ``_raw_disk`` walk, the crash engine, and the
+    fingerprinting type oracles) expect from the bottom device.
+
+    Subclasses define the address mapping (:meth:`_locate`), the
+    reconstruction path (:meth:`_reconstruct`), the write path
+    (:meth:`_write_logical`), out-of-band pokes (:meth:`_poke_logical`),
+    member-content derivation for rebuild (:meth:`_member_content`),
+    and the scrub unit (:meth:`_scrub_unit`).
+    """
+
+    kind = "array"
+
+    def __init__(self, num_blocks: int, block_size: int,
+                 member_count: int, member_blocks: int,
+                 timing: Optional[dict] = None):
+        if num_blocks <= 0:
+            raise ValueError("array must expose at least one block")
+        self._num_blocks = num_blocks
+        self._block_size = block_size
+        self._zero = b"\x00" * block_size
+        self.members: List[ArrayMember] = [
+            ArrayMember(i, member_blocks, block_size, timing)
+            for i in range(member_count)
+        ]
+        #: Logical geometry, for consumers that size themselves off it.
+        self.geometry = DiskGeometry(num_blocks=num_blocks,
+                                     block_size=block_size,
+                                     **(timing or {}))
+        #: Shared typed-event stream; adopted by DeviceStack when the
+        #: array is stacked (left None until then — healthy I/O emits
+        #: nothing, so stacking after construction shares one stream).
+        self.events: Optional[EventLog] = None
+        #: Logical-interface accounting (live object, mutated in place).
+        self.stats = DiskStats()
+        # Logical CoW-style dirty tracking (crash-engine content keys).
+        self._dirty = bytearray(num_blocks)
+        self._dirty_count = 0
+        self._delta: Dict[int, bytes] = {}
+        self._base_view = _ArrayBaseView(self)
+        self._base_metas: Dict[tuple, Dict] = {}
+        #: Member blocks whose on-disk contents are known stale (a
+        #: member write failed after the array acknowledged the logical
+        #: write, or a rebuild has not reached them): reads take the
+        #: reconstruction path instead of trusting the member.
+        self._suspect: Set[Tuple[int, int]] = set()
+        #: Members that were replaced and not yet rebuilt (whole-member
+        #: granularity of the same idea).
+        self._stale: Set[int] = set()
+        self._latency_observer = None
+        # Scrub scheduling.
+        self._schedule: Optional[ScrubSchedule] = None
+        self._scrub_cursor = 0
+        self._op_count = 0
+        self._in_scrub = False
+        # Cumulative redundancy-path counters (collect_metrics).
+        self.degraded_reads = 0
+        self.degraded_writes = 0
+        self.read_repairs = 0
+        self.rebuilt_blocks = 0
+        self.scrub_repairs = 0
+        self.scrub_passes = 0
+
+    # -- BlockDevice protocol ------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def read_block(self, block: int) -> bytes:
+        self._check_range(block, "read")
+        before = self.clock
+        m, mb = self._locate(block)
+        data: Optional[bytes] = None
+        if self._trusted(m, mb):
+            try:
+                data = self.members[m].device.read_block(mb)
+            except ReadError:
+                self._detect(m, mb, "member-read-error", logical=block)
+        if data is None:
+            data = self._degraded_read(block, m, mb)
+        self.stats.reads += 1
+        self.stats.bytes_read += self._block_size
+        self.stats.busy_time_s += self.clock - before
+        self._tick()
+        return data
+
+    def write_block(self, block: int, data: bytes) -> None:
+        self._check_range(block, "write")
+        if len(data) != self._block_size:
+            raise ValueError(
+                f"write of {len(data)} bytes to array with "
+                f"{self._block_size}-byte blocks")
+        before = self.clock
+        data = bytes(data)
+        self._write_logical(block, data)
+        self._note(block, data)
+        self.stats.writes += 1
+        self.stats.bytes_written += self._block_size
+        self.stats.busy_time_s += self.clock - before
+        self._tick()
+
+    def flush(self) -> None:
+        for member in self.members:
+            member.device.flush()
+
+    def snapshot(self) -> ArraySnapshot:
+        return ArraySnapshot(
+            (member.disk.snapshot() for member in self.members),
+            self._suspect, self._stale,
+        )
+
+    def restore(self, snapshot: ArraySnapshot) -> None:
+        if not isinstance(snapshot, ArraySnapshot):
+            raise ValueError("array restore needs an ArraySnapshot")
+        if len(snapshot.images) != len(self.members):
+            raise ValueError("snapshot member count does not match array")
+        for member, image in zip(self.members, snapshot.images):
+            member.device.restore(image)
+        self._suspect = set(snapshot.suspects)
+        self._stale = set(snapshot.stale)
+        if self._dirty_count:
+            self._dirty = bytearray(self._num_blocks)
+            self._dirty_count = 0
+            self._delta = {}
+        self.stats.reset()
+        self._scrub_cursor = 0
+        self._op_count = 0
+        self.degraded_reads = 0
+        self.degraded_writes = 0
+        self.read_repairs = 0
+        self.rebuilt_blocks = 0
+        self.scrub_repairs = 0
+        self.scrub_passes = 0
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return max(member.disk.clock for member in self.members)
+
+    def stall(self, seconds: float) -> None:
+        """Members share the wall clock: a commit-ordering wait stalls
+        every spindle."""
+        for member in self.members:
+            member.disk.stall(seconds)
+        self.stats.busy_time_s += seconds
+
+    @property
+    def latency_observer(self):
+        return self._latency_observer
+
+    @latency_observer.setter
+    def latency_observer(self, callback) -> None:
+        self._latency_observer = callback
+        for member in self.members:
+            member.disk.latency_observer = callback
+
+    # -- gray-box access ------------------------------------------------------
+
+    def peek(self, block: int) -> bytes:
+        """Logical contents without charging time or stats: the data
+        location's raw bytes, reconstructed from peers when that member
+        block is suspect or stale."""
+        self._check_range(block, "read")
+        return self._peek_logical(block)
+
+    def peek_view(self, block: int):
+        return self._peek_logical(block)
+
+    def poke(self, block: int, data: bytes) -> None:
+        """Out-of-band logical write, parity maintained (the crash
+        engine's state-construction primitive — assumes the affected
+        stripe carries no suspect blocks, which holds after the
+        ``restore(golden)`` that precedes replay)."""
+        self._check_range(block, "write")
+        if len(data) != self._block_size:
+            raise ValueError("poke payload must be exactly one block")
+        data = bytes(data)
+        self._poke_logical(block, data)
+        self._note(block, data)
+
+    @property
+    def base_image(self) -> Optional[_ArrayBaseView]:
+        if all(member.disk.base_image is None for member in self.members):
+            return None
+        return self._base_view
+
+    def _base_meta(self) -> Dict:
+        images = tuple(member.disk.base_image for member in self.members)
+        key = tuple(id(image) for image in images)
+        entry = self._base_metas.get(key)
+        if entry is None:
+            # A handful of goldens at most live at once (the crash
+            # engine restores one; fingerprint loops a few) — evict the
+            # oldest rather than growing with every snapshot ever seen.
+            # The entry pins the image objects so the ids stay valid.
+            if len(self._base_metas) >= 8:
+                self._base_metas.pop(next(iter(self._base_metas)))
+            entry = self._base_metas[key] = (images, {})
+        return entry[1]
+
+    @property
+    def dirty_count(self) -> int:
+        return self._dirty_count
+
+    def any_dirty_in(self, blocks: Iterable[int]) -> bool:
+        dirty = self._dirty
+        return any(dirty[b] for b in blocks)
+
+    def dirty_contents(self, blocks: Iterable[int]) -> tuple:
+        dirty = self._dirty
+        delta = self._delta
+        return tuple((b, delta[b]) for b in blocks if dirty[b])
+
+    def dirty_items(self) -> List[Tuple[int, bytes]]:
+        return sorted(self._delta.items())
+
+    def fingerprint_matches(self, blocks: Iterable[int], fp: tuple) -> bool:
+        dirty = self._dirty
+        delta = self._delta
+        i = 0
+        n = len(fp)
+        for b in blocks:
+            if dirty[b]:
+                if i >= n:
+                    return False
+                entry = fp[i]
+                if entry[0] != b or delta[b] != entry[1]:
+                    return False
+                i += 1
+        return i == n
+
+    # -- member lifecycle -----------------------------------------------------
+
+    def fail_member(self, index: int) -> None:
+        """Fail-stop one member (§2.3 whole-disk failure)."""
+        self.members[index].disk.fail_whole_disk()
+
+    def revive_member(self, index: int) -> None:
+        self.members[index].disk.revive()
+
+    def replace_member(self, index: int) -> None:
+        """Swap in a blank spare; the member is *stale* (reads route
+        around it) until :meth:`rebuild_member` repopulates it."""
+        self.members[index].replace()
+        self._stale.add(index)
+        self._suspect = {(m, mb) for (m, mb) in self._suspect if m != index}
+        self._emit(ArrayPolicyEvent(
+            Severity.WARNING, self._source(), "member-replaced",
+            f"member {index} replaced with blank spare", member=index))
+
+    def rebuild_member(self, index: int) -> int:
+        """Reconstruct every block the member should hold from the
+        surviving members and write it back (live reconstruction —
+        charged I/O, same data path a background rebuild would use).
+        Returns the number of blocks rebuilt; blocks that could not be
+        reconstructed (too many concurrent failures) stay suspect and
+        raise a ``rebuild-loss`` policy event.
+        """
+        tracer = self._tracer()
+        span = tracer.start("rebuild", "phase",
+                            detail=f"member={index}",
+                            source=self._source()) if tracer else 0
+        rebuilt = 0
+        lost: List[int] = []
+        member = self.members[index]
+        try:
+            for mb in range(member.disk.num_blocks):
+                content = self._member_content(index, mb)
+                if content is None:
+                    lost.append(mb)
+                    continue
+                try:
+                    member.device.write_block(mb, content)
+                except WriteError:
+                    lost.append(mb)
+                    continue
+                self._suspect.discard((index, mb))
+                rebuilt += 1
+        finally:
+            if tracer:
+                tracer.end(span, "ok" if not lost else "error")
+        self._stale.discard(index)
+        for mb in lost:
+            self._suspect.add((index, mb))
+        self.rebuilt_blocks += rebuilt
+        self._emit(ArrayRecoveryEvent(
+            Severity.INFO, self._source(), "rebuild",
+            f"rebuilt member {index}: {rebuilt} blocks"
+            + (f", {len(lost)} lost" if lost else ""),
+            member=index))
+        if lost:
+            self._emit(ArrayPolicyEvent(
+                Severity.ERROR, self._source(), "rebuild-loss",
+                f"member {index}: {len(lost)} blocks unreconstructable",
+                member=index))
+        return rebuilt
+
+    def member_stats(self) -> List[DiskStats]:
+        return [member.disk.stats for member in self.members]
+
+    # -- scrub ----------------------------------------------------------------
+
+    @property
+    def scrub_units(self) -> int:
+        """Total scrub units (logical blocks for mirrors, stripes for
+        parity geometries)."""
+        raise NotImplementedError
+
+    def scrub(self, start: int = 0, end: Optional[int] = None) -> ArrayScrubReport:
+        """Scan scrub units ``[start, end)`` (default: whole array),
+        verifying member redundancy and repairing what the geometry can
+        repair.  Emits ``scrub-complete`` when the scan reaches the
+        array's last unit and ``scrub-loss`` for damage it cannot
+        attribute or repair."""
+        if end is None:
+            end = self.scrub_units
+        if not 0 <= start <= end <= self.scrub_units:
+            raise ValueError("scrub range out of bounds")
+        report = ArrayScrubReport()
+        self._in_scrub = True
+        try:
+            for unit in range(start, end):
+                self._scrub_unit(unit, report)
+                report.units_scanned += 1
+        finally:
+            self._in_scrub = False
+        self.scrub_repairs += len(report.repaired)
+        if report.unrepairable:
+            self._emit(ArrayPolicyEvent(
+                Severity.ERROR, self._source(), "scrub-loss",
+                f"{len(report.unrepairable)} member blocks unrepairable"))
+        if end == self.scrub_units:
+            self.scrub_passes += 1
+            self._emit(ArrayPolicyEvent(
+                Severity.INFO, self._source(), "scrub-complete",
+                f"pass complete: {report.render()}"))
+        return report
+
+    def set_scrub_schedule(self, every_ops: Optional[int],
+                           units_per_step: int = 8,
+                           hook: Optional[Callable[[ArrayScrubReport], None]] = None,
+                           ) -> None:
+        """Arm (or with ``None`` disarm) the background scrub: every
+        *every_ops* logical I/Os, scrub the next *units_per_step* units
+        and invoke *hook* with the increment's report."""
+        if every_ops is None:
+            self._schedule = None
+            return
+        if every_ops < 1 or units_per_step < 1:
+            raise ValueError("scrub schedule parameters must be >= 1")
+        self._schedule = ScrubSchedule(every_ops, units_per_step, hook)
+
+    def _tick(self) -> None:
+        self._op_count += 1
+        schedule = self._schedule
+        if (schedule is None or self._in_scrub
+                or self._op_count % schedule.every_ops):
+            return
+        start = self._scrub_cursor
+        end = min(start + schedule.units_per_step, self.scrub_units)
+        report = self.scrub(start, end)
+        self._scrub_cursor = 0 if end >= self.scrub_units else end
+        if schedule.hook is not None:
+            schedule.hook(report)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def collect_metrics(self, registry) -> None:
+        """Per-member raw traffic plus the array's redundancy-path
+        counters (degraded I/O, repairs, rebuilds, suspects)."""
+        for member in self.members:
+            stats = member.disk.stats
+            labels = {"array": self.kind, "member": str(member.index)}
+            registry.counter("repro_array_member_reads_total", **labels).inc(stats.reads)
+            registry.counter("repro_array_member_writes_total", **labels).inc(stats.writes)
+            registry.counter("repro_array_member_busy_seconds_total", **labels).inc(
+                stats.busy_time_s)
+        labels = {"array": self.kind}
+        registry.counter("repro_array_degraded_reads_total", **labels).inc(
+            self.degraded_reads)
+        registry.counter("repro_array_degraded_writes_total", **labels).inc(
+            self.degraded_writes)
+        registry.counter("repro_array_read_repairs_total", **labels).inc(
+            self.read_repairs)
+        registry.counter("repro_array_rebuilt_blocks_total", **labels).inc(
+            self.rebuilt_blocks)
+        registry.counter("repro_array_scrub_repairs_total", **labels).inc(
+            self.scrub_repairs)
+        registry.gauge("repro_array_suspect_blocks", **labels).set(
+            len(self._suspect))
+
+    # -- internals -------------------------------------------------------------
+
+    def _locate(self, block: int) -> Tuple[int, int]:
+        """Logical block -> (data member index, member block)."""
+        raise NotImplementedError
+
+    def _reconstruct(self, block: int, m: int, mb: int) -> bytes:
+        """Rebuild one logical block from the surviving members
+        (raises :class:`ReadError` when the geometry cannot)."""
+        raise NotImplementedError
+
+    def _write_logical(self, block: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _poke_logical(self, block: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _peek_logical(self, block: int) -> bytes:
+        raise NotImplementedError
+
+    def _member_content(self, m: int, mb: int) -> Optional[bytes]:
+        """What member *m* should hold at *mb* (rebuild path); None if
+        unreconstructable."""
+        raise NotImplementedError
+
+    def _scrub_unit(self, unit: int, report: ArrayScrubReport) -> None:
+        raise NotImplementedError
+
+    def _source(self) -> str:
+        return f"{self.kind}-array"
+
+    def _trusted(self, m: int, mb: int) -> bool:
+        return m not in self._stale and (m, mb) not in self._suspect
+
+    def _member_read(self, m: int, mb: int,
+                     logical: Optional[int] = None) -> Optional[bytes]:
+        """One member read for a reconstruction path: None when the
+        member block is untrusted or errors (the error is a *detected*
+        member failure — D_errorcode at the array boundary)."""
+        if not self._trusted(m, mb):
+            return None
+        try:
+            return self.members[m].device.read_block(mb)
+        except ReadError:
+            self._detect(m, mb, "member-read-error", logical=logical)
+            return None
+
+    def _member_write(self, m: int, mb: int, data: bytes) -> bool:
+        """One member write; a failure marks the block suspect (the
+        array *knows* the write did not land — it got the error code)."""
+        try:
+            self.members[m].device.write_block(mb, data)
+        except WriteError:
+            self._suspect.add((m, mb))
+            self._detect(m, mb, "member-write-error")
+            return False
+        self._suspect.discard((m, mb))
+        return True
+
+    def _degraded_read(self, block: int, m: int, mb: int) -> bytes:
+        tracer = self._tracer()
+        span = tracer.start("degraded-read", "phase",
+                            detail=f"block={block} member={m}",
+                            source=self._source()) if tracer else 0
+        try:
+            data = self._reconstruct(block, m, mb)
+        except ReadError:
+            if tracer:
+                tracer.end(span, "error")
+            raise
+        self.degraded_reads += 1
+        self._emit(ArrayRecoveryEvent(
+            Severity.WARNING, self._source(), "degraded-read",
+            f"block {block} reconstructed around member {m}",
+            block, member=m))
+        self._read_repair(m, mb, data, block)
+        if tracer:
+            tracer.end(span, "ok")
+        return data
+
+    def _read_repair(self, m: int, mb: int, data: bytes, block: int) -> None:
+        member = self.members[m]
+        if m in self._stale or member.disk.failed:
+            return
+        try:
+            member.device.write_block(mb, data)
+        except WriteError:
+            self._suspect.add((m, mb))
+            self._detect(m, mb, "member-write-error", logical=block)
+            return
+        self._suspect.discard((m, mb))
+        self.read_repairs += 1
+        self._emit(ArrayRecoveryEvent(
+            Severity.INFO, self._source(), "read-repair",
+            f"block {block} repaired on member {m}", block, member=m))
+
+    def _detect(self, m: int, mb: int, tag: str,
+                logical: Optional[int] = None,
+                mechanism: str = "error-code") -> None:
+        self._emit(ArrayDetectionEvent(
+            Severity.ERROR, self._source(), tag,
+            f"member {m} {tag.split('-', 1)[1]} at member block {mb}",
+            logical, mechanism=mechanism, member=m))
+
+    def _emit(self, event: StorageEvent) -> None:
+        log = self.events
+        if log is None:
+            log = self.events = EventLog()
+        log.emit(event)
+
+    def _tracer(self):
+        log = self.events
+        tracer = getattr(log, "tracer", None) if log is not None else None
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
+
+    def _note(self, block: int, data: bytes) -> None:
+        self._delta[block] = data
+        if not self._dirty[block]:
+            self._dirty[block] = 1
+            self._dirty_count += 1
+
+    def _check_range(self, block: int, op: str) -> None:
+        if not 0 <= block < self._num_blocks:
+            raise OutOfRangeError(block, op, self._num_blocks)
+
+    def describe(self) -> str:
+        inner = " -> ".join(
+            type(layer).__name__
+            for layer in (self.members[0].disk, self.members[0].injector))
+        return f"{type(self).__name__}[{len(self.members)} x ({inner})]"
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(blocks={self._num_blocks}, "
+                f"bs={self._block_size}, members={len(self.members)})")
+
+
+class MirrorDevice(ArrayDevice):
+    """N-way replication: every logical block lives on every member.
+
+    Reads spread across replicas (primary = ``block % copies``), fail
+    over on member errors, and read-repair the replica that erred;
+    writes go to all members and survive any member failure as long as
+    one replica lands.  Scrub compares replicas: with three or more
+    copies silent corruption is majority-voted and repaired, with two
+    it is detected but unattributable (``scrub-loss``).
+    """
+
+    kind = "mirror"
+
+    def __init__(self, num_blocks: int, block_size: int = 4096,
+                 copies: int = 2, timing: Optional[dict] = None):
+        if copies < 2:
+            raise ValueError("a mirror needs at least two copies")
+        super().__init__(num_blocks, block_size, copies, num_blocks, timing)
+
+    @property
+    def scrub_units(self) -> int:
+        return self._num_blocks
+
+    def _locate(self, block: int) -> Tuple[int, int]:
+        return block % len(self.members), block
+
+    def _replica_order(self, block: int) -> List[int]:
+        n = len(self.members)
+        primary = block % n
+        return [(primary + k) % n for k in range(n)]
+
+    def _reconstruct(self, block: int, m: int, mb: int) -> bytes:
+        for other in self._replica_order(block):
+            if other == m:
+                continue
+            data = self._member_read(other, block, logical=block)
+            if data is not None:
+                return data
+        raise ReadError(block, "all mirror members failed")
+
+    def _write_logical(self, block: int, data: bytes) -> None:
+        landed = 0
+        failed: List[int] = []
+        for member in self.members:
+            if self._member_write(member.index, block, data):
+                landed += 1
+            else:
+                failed.append(member.index)
+        if landed == 0:
+            raise WriteError(block, "all mirror members failed")
+        if failed:
+            self.degraded_writes += 1
+            self._emit(ArrayRecoveryEvent(
+                Severity.WARNING, self._source(), "degraded-write",
+                f"block {block} stored on {landed}/{len(self.members)} copies",
+                block, member=failed[0]))
+
+    def _poke_logical(self, block: int, data: bytes) -> None:
+        for member in self.members:
+            member.disk.poke(block, data)
+            self._suspect.discard((member.index, block))
+
+    def _peek_logical(self, block: int) -> bytes:
+        for m in self._replica_order(block):
+            if self._trusted(m, block):
+                return self.members[m].disk.peek(block)
+        return self.members[block % len(self.members)].disk.peek(block)
+
+    def _member_content(self, m: int, mb: int) -> Optional[bytes]:
+        for other in self._replica_order(mb):
+            if other == m:
+                continue
+            data = self._member_read(other, mb, logical=mb)
+            if data is not None:
+                return data
+        return None
+
+    def _scrub_unit(self, unit: int, report: ArrayScrubReport) -> None:
+        copies: Dict[int, bytes] = {}
+        errored: List[int] = []
+        for member in self.members:
+            if member.index in self._stale:
+                continue
+            report.blocks_scanned += 1
+            try:
+                copies[member.index] = member.device.read_block(unit)
+            except ReadError:
+                errored.append(member.index)
+                report.latent_errors.append((member.index, unit))
+                self._detect(member.index, unit, "member-read-error",
+                             logical=unit)
+        if not copies:
+            for m in errored:
+                report.unrepairable.append((m, unit))
+            return
+        # Reference contents: the majority value (ties break toward the
+        # lowest member index, deterministically).
+        votes: Dict[bytes, List[int]] = {}
+        for m in sorted(copies):
+            votes.setdefault(copies[m], []).append(m)
+        ranked = sorted(votes.items(), key=lambda kv: (-len(kv[1]), kv[1][0]))
+        reference, holders = ranked[0]
+        if len(votes) > 1:
+            minority = [m for m in sorted(copies) if m not in holders]
+            for m in minority:
+                report.corruptions.append((m, unit))
+            self._detect(minority[0], unit, "member-mismatch",
+                         logical=unit, mechanism="redundancy")
+            if len(holders) > len(copies) - len(holders):
+                for m in minority:
+                    if self._repair(m, unit, reference, report):
+                        self._emit(ArrayRecoveryEvent(
+                            Severity.INFO, self._source(), "scrub-repair",
+                            f"block {unit} rewritten on member {m}",
+                            unit, member=m))
+            else:
+                # Two-way (or tied) mismatch: detected, unattributable.
+                for m in minority:
+                    report.unrepairable.append((m, unit))
+        for m in errored:
+            self._repair(m, unit, reference, report)
+
+    def _repair(self, m: int, mb: int, data: bytes,
+                report: ArrayScrubReport) -> bool:
+        if self._member_write(m, mb, data):
+            report.repaired.append((m, mb))
+            return True
+        report.unrepairable.append((m, mb))
+        return False
+
+
+class StripeParityDevice(ArrayDevice):
+    """RAID-5-style striping with one rotating parity block per stripe.
+
+    ``members`` disks hold ``members - 1`` data blocks plus one parity
+    block per stripe; the parity member rotates (``stripe % members``)
+    so parity traffic spreads evenly.  Tolerates one member failure
+    per stripe; the small-write path is classic read-modify-write with
+    a reconstruct-write fallback when old data or old parity cannot be
+    read.
+    """
+
+    kind = "parity"
+
+    def __init__(self, num_blocks: int, block_size: int = 4096,
+                 members: int = 4, timing: Optional[dict] = None):
+        if members < 3:
+            raise ValueError("striped parity needs at least three members")
+        self.data_members = members - 1
+        stripes = -(-num_blocks // self.data_members)  # ceil
+        super().__init__(num_blocks, block_size, members, stripes, timing)
+        self.stripes = stripes
+
+    @property
+    def scrub_units(self) -> int:
+        return self.stripes
+
+    def _parity_member(self, stripe: int) -> int:
+        return stripe % len(self.members)
+
+    def _locate(self, block: int) -> Tuple[int, int]:
+        stripe, i = divmod(block, self.data_members)
+        pm = self._parity_member(stripe)
+        return (i if i < pm else i + 1), stripe
+
+    def _reconstruct(self, block: int, m: int, mb: int) -> bytes:
+        acc = self._zero
+        for other in range(len(self.members)):
+            if other == m:
+                continue
+            data = self._member_read(other, mb, logical=block)
+            if data is None:
+                raise ReadError(
+                    block, "second member failure: single parity exhausted")
+            acc = _xor(acc, data)
+        return acc
+
+    def _write_logical(self, block: int, data: bytes) -> None:
+        dm, stripe = self._locate(block)
+        pm = self._parity_member(stripe)
+        old = self._member_read(dm, stripe, logical=block)
+        old_parity = self._member_read(pm, stripe, logical=block)
+        if old is not None and old_parity is not None:
+            new_parity: Optional[bytes] = _xor(_xor(old_parity, old), data)
+        else:
+            # Reconstruct-write: parity = new data XOR surviving peers.
+            acc: Optional[bytes] = data
+            for other in range(len(self.members)):
+                if other in (dm, pm):
+                    continue
+                peer = self._member_read(other, stripe, logical=block)
+                if peer is None:
+                    acc = None
+                    break
+                acc = _xor(acc, peer)
+            new_parity = acc
+        wrote_data = self._member_write(dm, stripe, data)
+        wrote_parity = (new_parity is not None
+                        and self._member_write(pm, stripe, new_parity))
+        if not wrote_data and not wrote_parity:
+            raise WriteError(block, "array cannot store block")
+        if not wrote_data and wrote_parity:
+            # The new contents live only in parity: a degraded write the
+            # reconstruction read path will serve (R_redundancy).
+            self.degraded_writes += 1
+            self._emit(ArrayRecoveryEvent(
+                Severity.WARNING, self._source(), "degraded-write",
+                f"block {block} held by parity around member {dm}",
+                block, member=dm))
+        if wrote_data and new_parity is None:
+            # Data landed but parity could not be maintained: the stripe
+            # has no redundancy until scrubbed/rebuilt.
+            self._suspect.add((pm, stripe))
+
+    def _poke_logical(self, block: int, data: bytes) -> None:
+        dm, stripe = self._locate(block)
+        pm = self._parity_member(stripe)
+        self.members[dm].disk.poke(stripe, data)
+        self._suspect.discard((dm, stripe))
+        acc = self._zero
+        for other in range(len(self.members)):
+            if other == pm:
+                continue
+            acc = _xor(acc, self.members[other].disk.peek(stripe))
+        self.members[pm].disk.poke(stripe, acc)
+        self._suspect.discard((pm, stripe))
+
+    def _peek_logical(self, block: int) -> bytes:
+        dm, stripe = self._locate(block)
+        if self._trusted(dm, stripe):
+            return self.members[dm].disk.peek(stripe)
+        pm = self._parity_member(stripe)
+        acc = self._zero
+        for other in range(len(self.members)):
+            if other == dm:
+                continue
+            if not self._trusted(other, stripe) and other != pm:
+                return self.members[dm].disk.peek(stripe)
+            acc = _xor(acc, self.members[other].disk.peek(stripe))
+        return acc
+
+    def _member_content(self, m: int, mb: int) -> Optional[bytes]:
+        acc = self._zero
+        for other in range(len(self.members)):
+            if other == m:
+                continue
+            data = self._member_read(other, mb, logical=None)
+            if data is None:
+                return None
+            acc = _xor(acc, data)
+        return acc
+
+    def _scrub_unit(self, unit: int, report: ArrayScrubReport) -> None:
+        contents: Dict[int, bytes] = {}
+        missing: List[int] = []
+        for member in self.members:
+            if member.index in self._stale:
+                missing.append(member.index)
+                continue
+            report.blocks_scanned += 1
+            try:
+                contents[member.index] = member.device.read_block(unit)
+            except ReadError:
+                missing.append(member.index)
+                report.latent_errors.append((member.index, unit))
+                self._detect(member.index, unit, "member-read-error")
+        if len(missing) > 1:
+            for m in missing:
+                report.unrepairable.append((m, unit))
+            return
+        if len(missing) == 1:
+            m = missing[0]
+            acc = self._zero
+            for data in contents.values():
+                acc = _xor(acc, data)
+            if self._member_write(m, unit, acc):
+                report.repaired.append((m, unit))
+                self._emit(ArrayRecoveryEvent(
+                    Severity.INFO, self._source(), "scrub-repair",
+                    f"stripe {unit} block rebuilt on member {m}", member=m))
+            else:
+                report.unrepairable.append((m, unit))
+            return
+        acc = self._zero
+        for data in contents.values():
+            acc = _xor(acc, data)
+        if acc != self._zero:
+            # Single parity detects the mismatch but cannot attribute it.
+            pm = self._parity_member(unit)
+            report.corruptions.append((pm, unit))
+            report.unrepairable.append((pm, unit))
+            self._detect(pm, unit, "member-mismatch", mechanism="redundancy")
+
+
+class RDPDevice(ArrayDevice):
+    """Row-Diagonal Parity over ``p + 1`` members (double erasure).
+
+    Columns of the :class:`~repro.redundancy.rdp.RDPStripe` kernel map
+    one-to-one onto members: ``p - 1`` data columns, the row-parity
+    column (index ``p - 1``) and the diagonal-parity column (index
+    ``p``).  Each stripe spans ``p - 1`` consecutive blocks per
+    member.  Any two member erasures — including a fail-stop plus a
+    latent sector error discovered mid-rebuild — reconstruct exactly.
+    """
+
+    kind = "rdp"
+
+    def __init__(self, num_blocks: int, block_size: int = 4096,
+                 p: int = 5, timing: Optional[dict] = None):
+        self.stripe = RDPStripe(p, block_size)
+        self.p = p
+        self.rows = p - 1
+        per_stripe = self.rows * self.rows  # data blocks per stripe
+        stripes = -(-num_blocks // per_stripe)  # ceil
+        super().__init__(num_blocks, block_size, p + 1,
+                         stripes * self.rows, timing)
+        self.stripes = stripes
+        self._row_parity = p - 1
+        self._diag_parity = p
+
+    @property
+    def scrub_units(self) -> int:
+        return self.stripes
+
+    def _locate(self, block: int) -> Tuple[int, int]:
+        per_stripe = self.rows * self.rows
+        stripe, rem = divmod(block, per_stripe)
+        col, row = divmod(rem, self.rows)
+        return col, stripe * self.rows + row
+
+    def _read_columns(self, stripe: int,
+                      logical: Optional[int] = None,
+                      ) -> List[Optional[List[bytes]]]:
+        base = stripe * self.rows
+        columns: List[Optional[List[bytes]]] = []
+        for col in range(self.p + 1):
+            cells: Optional[List[bytes]] = []
+            for row in range(self.rows):
+                data = self._member_read(col, base + row, logical=logical)
+                if data is None:
+                    cells = None
+                    break
+                cells.append(data)
+            columns.append(cells)
+        return columns
+
+    def _reconstruct(self, block: int, m: int, mb: int) -> bytes:
+        stripe, row = divmod(mb, self.rows)
+        columns = self._read_columns(stripe, logical=block)
+        columns[m] = None  # the cell we are here for is untrusted
+        try:
+            full = self.stripe.reconstruct(columns)
+        except ValueError:
+            raise ReadError(
+                block, "more than two member failures: RDP exhausted")
+        return full[m][row]
+
+    def _write_logical(self, block: int, data: bytes) -> None:
+        col, mb = self._locate(block)
+        stripe, row = divmod(mb, self.rows)
+        old = self._member_read(col, mb, logical=block)
+        if old is None:
+            self._full_stripe_write(block, stripe, row, col, data)
+            return
+        delta = _xor(old, data)
+        row_parity = self._member_read(self._row_parity, mb, logical=block)
+        if row_parity is None:
+            self._full_stripe_write(block, stripe, row, col, data)
+            return
+        updates: List[Tuple[int, int, bytes]] = [
+            (col, mb, data),
+            (self._row_parity, mb, _xor(row_parity, delta)),
+        ]
+        base = stripe * self.rows
+        for d in ((row + col) % self.p, (row + self._row_parity) % self.p):
+            if d == self.p - 1:
+                continue  # the missing diagonal is not stored
+            diag = self._member_read(self._diag_parity, base + d, logical=block)
+            if diag is None:
+                self._full_stripe_write(block, stripe, row, col, data)
+                return
+            updates.append((self._diag_parity, base + d, _xor(diag, delta)))
+        landed = sum(1 for m, target, payload in updates
+                     if self._member_write(m, target, payload))
+        if landed == 0:
+            raise WriteError(block, "array cannot store block")
+        if (col, mb) in self._suspect:
+            # The data cell itself failed but parity landed: the new
+            # contents are recoverable through reconstruction.
+            self.degraded_writes += 1
+            self._emit(ArrayRecoveryEvent(
+                Severity.WARNING, self._source(), "degraded-write",
+                f"block {block} held by parity around member {col}",
+                block, member=col))
+
+    def _full_stripe_write(self, block: int, stripe: int, row: int,
+                           col: int, data: bytes) -> None:
+        columns = self._read_columns(stripe, logical=block)
+        try:
+            full = self.stripe.reconstruct(columns)
+        except ValueError:
+            raise WriteError(
+                block, "more than two member failures: RDP exhausted")
+        full[col][row] = data
+        encoded = self.stripe.encode(full[:self.stripe.data_columns])
+        base = stripe * self.rows
+        failed_cols: Set[int] = set()
+        for m in range(self.p + 1):
+            for r in range(self.rows):
+                if not self._member_write(m, base + r, encoded[m][r]):
+                    failed_cols.add(m)
+        if len(failed_cols) > 2:
+            raise WriteError(block, "array cannot store block")
+        if col in failed_cols:
+            self.degraded_writes += 1
+            self._emit(ArrayRecoveryEvent(
+                Severity.WARNING, self._source(), "degraded-write",
+                f"block {block} held by parity around member {col}",
+                block, member=col))
+
+    def _poke_logical(self, block: int, data: bytes) -> None:
+        col, mb = self._locate(block)
+        stripe, row = divmod(mb, self.rows)
+        base = stripe * self.rows
+        self.members[col].disk.poke(mb, data)
+        self._suspect.discard((col, mb))
+        # Recompute (not incrementally update) the affected parities
+        # from raw member contents, so a poke also heals any prior
+        # inconsistency in its row/diagonals.
+        acc = self._zero
+        for c in range(self.rows):  # data columns 0..p-2
+            acc = _xor(acc, self.members[c].disk.peek(mb))
+        self.members[self._row_parity].disk.poke(mb, acc)
+        self._suspect.discard((self._row_parity, mb))
+        for d in ((row + col) % self.p, (row + self._row_parity) % self.p):
+            if d == self.p - 1:
+                continue
+            acc = self._zero
+            for c in range(self.p):  # data + row-parity columns
+                r = (d - c) % self.p
+                if r <= self.rows - 1:
+                    acc = _xor(acc, self.members[c].disk.peek(base + r))
+            self.members[self._diag_parity].disk.poke(base + d, acc)
+            self._suspect.discard((self._diag_parity, base + d))
+
+    def _peek_logical(self, block: int) -> bytes:
+        col, mb = self._locate(block)
+        if self._trusted(col, mb):
+            return self.members[col].disk.peek(mb)
+        stripe, row = divmod(mb, self.rows)
+        base = stripe * self.rows
+        columns: List[Optional[List[bytes]]] = []
+        erased = 0
+        for c in range(self.p + 1):
+            bad = c == col or c in self._stale or any(
+                (c, base + r) in self._suspect for r in range(self.rows))
+            if bad:
+                columns.append(None)
+                erased += 1
+            else:
+                columns.append([self.members[c].disk.peek(base + r)
+                                for r in range(self.rows)])
+        if erased > 2:
+            return self.members[col].disk.peek(mb)
+        return self.stripe.reconstruct(columns)[col][row]
+
+    def _member_content(self, m: int, mb: int) -> Optional[bytes]:
+        stripe, row = divmod(mb, self.rows)
+        columns = self._read_columns(stripe)
+        columns[m] = None
+        try:
+            full = self.stripe.reconstruct(columns)
+        except ValueError:
+            return None
+        return full[m][row]
+
+    def _scrub_unit(self, unit: int, report: ArrayScrubReport) -> None:
+        base = unit * self.rows
+        columns: List[Optional[List[bytes]]] = []
+        missing: List[int] = []
+        for col in range(self.p + 1):
+            if col in self._stale:
+                columns.append(None)
+                missing.append(col)
+                continue
+            cells: Optional[List[bytes]] = []
+            for row in range(self.rows):
+                report.blocks_scanned += 1
+                try:
+                    cells.append(self.members[col].device.read_block(base + row))
+                except ReadError:
+                    report.latent_errors.append((col, base + row))
+                    self._detect(col, base + row, "member-read-error")
+                    cells = None
+                    # Keep scanning the column for accounting, but the
+                    # column is erased for reconstruction purposes.
+                    break
+            columns.append(cells)
+            if cells is None and col not in missing:
+                missing.append(col)
+        if len(missing) > 2:
+            for col in missing:
+                for row in range(self.rows):
+                    report.unrepairable.append((col, base + row))
+            return
+        if missing:
+            try:
+                full = self.stripe.reconstruct(columns)
+            except ValueError:
+                for col in missing:
+                    for row in range(self.rows):
+                        report.unrepairable.append((col, base + row))
+                return
+            for col in missing:
+                for row in range(self.rows):
+                    target = (col, base + row)
+                    if self._member_write(col, base + row, full[col][row]):
+                        report.repaired.append(target)
+                    else:
+                        report.unrepairable.append(target)
+            self._emit(ArrayRecoveryEvent(
+                Severity.INFO, self._source(), "scrub-repair",
+                f"stripe {unit}: {len(missing)} columns rebuilt",
+                member=missing[0]))
+            return
+        self._scrub_verify(unit, base, columns, report)
+
+    def _scrub_verify(self, unit: int, base: int,
+                      columns: List[List[bytes]],
+                      report: ArrayScrubReport) -> None:
+        """All columns readable: check parity syndromes and repair the
+        single silently-corrupt block RDP can locate uniquely."""
+        p, rows, bs = self.p, self.rows, self._block_size
+        zero = self._zero
+        row_syndrome: List[bytes] = []
+        for r in range(rows):
+            acc = zero
+            for c in range(p):  # data + row parity
+                acc = _xor(acc, columns[c][r])
+            row_syndrome.append(acc)
+        diag_syndrome: List[bytes] = []
+        for d in range(rows):  # stored diagonals 0..p-2
+            acc = columns[self._diag_parity][d]
+            for c in range(p):
+                r = (d - c) % p
+                if r <= rows - 1:
+                    acc = _xor(acc, columns[c][r])
+            diag_syndrome.append(acc)
+        bad_rows = [r for r in range(rows) if row_syndrome[r] != zero]
+        bad_diags = [d for d in range(rows) if diag_syndrome[d] != zero]
+        if not bad_rows and not bad_diags:
+            return
+        fix: Optional[Tuple[int, int, bytes]] = None  # (col, member block, delta)
+        if len(bad_rows) == 1 and len(bad_diags) == 1:
+            r0, d0 = bad_rows[0], bad_diags[0]
+            c0 = (d0 - r0) % p
+            if c0 <= p - 1 and row_syndrome[r0] == diag_syndrome[d0]:
+                fix = (c0, base + r0, row_syndrome[r0])
+        elif len(bad_rows) == 1 and not bad_diags:
+            # The corrupt cell sits on the missing diagonal p-1.
+            r0 = bad_rows[0]
+            fix = ((p - 1 - r0) % p, base + r0, row_syndrome[r0])
+        elif len(bad_diags) == 1 and not bad_rows:
+            # The diagonal-parity block itself is corrupt.
+            d0 = bad_diags[0]
+            fix = (self._diag_parity, base + d0, diag_syndrome[d0])
+        if fix is None:
+            # Multiple corruptions: detected by redundancy, not locatable.
+            self._detect(self._row_parity, base, "member-mismatch",
+                         mechanism="redundancy")
+            report.corruptions.append((self._row_parity, base))
+            report.unrepairable.append((self._row_parity, base))
+            return
+        col, target, delta = fix
+        report.corruptions.append((col, target))
+        self._detect(col, target, "member-mismatch", mechanism="redundancy")
+        current = columns[col][target - base]
+        if self._member_write(col, target, _xor(current, delta)):
+            report.repaired.append((col, target))
+            self._emit(ArrayRecoveryEvent(
+                Severity.INFO, self._source(), "scrub-repair",
+                f"stripe {unit}: corrupt block healed on member {col}",
+                member=col))
+        else:
+            report.unrepairable.append((col, target))
+
+
+#: Geometry registry for declarative construction (adapters, CLI).
+GEOMETRIES = ("mirror", "parity", "rdp")
+
+
+def make_array(geometry: str, num_blocks: int, block_size: int = 4096,
+               members: int = 2, **timing) -> ArrayDevice:
+    """Build an array by geometry name.
+
+    *members* means the member count for ``mirror`` and ``parity`` and
+    the RDP prime ``p`` for ``rdp`` (which has ``p + 1`` members).
+    """
+    timing_dict = timing or None
+    if geometry == "mirror":
+        return MirrorDevice(num_blocks, block_size, copies=members,
+                            timing=timing_dict)
+    if geometry == "parity":
+        return StripeParityDevice(num_blocks, block_size, members=members,
+                                  timing=timing_dict)
+    if geometry == "rdp":
+        return RDPDevice(num_blocks, block_size, p=members,
+                         timing=timing_dict)
+    raise ValueError(f"unknown array geometry {geometry!r}")

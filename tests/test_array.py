@@ -1,0 +1,389 @@
+"""Redundancy arrays: geometry math, typed events, scrub, rebuild,
+snapshot/restore, and DeviceStack integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import OutOfRangeError, ReadError, WriteError
+from repro.disk import DeviceStack
+from repro.disk.faults import Fault, FaultKind, FaultOp
+from repro.disk.injector import FaultInjector
+from repro.disk.stack import walk_devices
+from repro.obs.events import (
+    ArrayDetectionEvent,
+    ArrayPolicyEvent,
+    ArrayRecoveryEvent,
+    EventLog,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.redundancy import (
+    ArraySnapshot,
+    GEOMETRIES,
+    MirrorDevice,
+    RDPDevice,
+    ScrubSchedule,
+    StripeParityDevice,
+    make_array,
+)
+
+NUM_BLOCKS = 48
+BS = 512
+
+
+def _payload(b: int, salt: int = 0) -> bytes:
+    return bytes([(b * 31 + salt + 7) % 256]) * BS
+
+
+def _fill(array):
+    for b in range(array.num_blocks):
+        array.write_block(b, _payload(b))
+
+
+def _assert_contents(array, salt: int = 0):
+    for b in range(array.num_blocks):
+        assert array.read_block(b) == _payload(b, salt), b
+
+
+DEFAULT_MEMBERS = {"mirror": 2, "parity": 4, "rdp": 5}
+
+
+@pytest.fixture(params=list(GEOMETRIES))
+def any_array(request):
+    array = make_array(request.param, NUM_BLOCKS, BS,
+                       members=DEFAULT_MEMBERS[request.param])
+    array.events = EventLog()
+    return array
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_locate_is_injective(self, geometry):
+        array = make_array(geometry, NUM_BLOCKS, BS,
+                           members=DEFAULT_MEMBERS[geometry])
+        seen = set()
+        for b in range(NUM_BLOCKS):
+            m, mb = array._locate(b)
+            assert 0 <= m < len(array.members)
+            assert 0 <= mb < array.members[m].disk.num_blocks
+            assert (m, mb) not in seen
+            seen.add((m, mb))
+
+    def test_mirror_members_hold_full_copies(self):
+        array = MirrorDevice(NUM_BLOCKS, BS, copies=3)
+        assert len(array.members) == 3
+        for member in array.members:
+            assert member.disk.num_blocks >= NUM_BLOCKS
+
+    def test_parity_rotates_across_members(self):
+        array = StripeParityDevice(NUM_BLOCKS, BS, members=4)
+        parity_members = {array._parity_member(s) for s in range(array.stripes)}
+        assert len(parity_members) > 1  # RAID-5, not RAID-4
+
+    def test_rdp_member_count_is_p_plus_one(self):
+        array = RDPDevice(NUM_BLOCKS, BS, p=5)
+        assert len(array.members) == 6
+
+    def test_rdp_rejects_composite_p(self):
+        with pytest.raises(ValueError):
+            RDPDevice(NUM_BLOCKS, BS, p=6)
+
+    def test_make_array_rejects_unknown_geometry(self):
+        with pytest.raises(ValueError):
+            make_array("raid0", NUM_BLOCKS, BS)
+
+
+class TestIO:
+    def test_roundtrip(self, any_array):
+        _fill(any_array)
+        _assert_contents(any_array)
+
+    def test_out_of_range(self, any_array):
+        with pytest.raises(OutOfRangeError):
+            any_array.read_block(NUM_BLOCKS)
+        with pytest.raises(OutOfRangeError):
+            any_array.write_block(-1, b"\0" * BS)
+
+    def test_wrong_block_size_rejected(self, any_array):
+        with pytest.raises(ValueError):
+            any_array.write_block(0, b"short")
+
+    def test_peek_poke_bypass_faults_but_keep_parity(self, any_array):
+        _fill(any_array)
+        any_array.poke(5, _payload(5, salt=9))
+        assert any_array.peek(5) == _payload(5, salt=9)
+        # Parity/replicas were maintained: the poked value survives the
+        # loss of the member holding it.
+        m, _ = any_array._locate(5)
+        any_array.fail_member(m)
+        assert any_array.read_block(5) == _payload(5, salt=9)
+
+    def test_stats_accumulate(self, any_array):
+        _fill(any_array)
+        _assert_contents(any_array)
+        assert any_array.stats.reads == NUM_BLOCKS
+        assert any_array.stats.writes == NUM_BLOCKS
+        assert any_array.stats.bytes_read == NUM_BLOCKS * BS
+
+
+class TestDegradedPaths:
+    def test_survives_single_member_loss(self, any_array):
+        _fill(any_array)
+        for victim in range(len(any_array.members)):
+            any_array.fail_member(victim)
+            _assert_contents(any_array)
+            any_array.revive_member(victim)
+
+    def test_rdp_survives_any_two_member_losses(self):
+        array = RDPDevice(NUM_BLOCKS, BS, p=5)
+        _fill(array)
+        n = len(array.members)
+        for a in range(n):
+            for b in range(a + 1, n):
+                array.fail_member(a)
+                array.fail_member(b)
+                _assert_contents(array)
+                array.revive_member(a)
+                array.revive_member(b)
+
+    def test_mirror2_double_loss_fails(self):
+        array = MirrorDevice(NUM_BLOCKS, BS, copies=2)
+        _fill(array)
+        array.fail_member(0)
+        array.fail_member(1)
+        with pytest.raises(ReadError):
+            array.read_block(0)
+
+    def test_latent_error_triggers_read_repair(self, any_array):
+        _fill(any_array)
+        m, mb = any_array._locate(7)
+        any_array.members[m].injector.arm(
+            Fault(FaultOp.READ, FaultKind.FAIL, block=mb))
+        assert any_array.read_block(7) == _payload(7)
+        tags = [e.tag for e in any_array.events]
+        assert "member-read-error" in tags
+        assert "degraded-read" in tags
+        assert "read-repair" in tags
+        detections = [e for e in any_array.events
+                      if isinstance(e, ArrayDetectionEvent)]
+        assert detections and detections[0].member == m
+        repairs = [e for e in any_array.events
+                   if isinstance(e, ArrayRecoveryEvent)
+                   and e.tag == "read-repair"]
+        assert repairs and repairs[0].mechanism == "redundancy"
+
+    def test_degraded_write_lands_and_rebuild_heals(self, any_array):
+        _fill(any_array)
+        victim, _ = any_array._locate(3)
+        any_array.fail_member(victim)
+        any_array.write_block(3, _payload(3, salt=1))
+        assert any_array.read_block(3) == _payload(3, salt=1)
+        assert any_array.degraded_writes >= 1
+        any_array.revive_member(victim)
+        any_array.replace_member(victim)
+        rebuilt = any_array.rebuild_member(victim)
+        assert rebuilt > 0
+        assert any_array.rebuilt_blocks == rebuilt
+        tags = [e.tag for e in any_array.events]
+        assert "member-replaced" in tags
+        assert "rebuild" in tags
+        assert "rebuild-loss" not in tags
+        # After rebuild the member serves reads again, fault-free.
+        for other in range(len(any_array.members)):
+            if other != victim:
+                any_array.fail_member(other)
+        assert any_array.read_block(3) == _payload(3, salt=1)
+
+    def test_total_write_failure_raises(self):
+        array = MirrorDevice(NUM_BLOCKS, BS, copies=2)
+        _fill(array)
+        for member in array.members:
+            member.injector.arm(
+                Fault(FaultOp.WRITE, FaultKind.FAIL, block=0))
+        with pytest.raises(WriteError):
+            array.write_block(0, _payload(0, salt=2))
+
+
+class TestScrub:
+    def test_clean_array_scrubs_clean(self, any_array):
+        _fill(any_array)
+        report = any_array.scrub()
+        assert report.problems == 0
+        assert report.units_scanned == any_array.scrub_units
+        assert any_array.scrub_passes == 1
+
+    def test_mirror3_majority_vote_repairs_corruption(self):
+        array = MirrorDevice(NUM_BLOCKS, BS, copies=3)
+        array.events = EventLog()
+        _fill(array)
+        m, mb = array._locate(11)
+        array.members[m].disk.poke(mb, b"\xa5" * BS)
+        report = array.scrub()
+        assert (m, mb) in report.corruptions
+        assert (m, mb) in report.repaired
+        assert not report.unrepairable
+        assert array.members[m].disk.peek(mb) == _payload(11)
+        mismatches = [e for e in array.events if e.tag == "member-mismatch"]
+        assert mismatches and mismatches[0].mechanism == "redundancy"
+
+    def test_mirror2_tie_is_unrepairable(self):
+        array = MirrorDevice(NUM_BLOCKS, BS, copies=2)
+        array.events = EventLog()
+        _fill(array)
+        m, mb = array._locate(11)
+        array.members[m].disk.poke(mb, b"\xa5" * BS)
+        report = array.scrub()
+        assert report.unrepairable
+        assert "scrub-loss" in [e.tag for e in array.events]
+
+    def test_parity_scrub_heals_latent_error(self):
+        array = StripeParityDevice(NUM_BLOCKS, BS, members=4)
+        _fill(array)
+        m, mb = array._locate(11)
+        array.members[m].injector.arm(
+            Fault(FaultOp.READ, FaultKind.FAIL, block=mb))
+        report = array.scrub()
+        assert (m, mb) in report.latent_errors
+        assert (m, mb) in report.repaired
+        assert array.scrub_repairs >= 1
+        _assert_contents(array)
+
+    def test_rdp_syndromes_locate_silent_corruption(self):
+        array = RDPDevice(NUM_BLOCKS, BS, p=5)
+        _fill(array)
+        m, mb = array._locate(11)
+        array.members[m].disk.poke(mb, b"\xa5" * BS)
+        report = array.scrub()
+        assert (m, mb) in report.repaired
+        assert array.members[m].disk.peek(mb) == _payload(11)
+        _assert_contents(array)
+
+    def test_scheduled_scrub_fires_incrementally(self, any_array):
+        _fill(any_array)
+        seen = []
+        any_array.set_scrub_schedule(
+            every_ops=4, units_per_step=2, hook=seen.append)
+        for _ in range(4 * any_array.scrub_units):
+            any_array.read_block(0)
+        assert seen
+        assert any_array.scrub_passes >= 1
+        any_array.set_scrub_schedule(None)
+        before = len(seen)
+        for _ in range(16):
+            any_array.read_block(0)
+        assert len(seen) == before
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_restores_contents_and_sets(self, any_array):
+        _fill(any_array)
+        m, mb = any_array._locate(4)
+        any_array.members[m].injector.arm(
+            Fault(FaultOp.WRITE, FaultKind.FAIL, block=mb))
+        any_array.write_block(4, _payload(4, salt=3))  # leaves a suspect
+        snap = any_array.snapshot()
+        assert isinstance(snap, ArraySnapshot)
+        for b in range(NUM_BLOCKS):
+            any_array.poke(b, _payload(b, salt=5))
+        any_array.restore(snap)
+        assert any_array.read_block(4) == _payload(4, salt=3)
+        assert (m, mb) in any_array._suspect
+        assert any_array.dirty_count == 0
+
+    def test_restore_rejects_foreign_snapshot(self, any_array):
+        other = make_array("mirror", NUM_BLOCKS * 2, BS, members=2)
+        with pytest.raises(ValueError):
+            any_array.restore(other.snapshot())
+
+    def test_snapshot_equality_and_reduce(self, any_array):
+        _fill(any_array)
+        a = any_array.snapshot()
+        b = any_array.snapshot()
+        assert a == b
+        cls, args = a.__reduce__()
+        assert cls(*args) == a
+        any_array.write_block(0, _payload(0, salt=1))
+        assert any_array.snapshot() != a
+
+    def test_base_image_serves_golden_contents(self, any_array):
+        _fill(any_array)
+        any_array.restore(any_array.snapshot())
+        view = any_array.base_image
+        assert view is not None
+        assert view.block(9) == _payload(9)
+        view.meta["k"] = "v"
+        assert any_array.base_image.meta["k"] == "v"
+
+
+class TestStackIntegration:
+    def test_device_stack_builds_on_array(self):
+        stack = DeviceStack.build(NUM_BLOCKS, BS, array="mirror",
+                                  members=2, cache_blocks=8)
+        stack.write_block(1, _payload(1))
+        stack.flush()
+        assert stack.read_block(1) == _payload(1)
+        assert "MirrorDevice" in stack.describe()
+        assert "BlockCache" in stack.describe()
+
+    def test_walk_devices_descends_into_members(self):
+        stack = DeviceStack.build(NUM_BLOCKS, BS, array="rdp", members=5)
+        devices = walk_devices(stack)
+        injectors = [d for d in devices if isinstance(d, FaultInjector)]
+        assert len(injectors) >= 6  # stack injector + one per member
+        assert devices == stack.walk_devices()
+
+    def test_array_events_flow_into_stack_log(self):
+        stack = DeviceStack.build(NUM_BLOCKS, BS, array="mirror", members=2)
+        stack.write_block(2, _payload(2))
+        array = stack.disk
+        m, mb = array._locate(2)
+        array.members[m].injector.arm(
+            Fault(FaultOp.READ, FaultKind.FAIL, block=mb))
+        assert stack.read_block(2) == _payload(2)
+        tags = [e.tag for e in stack.events]
+        assert "degraded-read" in tags
+
+    def test_collect_metrics_exports_member_series(self):
+        array = make_array("parity", NUM_BLOCKS, BS, members=4)
+        _fill(array)
+        array.fail_member(0)
+        _assert_contents(array)
+        registry = MetricsRegistry()
+        array.collect_metrics(registry)
+        snapshot = registry.snapshot()
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "repro_array_member_reads_total" in names
+        assert "repro_array_degraded_reads_total" in names
+        member_rows = [c for c in snapshot["counters"]
+                       if c["name"] == "repro_array_member_reads_total"]
+        assert len(member_rows) == 4
+
+    def test_rebuild_emits_span(self):
+        from repro.obs.trace import enable_tracing
+
+        array = make_array("mirror", NUM_BLOCKS, BS, members=2)
+        array.events = EventLog()
+        enable_tracing(array.events)
+        _fill(array)
+        array.replace_member(0)
+        array.rebuild_member(0)
+        spans = [e for e in array.events
+                 if getattr(e, "name", None) == "rebuild"]
+        assert spans
+
+    def test_degraded_read_span_nests_under_open_parent(self):
+        from repro.obs.trace import SpanStartEvent, enable_tracing
+
+        array = make_array("mirror", NUM_BLOCKS, BS, members=2)
+        array.events = EventLog()
+        tracer = enable_tracing(array.events)
+        _fill(array)
+        m, mb = array._locate(6)
+        array.members[m].injector.arm(
+            Fault(FaultOp.READ, FaultKind.FAIL, block=mb))
+        outer = tracer.start("read-op", "vfs-op")
+        assert array.read_block(6) == _payload(6)
+        tracer.end(outer)
+        starts = [e for e in array.events if isinstance(e, SpanStartEvent)]
+        degraded = [e for e in starts if e.name == "degraded-read"]
+        assert degraded and degraded[0].parent_id == outer

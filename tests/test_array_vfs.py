@@ -1,0 +1,132 @@
+"""Every file system in the study must run unchanged on array-backed
+storage: mount, do real namespace + file I/O, persist across remount,
+and keep working (degraded) through a member fail-stop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.redundancy import make_array
+
+from conftest import (
+    EXT3_CFG,
+    FS_CLASSES,
+    IXT3_BASE,
+    IXT3_CFG,
+    JFS_CFG,
+    NTFS_CFG,
+    REISER_CFG,
+)
+
+ARRAYS = [("mirror", 2), ("rdp", 5)]
+
+
+def _make_array_fs(fs_name, geometry, members):
+    from repro.fs.ext3 import mkfs_ext3
+    from repro.fs.ixt3 import mkfs_ixt3
+    from repro.fs.jfs import mkfs_jfs
+    from repro.fs.ntfs import mkfs_ntfs
+    from repro.fs.reiserfs import mkfs_reiserfs
+
+    if fs_name == "ext3":
+        cfg = EXT3_CFG
+        array = make_array(geometry, cfg.total_blocks, cfg.block_size,
+                           members=members)
+        mkfs_ext3(array, cfg)
+    elif fs_name == "reiserfs":
+        cfg = REISER_CFG
+        array = make_array(geometry, cfg.total_blocks, cfg.block_size,
+                           members=members)
+        mkfs_reiserfs(array, cfg)
+    elif fs_name == "jfs":
+        cfg = JFS_CFG
+        array = make_array(geometry, cfg.total_blocks, cfg.block_size,
+                           members=members)
+        mkfs_jfs(array, cfg)
+    elif fs_name == "ntfs":
+        cfg = NTFS_CFG
+        array = make_array(geometry, cfg.total_blocks, cfg.block_size,
+                           members=members)
+        mkfs_ntfs(array, cfg)
+    else:
+        cfg = IXT3_CFG
+        array = make_array(geometry, cfg.total_blocks, cfg.block_size,
+                           members=members)
+        mkfs_ixt3(array, IXT3_BASE, config=cfg)
+    return array, FS_CLASSES[fs_name](array)
+
+
+@pytest.fixture(params=[
+    f"{fs}:{geometry}{members}"
+    for fs in sorted(FS_CLASSES)
+    for geometry, members in ARRAYS
+])
+def array_fs(request):
+    fs_name, spec = request.param.split(":")
+    geometry = spec.rstrip("0123456789")
+    members = int(spec[len(geometry):])
+    array, fs = _make_array_fs(fs_name, geometry, members)
+    fs.mount()
+    yield fs_name, array, fs
+    if fs.mounted and not fs.read_only:
+        fs.unmount()
+
+
+def _workout(fs):
+    fs.mkdir("/d")
+    fs.mkdir("/d/sub")
+    fs.write_file("/d/sub/deep", b"nested " * 40)
+    fs.write_file("/top", b"hello array")
+    fs.write_file("/top", b"hello array, rewritten")
+    assert fs.read_file("/top") == b"hello array, rewritten"
+    assert fs.read_file("/d/sub/deep") == b"nested " * 40
+    assert "sub" in fs.getdirentries("/d")
+    fs.unlink("/top")
+    assert not fs.exists("/top")
+    fs.write_file("/top2", b"x" * 3000)
+
+
+def test_vfs_workout_on_array(array_fs):
+    _, _, fs = array_fs
+    _workout(fs)
+
+
+def test_persistence_across_remount(array_fs):
+    fs_name, array, fs = array_fs
+    _workout(fs)
+    fs.unmount()
+    fs2 = FS_CLASSES[fs_name](array)
+    fs2.mount()
+    assert fs2.read_file("/d/sub/deep") == b"nested " * 40
+    assert fs2.read_file("/top2") == b"x" * 3000
+    fs2.unmount()
+
+
+def test_degraded_mode_after_member_failstop(array_fs):
+    fs_name, array, fs = array_fs
+    _workout(fs)
+    fs.unmount()
+    array.fail_member(0)
+    fs2 = FS_CLASSES[fs_name](array)
+    fs2.mount()
+    assert fs2.read_file("/d/sub/deep") == b"nested " * 40
+    assert fs2.read_file("/top2") == b"x" * 3000
+    assert array.degraded_reads > 0
+    if fs2.mounted and not fs2.read_only:
+        fs2.unmount()
+
+
+def test_rdp_double_loss_is_transparent_to_fs():
+    fs_name = "ext3"
+    array, fs = _make_array_fs(fs_name, "rdp", 5)
+    fs.mount()
+    _workout(fs)
+    fs.unmount()
+    array.fail_member(1)
+    array.fail_member(3)
+    fs2 = FS_CLASSES[fs_name](array)
+    fs2.mount()
+    assert fs2.read_file("/d/sub/deep") == b"nested " * 40
+    assert fs2.read_file("/top2") == b"x" * 3000
+    if fs2.mounted and not fs2.read_only:
+        fs2.unmount()
