@@ -1,0 +1,66 @@
+"""Fleet-scale Monte Carlo reliability campaign benchmark.
+
+Regenerates the headline data-loss-probability matrix — five
+geometries (the R_zero single-disk baseline, 2- and 3-way mirrors,
+rotating parity, RDP) crossed with four IRON maintenance policies plus
+the analytic cross-check cell — at ``jobs=1`` and ``jobs=4``, asserts
+the campaign outcome digests are byte-identical (the determinism
+witness: trials fan across the persistent pool but fold in enumeration
+order), asserts the mirror2 fail-stop-only cell sits inside the
+closed-form two-failure integral's tolerance, and commits both digests
+to ``BENCH_fleet.json`` where ``repro bench --compare`` hard-fails on
+any disagreement.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import REPO_ROOT, run_once, save_result
+
+from repro.bench.timing import fleet_record, record_entry
+from repro.common.pool import warm_pool
+from repro.fleet.campaign import run_fleet
+from repro.fleet.spec import FleetSpec
+
+FLEET_JSON = REPO_ROOT / "BENCH_fleet.json"
+
+
+def test_fleet_campaign(benchmark):
+    spec = FleetSpec()  # trials=200, mission 10,000 h, the committed matrix
+
+    def run():
+        t0 = time.perf_counter()
+        r1 = run_fleet(spec, jobs=1)
+        wall_j1 = time.perf_counter() - t0
+        warm_pool(4)
+        t0 = time.perf_counter()
+        r4 = run_fleet(spec, jobs=4)
+        wall_j4 = time.perf_counter() - t0
+        return r1, r4, wall_j1, wall_j4
+
+    r1, r4, wall_j1, wall_j4 = run_once(benchmark, run)
+
+    # The determinism witness: same digest at any --jobs width.
+    assert r1.digest == r4.digest
+    assert r1.matrix() == r4.matrix()
+    assert r1.render() == r4.render()
+
+    # The matrix must span the acceptance grid.
+    geometries = {g for g, _p in r1.cells}
+    policies = {p for _g, p in r1.cells}
+    assert len(geometries) >= 5 and len(policies) >= 4
+
+    # The simulation must agree with the closed-form mirror2 integral.
+    assert r1.crosscheck is not None
+    assert r1.crosscheck["within_tolerance"], r1.crosscheck
+
+    record = fleet_record(
+        r1, wall_s=wall_j1 + wall_j4,
+        wall_s_jobs1=round(wall_j1, 6),
+        wall_s_jobs4=round(wall_j4, 6),
+        event_digest_jobs1=r1.digest,
+        event_digest_jobs4=r4.digest,
+    )
+    record_entry("fleet_campaign", record, path=FLEET_JSON)
+    save_result("fleet_campaign", r1.render())

@@ -13,11 +13,11 @@ range and large-file volumes at the bottom.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List
 
 from repro.common.checksum import SHA1_SIZE
+from repro.common.rng import stream as _seeded_stream
 
 
 @dataclass(frozen=True)
@@ -73,7 +73,7 @@ class SpaceOverhead:
 
 def analyze(profile: VolumeProfile, seed: int = 11) -> SpaceOverhead:
     """Compute ixt3's space costs over one synthetic volume."""
-    rng = random.Random(seed)
+    rng = _seeded_stream(seed)
     bs = profile.block_size
     data_blocks = 0
     parity_blocks = 0

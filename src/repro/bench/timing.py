@@ -44,6 +44,7 @@ SCHEMA = "repro-bench-timing/1"
 DEFAULT_FILENAME = "BENCH_fingerprint.json"
 CRASH_FILENAME = "BENCH_crash.json"
 ARRAY_FILENAME = "BENCH_array.json"
+FLEET_FILENAME = "BENCH_fleet.json"
 
 T = TypeVar("T")
 
@@ -204,6 +205,32 @@ def array_record(geometry: str, members: int, wall_s: float,
             "bytes_written": stats.bytes_written,
             "busy_time_s": round(stats.busy_time_s, 6),
         }
+    record.update(extra)
+    return record
+
+
+def fleet_json_path(root: Optional[os.PathLike] = None) -> Path:
+    """Where fleet-campaign records land: ``$REPRO_BENCH_FLEET_JSON``
+    when set, else ``BENCH_fleet.json`` under *root* (default: cwd)."""
+    env = os.environ.get("REPRO_BENCH_FLEET_JSON")
+    if env:
+        return Path(env)
+    return Path(root) / FLEET_FILENAME if root else Path.cwd() / FLEET_FILENAME
+
+
+def fleet_record(report, wall_s: float, **extra: Any) -> Dict[str, Any]:
+    """Build the JSON record for one fleet campaign.
+
+    *report* is a :class:`repro.fleet.campaign.FleetReport`; the record
+    carries the loss matrix, the per-cell detail, the analytic
+    cross-check, and the campaign's outcome digest.  Extra keyword
+    context (``event_digest_jobs1``...) merges in so ``bench --compare``
+    can hard-fail on any intra-entry digest disagreement.
+    """
+    record = report.to_record()
+    record["wall_s"] = round(wall_s, 6)
+    record["jobs"] = report.jobs
+    record["digest"] = report.digest
     record.update(extra)
     return record
 

@@ -17,10 +17,10 @@ measure mechanism cost, not workload noise.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro.common.rng import stream as _seeded_stream
 from repro.vfs.api import FileSystem
 from repro.vfs.fdtable import O_RDONLY, O_RDWR, O_WRONLY
 
@@ -71,7 +71,7 @@ class BenchScale:
 
 
 def ssh_build(fs: FileSystem, scale: BenchScale, seed: int = 1) -> None:
-    rng = random.Random(seed)
+    rng = _seeded_stream(seed)
     # Unpack.
     fs.mkdir("/ssh")
     for d in range(scale.ssh_dirs):
@@ -106,7 +106,7 @@ def ssh_build(fs: FileSystem, scale: BenchScale, seed: int = 1) -> None:
 
 
 def web_server_setup(fs: FileSystem, scale: BenchScale, seed: int = 2) -> None:
-    rng = random.Random(seed)
+    rng = _seeded_stream(seed)
     fs.mkdir("/htdocs")
     for i in range(scale.web_files):
         body = bytes(rng.randrange(256) for _ in range(scale.web_file_size))
@@ -116,7 +116,7 @@ def web_server_setup(fs: FileSystem, scale: BenchScale, seed: int = 2) -> None:
 
 def web_server(fs: FileSystem, scale: BenchScale, seed: int = 3) -> None:
     """The measured phase: static GETs (reads only)."""
-    rng = random.Random(seed)
+    rng = _seeded_stream(seed)
     for _ in range(scale.web_requests):
         i = rng.randrange(scale.web_files)
         path = f"/htdocs/page{i}.html"
@@ -128,7 +128,7 @@ def web_server(fs: FileSystem, scale: BenchScale, seed: int = 3) -> None:
 
 
 def postmark(fs: FileSystem, scale: BenchScale, seed: int = 4) -> None:
-    rng = random.Random(seed)
+    rng = _seeded_stream(seed)
     for d in range(scale.post_dirs):
         fs.mkdir(f"/pm{d}")
     live: Dict[str, int] = {}
@@ -169,7 +169,7 @@ def postmark(fs: FileSystem, scale: BenchScale, seed: int = 4) -> None:
 
 
 def tpcb(fs: FileSystem, scale: BenchScale, seed: int = 5) -> None:
-    rng = random.Random(seed)
+    rng = _seeded_stream(seed)
     bs = fs.statfs().block_size
     fs.write_file("/accounts.db", b"\x00" * (scale.tpcb_accounts_blocks * bs))
     fs.write_file("/history.log", b"")

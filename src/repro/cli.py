@@ -299,6 +299,73 @@ def _cmd_array(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.bench.timing import fleet_json_path, fleet_record, record_entry, timed
+    from repro.fleet.campaign import run_fleet
+    from repro.fleet.spec import FleetSpec
+
+    spec = FleetSpec.load(Path(args.spec)) if args.spec else FleetSpec()
+    changes = {}
+    if args.trials is not None:
+        changes["trials"] = args.trials
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    if args.mission_hours is not None:
+        changes["mission_hours"] = args.mission_hours
+    if args.geometry:
+        known = {g.label: g for g in spec.geometries}
+        unknown = [label for label in args.geometry if label not in known]
+        if unknown:
+            print(f"unknown geometry labels {unknown}; "
+                  f"pick from {sorted(known)}", file=sys.stderr)
+            return 2
+        changes["geometries"] = tuple(known[g] for g in args.geometry)
+    if args.policy:
+        known_p = {p.name: p for p in spec.policies}
+        unknown = [name for name in args.policy if name not in known_p]
+        if unknown:
+            print(f"unknown policy names {unknown}; "
+                  f"pick from {sorted(known_p)}", file=sys.stderr)
+            return 2
+        changes["policies"] = tuple(known_p[p] for p in args.policy)
+    if args.no_crosscheck:
+        changes["crosscheck"] = False
+    if changes:
+        spec = spec.scaled(**changes)
+    if spec.trials < 1:
+        print("--trials must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs > 1:
+        from repro.common.pool import effective_jobs, warm_pool
+
+        if effective_jobs(args.jobs) > 1:
+            warm_pool(args.jobs)
+    report, wall_s = timed(lambda: run_fleet(
+        spec, jobs=args.jobs,
+        progress=(print if args.verbose else None)))
+    print(report.render())
+    if report.crosscheck is not None and not report.crosscheck["within_tolerance"]:
+        print("::error::mirror2 simulated loss probability outside the "
+              "analytic tolerance", file=sys.stderr)
+        return 1
+    if args.metrics_out:
+        snapshot = report.metrics().snapshot()
+        Path(args.metrics_out).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"metrics written to {args.metrics_out}")
+    if not args.no_bench_json:
+        record = fleet_record(
+            report, wall_s,
+            **{f"event_digest_jobs{args.jobs}": report.digest})
+        path = record_entry(f"fleet_{spec.name}_j{args.jobs}", record,
+                            path=fleet_json_path())
+        print(f"timing written to {path} ({wall_s:.2f}s wall, jobs={args.jobs})")
+    return 0
+
+
 def _digest_mismatches(entries) -> List[str]:
     """Entries whose own jobs-width event digests disagree — a
     determinism failure, not a perf regression."""
@@ -513,6 +580,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip writing timing records to BENCH_array.json")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_array)
+
+    p = sub.add_parser("fleet",
+                       help="Monte Carlo fleet reliability campaign "
+                            "(loss-probability matrix)")
+    p.add_argument("--spec", metavar="JSON",
+                   help="FleetSpec JSON file (missing keys take defaults)")
+    p.add_argument("--trials", type=int, metavar="N",
+                   help="trials per (geometry, policy) cell")
+    p.add_argument("--seed", type=int, metavar="S",
+                   help="root seed for the campaign's named streams")
+    p.add_argument("--mission-hours", type=float, metavar="H",
+                   help="virtual mission length per trial")
+    p.add_argument("--geometry", action="append", metavar="LABEL",
+                   help="geometry label, repeatable (default: all in spec)")
+    p.add_argument("--policy", action="append", metavar="NAME",
+                   help="policy name, repeatable (default: all in spec)")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="fan trials across N worker processes (the outcome "
+                        "digest is byte-identical to --jobs 1)")
+    p.add_argument("--no-crosscheck", action="store_true",
+                   help="skip the mirror2 analytic cross-check cell")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="also write the campaign's repro_fleet_* metrics "
+                        "snapshot JSON here")
+    p.add_argument("--no-bench-json", action="store_true",
+                   help="skip writing timing records to BENCH_fleet.json")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("bench", help="compare BENCH timing JSON files")
     p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),

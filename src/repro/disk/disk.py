@@ -203,6 +203,23 @@ class DiskStats:
         self.seeks = 0
         self.busy_time_s = 0.0
 
+    def merge(self, other: "DiskStats") -> "DiskStats":
+        """Fold *other* into this accounting (associative, in place).
+
+        Mirrors ``MetricsRegistry.merge``: every counter sums, so stats
+        from thousands of per-member devices — or per-trial aggregates
+        produced in any order by a process pool — compose into one
+        fleet-wide total.  Returns ``self`` so ``functools.reduce``
+        chains read naturally.
+        """
+        self.reads += other.reads
+        self.writes += other.writes
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.seeks += other.seeks
+        self.busy_time_s += other.busy_time_s
+        return self
+
 
 class SimulatedDisk:
     """An in-memory disk with a seek/rotation/transfer timing model.

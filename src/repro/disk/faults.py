@@ -10,9 +10,10 @@ media scratch would produce).
 from __future__ import annotations
 
 import enum
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
+
+from repro.common import rng
 
 #: Memoized noise blocks, keyed by (seed, length).  NOISE corruption is
 #: a pure function of the fault's seed and the payload length — the
@@ -22,7 +23,8 @@ from typing import Callable, Dict, Optional, Tuple
 #: ``randrange(256)`` exactly (``_randbelow_with_getrandbits``: draw
 #: ``bit_length(256) == 9`` bits, reject values >= 256) without the
 #: per-byte wrapper overhead; equality with the reference stream is
-#: pinned by a unit test.
+#: pinned by a unit test.  Seeding routes through ``repro.common.rng``
+#: (the no-name form is the legacy ``random.Random(seed)`` exactly).
 _NOISE_CACHE: Dict[Tuple[int, int], bytes] = {}
 
 
@@ -30,7 +32,7 @@ def _noise(seed: int, n: int) -> bytes:
     key = (seed, n)
     cached = _NOISE_CACHE.get(key)
     if cached is None:
-        getrandbits = random.Random(seed).getrandbits
+        getrandbits = rng.stream(seed).getrandbits
         out = bytearray(n)
         for i in range(n):
             r = getrandbits(9)

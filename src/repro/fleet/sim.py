@@ -1,0 +1,614 @@
+"""One fleet trial: a device's mission simulated as discrete events.
+
+A trial instantiates one array-backed
+:class:`~repro.disk.stack.DeviceStack` (or a bare single-disk stack for
+the R_zero baseline), advances a virtual **fleet clock** in hours, and
+samples three arrival processes per member disk from named seeded
+streams (:mod:`repro.common.rng`):
+
+* **fail-stop** — the whole member dies (``fail_whole_disk``); a spare
+  is seated after the policy's replacement delay and reconstructed by
+  the *real* ``rebuild_member`` path, so anything else wrong in the
+  array during the window defeats reconstruction exactly the way it
+  would in the array code, not in closed-form math.
+* **latent sector error** — a sticky (or, with the measured soft-error
+  probability, transient) READ fault armed on the member's own
+  ``FaultInjector``; nothing notices until a scrub, a degraded read, a
+  rebuild, or the mission-end verify touches the block.
+* **silent corruption** — seeded noise poked directly into the member
+  disk below the injector: no error code, only D_redundancy (scrub
+  comparison) or the mission-end verify can see it.
+
+Scrubbing is driven by the fleet clock through
+:class:`IntervalScrubScheduler`, which steps the incremental cursor
+PR 6 left dormant (``ArrayDevice.scrub_step``).  Scrub pauses while the
+array is degraded — scanning around a failed or half-rebuilt member
+would misread expected redundancy gaps as damage — and, when the spec
+allows, skips scans while nothing has been armed or corrupted since the
+last clean pass (outcome-identical: scrubbing an untouched array
+repairs nothing).
+
+A trial ends at the first established data loss (``detected-loss``), at
+an R_stop freeze (``stopped``), or at mission end, where a full verify
+read of every logical block against the expected fill pattern catches
+what no mechanism ever flagged (``silent-loss``).  Everything —
+arrivals, placements, noise bytes, tie-breaks — derives from the
+trial's own seed, so a trial's outcome is a pure function of
+``(spec, geometry, policy, trial_index)`` and campaigns can fan trials
+across processes in any order.
+
+Scoring notes (documented, deliberate):
+
+* ``ttdl_hours`` is the fleet clock when loss was *established* by the
+  machinery (a rebuild or scrub that came up short, a failed read, the
+  mission-end verify) — silent corruption is, by definition, only
+  established late.
+* For the ``single`` geometry an unrecovered read error returned to
+  the "application" scores as loss even when the underlying fault was
+  transient: an R_zero stack has no retry and no redundancy, so the
+  error is what the user sees.  Giving the policy ``retries`` makes
+  exactly those trials survive — R_retry measured, not asserted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common import Severity
+from repro.common import rng as rng_mod
+from repro.common.errors import ReadError
+from repro.disk.disk import DiskStats
+from repro.disk.faults import Fault, FaultKind, FaultOp, Persistence
+from repro.disk.stack import DeviceStack
+from repro.obs.events import (
+    ArrayRecoveryEvent,
+    DetectionEvent,
+    EventLog,
+    fold_digest,
+)
+from repro.fleet.spec import FleetSpec, GeometrySpec, PolicySpec
+
+#: Ring capacity of a trial's event log: big enough that a trial's
+#: logical story (detections, recoveries, scrub/rebuild outcomes)
+#: survives whole, bounded so ten thousand trials cannot hold the
+#: campaign's memory hostage.
+TRIAL_LOG_EVENTS = 8192
+
+# Event kinds on the trial's virtual-time heap, in deterministic
+# tie-break order (same-instant events resolve by kind then member).
+_FAILSTOP = 0
+_REPLACE = 1
+_REBUILD = 2
+_LSE = 3
+_CORRUPT = 4
+_TICK = 5
+
+_ARRIVALS = (_FAILSTOP, _LSE, _CORRUPT)
+
+
+class _RetryDevice:
+    """R_retry at the member boundary: re-issue failed reads.
+
+    Wraps a member's injector so *every* consumer of the member —
+    degraded reads, scrub, rebuild reconstruction — gets the policy's
+    retry depth, exactly where a retrying controller would sit.  A
+    successful retry emits a typed ``recovery/retry`` event into the
+    array's logical stream, so R_retry shows up in the same event
+    vocabulary inference already classifies.
+    """
+
+    def __init__(self, inner, retries: int, log: EventLog, member: int):
+        self._inner = inner
+        self._retries = retries
+        self._log = log
+        self._member = member
+        self.retry_recoveries = 0
+
+    def read_block(self, block: int) -> bytes:
+        try:
+            return self._inner.read_block(block)
+        except ReadError:
+            for attempt in range(self._retries):
+                try:
+                    data = self._inner.read_block(block)
+                except ReadError:
+                    continue
+                self.retry_recoveries += 1
+                self._log.emit(ArrayRecoveryEvent(
+                    Severity.INFO, "fleet", "read-retry",
+                    f"member {self._member} block {block} recovered "
+                    f"after {attempt + 1} retries",
+                    block=block, mechanism="retry", member=self._member))
+                return data
+            raise
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class IntervalScrubScheduler:
+    """Interval-based scrubbing driven by the fleet clock.
+
+    PR 6 gave arrays an incremental scrub cursor but only an op-count
+    trigger (``set_scrub_schedule``); fleets scrub on *time*, not I/O.
+    This scheduler owns the due-time bookkeeping: every
+    ``interval_hours`` of fleet time, :meth:`tick` advances the shared
+    cursor by ``units_per_tick`` scrub units (0 = the whole remaining
+    pass), so a pass makes partial progress across ticks and wraps —
+    coverage accounting included.
+    """
+
+    def __init__(self, array, interval_hours: float,
+                 units_per_tick: int = 0):
+        if interval_hours < 0:
+            raise ValueError("scrub interval must be >= 0 (0 disables)")
+        self.array = array
+        self.interval_hours = interval_hours
+        self.units_per_tick = units_per_tick
+        self.next_due: Optional[float] = (
+            interval_hours if interval_hours > 0 else None)
+        self.ticks = 0
+        self.units_scanned = 0
+        self.passes_completed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.next_due is not None
+
+    def due(self, now: float) -> bool:
+        return self.next_due is not None and now >= self.next_due - 1e-9
+
+    def tick(self, now: float):
+        """Run one scrub increment if the clock says it is due.
+
+        Returns the :class:`~repro.redundancy.array.ArrayScrubReport`
+        for the increment, or ``None`` when not yet due (or disabled).
+        """
+        if not self.due(now):
+            return None
+        self.next_due = self.next_due + self.interval_hours
+        remaining = self.array.scrub_units - self.array.scrub_cursor
+        units = self.units_per_tick or max(1, remaining)
+        report = self.array.scrub_step(units)
+        self.ticks += 1
+        self.units_scanned += report.units_scanned
+        if report.units_scanned and self.array.scrub_cursor == 0:
+            self.passes_completed += 1
+        return report
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """The compact, picklable verdict one trial sends back to the pool."""
+
+    geometry: str
+    policy: str
+    trial: int
+    #: "survived" | "detected-loss" | "silent-loss" | "stopped"
+    outcome: str
+    ttdl_hours: Optional[float]
+    end_hours: float
+    device_hours: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    io: DiskStats = field(default_factory=DiskStats)
+    events: int = 0
+    #: SHA-256 over the trial's typed event stream — the per-trial
+    #: determinism witness the campaign folds into its digest.
+    digest: str = ""
+
+    @property
+    def lost(self) -> bool:
+        return self.outcome in ("detected-loss", "silent-loss")
+
+
+def _payload(block: int, trial: int, block_size: int) -> bytes:
+    """The expected fill pattern — what the mission-end verify checks."""
+    return bytes([(block * 37 + trial * 7 + 11) % 256]) * block_size
+
+
+class _Trial:
+    """State machine for one device's mission."""
+
+    def __init__(self, spec: FleetSpec, geometry: GeometrySpec,
+                 policy: PolicySpec, trial: int):
+        self.spec = spec
+        self.geometry = geometry
+        self.policy = policy
+        self.trial = trial
+        self.rates = spec.rates_for(policy)
+        self.seed = rng_mod.derive_seed(
+            spec.seed, "fleet", geometry.label, policy.name, trial)
+        self.counters: Dict[str, int] = {}
+        self.outcome = "survived"
+        self.ttdl: Optional[float] = None
+        self.end: Optional[float] = None
+        self.dirty_since_scrub = False
+
+        self.events = EventLog(max_events=TRIAL_LOG_EVENTS)
+        if geometry.kind == "single":
+            self.stack = DeviceStack.build(
+                spec.num_blocks, spec.block_size,
+                inject=True, events=self.events)
+            self.array = None
+            self.n_members = 1
+            self.single_cursor = 0
+            self.scheduler: Optional[IntervalScrubScheduler] = None
+        else:
+            self.stack = DeviceStack.build(
+                spec.num_blocks, spec.block_size, events=self.events,
+                array=geometry.kind, members=geometry.members)
+            self.array = self.stack.disk
+            self.n_members = len(self.array.members)
+            if policy.retries > 0:
+                for member in self.array.members:
+                    member.device = _RetryDevice(
+                        member.injector, policy.retries,
+                        self.events, member.index)
+            self.scheduler = IntervalScrubScheduler(
+                self.array, policy.scrub_interval_hours,
+                policy.scrub_units_per_tick)
+
+        for block in range(spec.num_blocks):
+            self.stack.write_block(
+                block, _payload(block, trial, spec.block_size))
+        self.stack.flush()
+        self.events.clear()
+
+        # Named child streams: one per (process, member) plus shared
+        # placement / noise / foreground-IO streams.  Derivation is
+        # order-independent, so adding a stream never shifts another.
+        self._streams = {
+            (proc, m): rng_mod.stream(self.seed, proc, m)
+            for proc in ("failstop", "lse", "corrupt")
+            for m in range(self.n_members)
+        }
+        self._placement = rng_mod.stream(self.seed, "placement")
+        self._noise = rng_mod.stream(self.seed, "noise")
+        self._io = rng_mod.stream(self.seed, "io")
+
+        self._heap: List[Tuple[float, int, int, int, int]] = []
+        self._seq = 0
+        self._epochs = [0] * self.n_members
+        #: Sticky latent faults currently armed, by (member, block) —
+        #: so repairs can *heal* them: a drive that rewrites a latent
+        #: sector remaps it (Gray & van Ingen's reallocated sectors),
+        #: so a scrub repair-write or a fresh spare clears the fault.
+        #: Without this, latent errors accumulate for the whole mission
+        #: and tiny simulated arrays saturate on same-stripe collisions.
+        self._armed: Dict[Tuple[int, int], List[Fault]] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def _push(self, t: float, kind: int, member: int = -1) -> None:
+        self._seq += 1
+        epoch = self._epochs[member] if member >= 0 else 0
+        heapq.heappush(self._heap, (t, kind, member, self._seq, epoch))
+
+    def _schedule_arrival(self, now: float, kind: int, member: int) -> None:
+        rate = {
+            _FAILSTOP: self.rates.failstop_per_hour,
+            _LSE: self.rates.lse_per_hour,
+            _CORRUPT: self.rates.corruption_per_hour,
+        }[kind]
+        if rate <= 0:
+            return
+        proc = {_FAILSTOP: "failstop", _LSE: "lse", _CORRUPT: "corrupt"}[kind]
+        gap = self._streams[(proc, member)].expovariate(rate)
+        self._push(now + gap, kind, member)
+
+    def _schedule_member(self, now: float, member: int) -> None:
+        for kind in _ARRIVALS:
+            self._schedule_arrival(now, kind, member)
+
+    def _lose(self, t: float, silent: bool = False) -> None:
+        self.outcome = "silent-loss" if silent else "detected-loss"
+        self.ttdl = round(t, 6)
+        self.end = t
+
+    def _stop(self, t: float) -> None:
+        self.outcome = "stopped"
+        self.end = t
+
+    @property
+    def _done(self) -> bool:
+        return self.end is not None
+
+    def _member_disk(self, member: int):
+        if self.array is None:
+            return self.stack.disk
+        return self.array.members[member].disk
+
+    def _member_injector(self, member: int):
+        return (self.stack.injector if self.array is None
+                else self.array.members[member].injector)
+
+    def _heal(self, member: int, block: int) -> None:
+        """A repair rewrote this member block: the drive remapped the
+        latent sector, so its sticky READ fault disarms."""
+        for fault in self._armed.pop((member, block), ()):
+            injector = self._member_injector(member)
+            if fault in injector.faults:
+                injector.disarm(fault)
+
+    def _detections_since(self) -> bool:
+        """Did the machinery emit a DetectionEvent since last checked?
+        (The R_stop trigger for faults the array *noticed*.)"""
+        return any(isinstance(e, DetectionEvent)
+                   for e in self.events.consume_new())
+
+    def _read_logical(self, block: int) -> bytes:
+        """A foreground/verify read with the policy's R_retry depth
+        applied at the stack boundary (the array's members already
+        retry below via :class:`_RetryDevice`)."""
+        try:
+            return self.stack.read_block(block)
+        except ReadError:
+            if self.array is None:
+                for _ in range(self.policy.retries):
+                    try:
+                        data = self.stack.read_block(block)
+                    except ReadError:
+                        continue
+                    self._count("retry_recoveries")
+                    return data
+            raise
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _on_failstop(self, t: float, member: int) -> None:
+        self._count("failstops")
+        if self.policy.stop_on_fault:
+            # Whole-disk failure is detected at once (the device's
+            # error code / heartbeat): R_stop freezes here.
+            self._stop(t)
+            return
+        if self.array is None:
+            # R_zero: no spare pool, no redundancy — the data is gone.
+            self._lose(t)
+            return
+        self.array.fail_member(member)
+        # The dead member's pending arrivals are void.
+        self._epochs[member] += 1
+        self._push(t + self.policy.replace_delay_hours, _REPLACE, member)
+
+    def _on_replace(self, t: float, member: int) -> None:
+        self.array.replace_member(member)
+        # The spare is new hardware: the dead disk's media faults do
+        # not carry over to it.
+        self.array.members[member].injector.clear_faults()
+        self._armed = {key: faults for key, faults in self._armed.items()
+                       if key[0] != member}
+        self.events.consume_new()
+        self._count("rebuild_windows")
+        blocks = self._member_disk(member).num_blocks
+        self._push(t + self.policy.rebuild_hours(blocks), _REBUILD, member)
+
+    def _on_rebuild(self, t: float, member: int) -> None:
+        rebuilt = self.array.rebuild_member(member)
+        self._count("rebuilt_blocks", rebuilt)
+        self._count("rebuilds")
+        fresh = self.events.consume_new()
+        if any(getattr(e, "tag", "") == "rebuild-loss" for e in fresh):
+            # Reconstruction came up short: compound failure inside the
+            # window (the §3.3 scenario) — loss, established here.
+            self._lose(t)
+            return
+        # Member healthy again: its arrival processes resume.
+        self._schedule_member(t, member)
+
+    def _on_lse(self, t: float, member: int) -> None:
+        self._count("lse")
+        stream = self._streams[("lse", member)]
+        transient = stream.random() < self.rates.transient_fraction
+        if transient:
+            self._count("lse_transient")
+        disk = self._member_disk(member)
+        block = self._placement.randrange(disk.num_blocks)
+        fault = self._member_injector(member).arm(Fault(
+            FaultOp.READ, FaultKind.FAIL, block=block,
+            persistence=(Persistence.TRANSIENT if transient
+                         else Persistence.STICKY),
+            transient_count=1))
+        if not transient:
+            self._armed.setdefault((member, block), []).append(fault)
+        self.dirty_since_scrub = True
+        self._schedule_arrival(t, _LSE, member)
+
+    def _on_corrupt(self, t: float, member: int) -> None:
+        self._count("corruptions")
+        disk = self._member_disk(member)
+        block = self._placement.randrange(disk.num_blocks)
+        noise = bytes(self._noise.randrange(256)
+                      for _ in range(self.spec.block_size))
+        # Below the injector, no error code: the definition of silent.
+        disk.poke(block, noise)
+        self.dirty_since_scrub = True
+        self._schedule_arrival(t, _CORRUPT, member)
+
+    def _on_tick(self, t: float) -> None:
+        nxt = t + self.policy.scrub_interval_hours
+        if nxt <= self.spec.mission_hours + 1e-9:
+            self._push(nxt, _TICK)
+        self._foreground_io(t)
+        if self._done:
+            return
+        self._scrub_tick(t)
+
+    def _foreground_io(self, t: float) -> None:
+        for _ in range(self.policy.io_reads_per_tick):
+            block = self._io.randrange(self.spec.num_blocks)
+            try:
+                self._read_logical(block)
+            except ReadError:
+                # Every recovery level below already had its chance
+                # (member retries, reconstruction): the error reaching
+                # the application is loss — or the R_stop trigger.
+                self._count("foreground_errors")
+                if self.policy.stop_on_fault:
+                    self._stop(t)
+                else:
+                    self._lose(t)
+                return
+            self._count("foreground_reads")
+        if self.policy.stop_on_fault and self._detections_since():
+            self._stop(t)
+
+    def _scrub_tick(self, t: float) -> None:
+        if self.policy.scrub_interval_hours <= 0:
+            return
+        if self.array is not None:
+            if self.array.degraded:
+                # Scrub pauses while failed/stale members would make
+                # expected redundancy gaps look like damage (rebuild
+                # has priority on a real array, too).
+                self._count("scrubs_deferred")
+                return
+            if self.spec.skip_clean_scrubs and not self.dirty_since_scrub:
+                self._count("scrubs_skipped")
+                return
+            report = self.scheduler.tick(t)
+            if report is None:  # pragma: no cover - scheduler disabled
+                return
+            self._count("scrub_ticks")
+            self._count("scrub_units", report.units_scanned)
+            self._count("scrub_repairs", len(report.repaired))
+            for member, block in report.repaired:
+                self._heal(member, block)
+            if report.unrepairable:
+                if self.policy.stop_on_fault:
+                    self._stop(t)
+                else:
+                    self._lose(t)
+                return
+            if self.policy.stop_on_fault and (
+                    report.latent_errors or report.corruptions):
+                self._stop(t)
+                return
+            self.events.consume_new()
+            if self.array.scrub_cursor == 0 and report.units_scanned:
+                self._count("scrub_passes")
+                self.dirty_since_scrub = False
+        else:
+            self._single_scrub(t)
+
+    def _single_scrub(self, t: float) -> None:
+        """Media scan for the R_zero baseline: sequential reads with the
+        policy's retry depth; an unreadable block has no second copy."""
+        if self.spec.skip_clean_scrubs and not self.dirty_since_scrub:
+            self._count("scrubs_skipped")
+            return
+        total = self.spec.num_blocks
+        units = self.policy.scrub_units_per_tick or total - self.single_cursor
+        end = min(self.single_cursor + units, total)
+        self._count("scrub_ticks")
+        for block in range(self.single_cursor, end):
+            self._count("scrub_units")
+            try:
+                self._read_logical(block)
+            except ReadError:
+                self._count("scrub_errors")
+                if self.policy.stop_on_fault:
+                    self._stop(t)
+                else:
+                    self._lose(t)
+                return
+        if end >= total:
+            self.single_cursor = 0
+            self._count("scrub_passes")
+            self.dirty_since_scrub = False
+        else:
+            self.single_cursor = end
+
+    def _verify(self, t: float) -> None:
+        """Mission-end audit: every logical block against the expected
+        fill.  Detected loss if a read errors through all recovery
+        levels; *silent* loss if wrong bytes come back without one."""
+        for block in range(self.spec.num_blocks):
+            expected = _payload(block, self.trial, self.spec.block_size)
+            try:
+                data = self._read_logical(block)
+            except ReadError:
+                self._lose(t)
+                return
+            if bytes(data) != expected:
+                self._lose(t, silent=True)
+                return
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> TrialOutcome:
+        mission = self.spec.mission_hours
+        for member in range(self.n_members):
+            self._schedule_member(0.0, member)
+        if self.policy.scrub_interval_hours > 0:
+            self._push(self.policy.scrub_interval_hours, _TICK)
+
+        handlers = {
+            _FAILSTOP: self._on_failstop,
+            _REPLACE: self._on_replace,
+            _REBUILD: self._on_rebuild,
+            _LSE: self._on_lse,
+            _CORRUPT: self._on_corrupt,
+        }
+        while self._heap and not self._done:
+            t, kind, member, _seq, epoch = heapq.heappop(self._heap)
+            if t > mission:
+                break
+            if kind in _ARRIVALS and member >= 0 \
+                    and epoch != self._epochs[member]:
+                continue  # arrival for a member that since fail-stopped
+            if kind == _TICK:
+                self._on_tick(t)
+            else:
+                handlers[kind](t, member)
+
+        if not self._done:
+            self._verify(mission)
+        end = self.end if self.end is not None else mission
+
+        if self.array is not None:
+            io = self.array.merged_member_stats()
+            self._count("degraded_reads", self.array.degraded_reads)
+            self._count("read_repairs", self.array.read_repairs)
+            self._count("retry_recoveries", sum(
+                getattr(m.device, "retry_recoveries", 0)
+                for m in self.array.members))
+        else:
+            io = DiskStats().merge(self.stack.stats)
+
+        label = f"fleet:{self.geometry.label}:{self.policy.name}:{self.trial}"
+        hasher = hashlib.sha256()
+        fold_digest(hasher, label, list(self.events))
+        return TrialOutcome(
+            geometry=self.geometry.label,
+            policy=self.policy.name,
+            trial=self.trial,
+            outcome=self.outcome,
+            ttdl_hours=self.ttdl,
+            end_hours=round(end, 6),
+            device_hours=round(self.n_members * end, 6),
+            counters=dict(sorted(self.counters.items())),
+            io=io,
+            events=len(self.events),
+            digest=hasher.hexdigest(),
+        )
+
+
+def run_trial(spec: FleetSpec, geometry: GeometrySpec, policy: PolicySpec,
+              trial: int) -> TrialOutcome:
+    """Simulate one device's mission; pure in ``(spec, cell, trial)``."""
+    return _Trial(spec, geometry, policy, trial).run()
+
+
+__all__ = [
+    "IntervalScrubScheduler",
+    "TRIAL_LOG_EVENTS",
+    "TrialOutcome",
+    "run_trial",
+]

@@ -225,6 +225,33 @@ class ArrayPolicyEvent(PolicyActionEvent):
     member: Optional[int] = None
 
 
+# -- fleet events --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetTrialEvent(StorageEvent):
+    """One Monte Carlo trial's verdict from the fleet simulator.
+
+    A campaign emits exactly one of these per (geometry, policy, trial)
+    in enumeration order; the fold over their keys is the campaign's
+    determinism digest, byte-identical at any ``--jobs`` width.
+    ``outcome`` is one of ``"survived"``, ``"detected-loss"``,
+    ``"silent-loss"`` (a mission-end verify read returned wrong bytes
+    no mechanism ever flagged), or ``"stopped"`` (an R_stop policy
+    froze the array at first trouble).  ``ttdl_hours`` is the fleet
+    clock at data loss (None when the trial survived or stopped).
+    """
+
+    kind: ClassVar[str] = "fleet-trial"
+
+    geometry: str = ""
+    policy: str = ""
+    trial: int = 0
+    outcome: str = "survived"
+    ttdl_hours: Optional[float] = None
+    device_hours: float = 0.0
+
+
 # -- tag classification -------------------------------------------------------
 #
 # The central mapping from the historical free-text syslog tags to typed

@@ -309,7 +309,25 @@ _HELP = {
     "repro_device_busy_seconds_total": "Virtual seconds the device was busy",
     "repro_recorded_writes_total": "Write images captured by the crash recorder",
     "repro_faults_currently_armed": "Faults currently armed in the injector",
+    "repro_fleet_trials_total": "Monte Carlo trials simulated, by cell and outcome",
+    "repro_fleet_device_hours_total": "Device-hours of fleet time simulated",
+    "repro_fleet_failstops_total": "Whole-disk fail-stop arrivals injected",
+    "repro_fleet_lse_total": "Latent-sector-error arrivals armed on members",
+    "repro_fleet_corruptions_total": "Silent-corruption arrivals poked into members",
+    "repro_fleet_rebuild_windows_total": "Replacement+rebuild vulnerability windows opened",
+    "repro_fleet_scrub_units_total": "Scrub units scanned by the interval scheduler",
+    "repro_fleet_scrub_repairs_total": "Member blocks repaired by fleet scrub passes",
+    "repro_fleet_retry_recoveries_total": "Member reads recovered by policy retries (R_retry)",
+    "repro_fleet_member_reads_total": "Raw member reads issued across the fleet",
+    "repro_fleet_member_writes_total": "Raw member writes issued across the fleet",
+    "repro_fleet_loss_probability": "Fraction of a cell's trials that lost data",
+    "repro_fleet_ttdl_hours": "Time to data loss in fleet hours, per cell",
 }
+
+#: Bucket bounds (fleet hours) for time-to-data-loss histograms —
+#: mission timescales, not the I/O-latency defaults.
+TTDL_BUCKETS = (10.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+                5000.0, 10000.0, 25000.0, 50000.0, 100000.0)
 
 
 def _fmt_value(value: float) -> str:

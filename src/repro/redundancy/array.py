@@ -512,6 +512,22 @@ class ArrayDevice:
     def member_stats(self) -> List[DiskStats]:
         return [member.disk.stats for member in self.members]
 
+    def merged_member_stats(self) -> DiskStats:
+        """All members' raw traffic folded into one :class:`DiskStats`
+        via the associative ``merge`` — the unit fleet campaigns sum
+        across thousands of arrays."""
+        total = DiskStats()
+        for stats in self.member_stats():
+            total.merge(stats)
+        return total
+
+    @property
+    def degraded(self) -> bool:
+        """True while any member is failed or holds stale (pre-rebuild)
+        content — the window in which scrubbing would misread expected
+        redundancy gaps as damage."""
+        return bool(self._stale) or any(m.disk.failed for m in self.members)
+
     # -- scrub ----------------------------------------------------------------
 
     @property
@@ -564,16 +580,37 @@ class ArrayDevice:
             raise ValueError("scrub schedule parameters must be >= 1")
         self._schedule = ScrubSchedule(every_ops, units_per_step, hook)
 
+    @property
+    def scrub_cursor(self) -> int:
+        """Next scrub unit the incremental scan will visit (0 after a
+        completed pass)."""
+        return self._scrub_cursor
+
+    def scrub_step(self, units: int) -> ArrayScrubReport:
+        """Advance the incremental scrub cursor by up to *units* units.
+
+        This is the single stepping primitive behind both schedulers:
+        the op-count ``set_scrub_schedule`` hook and the fleet clock's
+        interval scheduler (:class:`repro.fleet.sim.IntervalScrubScheduler`).
+        The cursor wraps to 0 when a pass completes, so repeated calls
+        scan the array round-robin; ``report.units_scanned`` tells the
+        caller how far this step actually got.
+        """
+        if units < 1:
+            raise ValueError("scrub step must advance at least one unit")
+        start = self._scrub_cursor
+        end = min(start + units, self.scrub_units)
+        report = self.scrub(start, end)
+        self._scrub_cursor = 0 if end >= self.scrub_units else end
+        return report
+
     def _tick(self) -> None:
         self._op_count += 1
         schedule = self._schedule
         if (schedule is None or self._in_scrub
                 or self._op_count % schedule.every_ops):
             return
-        start = self._scrub_cursor
-        end = min(start + schedule.units_per_step, self.scrub_units)
-        report = self.scrub(start, end)
-        self._scrub_cursor = 0 if end >= self.scrub_units else end
+        report = self.scrub_step(schedule.units_per_step)
         if schedule.hook is not None:
             schedule.hook(report)
 

@@ -1,0 +1,106 @@
+"""Property-based checks for the fleet simulator.
+
+The headline property is satellite 3: under a pure fail-stop process
+the simulated mirror2 loss frequency must converge on the closed-form
+two-failure integral for *any* (seed, rate) the strategy draws — the
+simulation and the analytic model are two derivations of the same
+quantity, so a drift between them is a bug in one of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.analytic import (
+    binomial_tolerance,
+    crosscheck_summary,
+    mirror2_loss_probability,
+)
+from repro.fleet.rates import FaultRates, ZERO_RATES
+from repro.fleet.sim import run_trial
+from repro.fleet.spec import FleetSpec, GeometrySpec, PolicySpec
+
+MIRROR2 = GeometrySpec("mirror2", "mirror", 2)
+
+#: Fail-stop-only policy with a fixed repair window (no scrub, no
+#: foreground reads: nothing but the two-failure process runs).
+def _failstop_policy(rate: float) -> PolicySpec:
+    return PolicySpec(
+        "failstop-only", scrub_interval_hours=0.0, io_reads_per_tick=0,
+        rates_override=FaultRates(rate, 0.0, 0.0, 0.0))
+
+
+class TestAnalyticModel:
+    @given(lam=st.floats(1e-7, 1e-2), repair=st.floats(0.0, 500.0),
+           mission=st.floats(0.0, 1e6))
+    def test_probability_bounds(self, lam, repair, mission):
+        p = mirror2_loss_probability(lam, repair, mission)
+        assert 0.0 <= p <= 1.0
+
+    @given(lam=st.floats(1e-6, 1e-3), repair=st.floats(1.0, 100.0),
+           mission=st.floats(100.0, 1e5))
+    def test_monotone_in_every_axis(self, lam, repair, mission):
+        p = mirror2_loss_probability(lam, repair, mission)
+        assert mirror2_loss_probability(2 * lam, repair, mission) >= p
+        assert mirror2_loss_probability(lam, 2 * repair, mission) >= p
+        assert mirror2_loss_probability(lam, repair, 2 * mission) >= p
+
+    @given(lam=st.floats(0.0, 1e-3), mission=st.floats(0.0, 1e5))
+    def test_instant_repair_never_loses(self, lam, mission):
+        assert mirror2_loss_probability(lam, 0.0, mission) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mirror2_loss_probability(-1e-4, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            binomial_tolerance(0.1, 0)
+
+    @given(p=st.floats(0.0, 1.0), trials=st.integers(1, 10_000))
+    def test_tolerance_positive_and_shrinks(self, p, trials):
+        tol = binomial_tolerance(p, trials)
+        assert tol > 0.0
+        assert binomial_tolerance(p, 4 * trials) <= tol
+
+
+class TestSimulationMatchesAnalytic:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           rate=st.sampled_from([3e-4, 5.2e-4, 8e-4]))
+    def test_mirror2_loss_converges_to_closed_form(self, seed, rate):
+        """Satellite 3: simulated mirror2 loss frequency sits inside
+        the binomial tolerance band around the closed form, for any
+        root seed and several operating points."""
+        policy = _failstop_policy(rate)
+        spec = FleetSpec(trials=1, num_blocks=16, block_size=512,
+                         mission_hours=10_000.0, seed=seed)
+        trials = 60
+        losses = sum(
+            run_trial(spec, MIRROR2, policy, trial=t).lost
+            for t in range(trials))
+        repair = policy.replace_delay_hours + policy.rebuild_hours(
+            spec.num_blocks)
+        summary = crosscheck_summary(
+            losses, trials, rate, repair, spec.mission_hours)
+        assert summary["within_tolerance"], summary
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           members=st.integers(2, 3))
+    def test_zero_rates_survive_any_seed(self, seed, members):
+        spec = FleetSpec(trials=1, num_blocks=16, block_size=512,
+                         mission_hours=3000.0, seed=seed, rates=ZERO_RATES)
+        geometry = GeometrySpec(f"mirror{members}", "mirror", members)
+        out = run_trial(spec, geometry, PolicySpec("baseline"), trial=0)
+        assert out.outcome == "survived"
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), trial=st.integers(0, 1000))
+    def test_trial_purity_any_seed(self, seed, trial):
+        """A trial is a pure function of (spec, cell, trial) — the
+        keystone the --jobs determinism guarantee stands on."""
+        spec = FleetSpec(trials=1, num_blocks=16, block_size=512,
+                         mission_hours=1000.0, seed=seed)
+        a = run_trial(spec, MIRROR2, PolicySpec("baseline"), trial=trial)
+        b = run_trial(spec, MIRROR2, PolicySpec("baseline"), trial=trial)
+        assert a == b
