@@ -10,6 +10,11 @@ order), asserts the mirror2 fail-stop-only cell sits inside the
 closed-form two-failure integral's tolerance, and commits both digests
 to ``BENCH_fleet.json`` where ``repro bench --compare`` hard-fails on
 any disagreement.
+
+The flight recorder rides the same bar: the incident digest (a fold
+over every classified loss post-mortem) must match across jobs widths,
+every lost/stopped trial must map to exactly one incident, and every
+incident cause ref must resolve against the retained event streams.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.bench.timing import fleet_record, record_entry
 from repro.common.pool import warm_pool
 from repro.fleet.campaign import run_fleet
 from repro.fleet.spec import FleetSpec
+from repro.obs.trace import resolve_ref
 
 FLEET_JSON = REPO_ROOT / "BENCH_fleet.json"
 
@@ -46,10 +52,30 @@ def test_fleet_campaign(benchmark):
     assert r1.matrix() == r4.matrix()
     assert r1.render() == r4.render()
 
+    # ... and the flight recorder's: the incident digest folds every
+    # classified post-mortem in enumeration order.
+    assert r1.incident_digest == r4.incident_digest
+
     # The matrix must span the acceptance grid.
     geometries = {g for g, _p in r1.cells}
     policies = {p for _g, p in r1.cells}
     assert len(geometries) >= 5 and len(policies) >= 4
+
+    # Every lost/stopped trial maps to exactly one classified incident,
+    # and every incident cause ref resolves against the retained
+    # streams (the provenance acceptance bar).
+    terminal = sum(
+        cell.outcomes["detected-loss"] + cell.outcomes["silent-loss"]
+        + cell.outcomes["stopped"] for cell in r1.cells.values())
+    assert terminal == len(r1.incidents)
+    seen = set()
+    for incident in r1.incidents:
+        key = (incident.geometry, incident.policy, incident.trial)
+        assert key not in seen
+        seen.add(key)
+        for cause in incident.causes:
+            event = resolve_ref(cause.ref, r1.streams)
+            assert event.tag == cause.tag
 
     # The simulation must agree with the closed-form mirror2 integral.
     assert r1.crosscheck is not None
@@ -61,6 +87,8 @@ def test_fleet_campaign(benchmark):
         wall_s_jobs4=round(wall_j4, 6),
         event_digest_jobs1=r1.digest,
         event_digest_jobs4=r4.digest,
+        incident_digest_jobs1=r1.incident_digest,
+        incident_digest_jobs4=r4.incident_digest,
     )
     record_entry("fleet_campaign", record, path=FLEET_JSON)
     save_result("fleet_campaign", r1.render())

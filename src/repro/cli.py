@@ -23,6 +23,18 @@ Commands
     arrays (mirror / rotating parity / RDP) — same IRON D_*/R_*
     classification machinery, one layer down.
 
+``fleet``
+    Run the Monte Carlo reliability campaign (geometry × policy loss
+    matrix) and exit with a one-line incident summary per cell.
+
+``report``
+    Aggregate a campaign into a schema-validated
+    ``campaign_report.json`` — classified incidents with provenance
+    refs plus flight-recorder time series; ``--trace-trial
+    GEOMETRY/POLICY:N`` re-runs one pure trial through the tracer and
+    exports a Perfetto timeline, ``--profile`` adds the wall-time
+    self-time attribution table.
+
 ``table6``
     Run the Table-6 overhead sweep (all 32 ixt3 variants by default)
     and print measured-vs-paper normalized run times.
@@ -299,9 +311,10 @@ def _cmd_array(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.bench.timing import fleet_json_path, fleet_record, record_entry, timed
-    from repro.fleet.campaign import run_fleet
+def _fleet_spec_from_args(args: argparse.Namespace):
+    """Build the FleetSpec shared by ``fleet`` and ``report`` from the
+    common flag set; returns None (with a message on stderr) on bad
+    input."""
     from repro.fleet.spec import FleetSpec
 
     spec = FleetSpec.load(Path(args.spec)) if args.spec else FleetSpec()
@@ -318,7 +331,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown geometry labels {unknown}; "
                   f"pick from {sorted(known)}", file=sys.stderr)
-            return 2
+            return None
         changes["geometries"] = tuple(known[g] for g in args.geometry)
     if args.policy:
         known_p = {p.name: p for p in spec.policies}
@@ -326,7 +339,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown policy names {unknown}; "
                   f"pick from {sorted(known_p)}", file=sys.stderr)
-            return 2
+            return None
         changes["policies"] = tuple(known_p[p] for p in args.policy)
     if args.no_crosscheck:
         changes["crosscheck"] = False
@@ -334,9 +347,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         spec = spec.scaled(**changes)
     if spec.trials < 1:
         print("--trials must be >= 1", file=sys.stderr)
-        return 2
+        return None
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
+        return None
+    return spec
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.bench.timing import fleet_json_path, fleet_record, record_entry, timed
+    from repro.fleet.campaign import run_fleet
+
+    spec = _fleet_spec_from_args(args)
+    if spec is None:
         return 2
     if args.jobs > 1:
         from repro.common.pool import effective_jobs, warm_pool
@@ -347,6 +370,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         spec, jobs=args.jobs,
         progress=(print if args.verbose else None)))
     print(report.render())
+    summary = report.incident_summary()
+    if summary:
+        print()
+        print("incidents (top loss mode per cell):")
+        for line in summary:
+            print(f"  {line}")
     if report.crosscheck is not None and not report.crosscheck["within_tolerance"]:
         print("::error::mirror2 simulated loss probability outside the "
               "analytic tolerance", file=sys.stderr)
@@ -359,24 +388,116 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if not args.no_bench_json:
         record = fleet_record(
             report, wall_s,
-            **{f"event_digest_jobs{args.jobs}": report.digest})
+            **{f"event_digest_jobs{args.jobs}": report.digest,
+               f"incident_digest_jobs{args.jobs}": report.incident_digest})
         path = record_entry(f"fleet_{spec.name}_j{args.jobs}", record,
                             path=fleet_json_path())
         print(f"timing written to {path} ({wall_s:.2f}s wall, jobs={args.jobs})")
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.fleet.campaign import run_fleet
+    from repro.obs.metrics import schema_root, validate_json
+
+    spec = _fleet_spec_from_args(args)
+    if spec is None:
+        return 2
+
+    if args.trace_trial:
+        return _report_trace_trial(args, spec)
+
+    if args.jobs > 1:
+        from repro.common.pool import effective_jobs, warm_pool
+
+        if effective_jobs(args.jobs) > 1:
+            warm_pool(args.jobs)
+    report = run_fleet(spec, jobs=args.jobs,
+                       progress=(print if args.verbose else None),
+                       profile=args.profile)
+    body = report.campaign_report()
+    errors = validate_json(
+        body, schema_root() / "campaign_report.schema.json")
+    if errors:
+        for error in errors[:20]:
+            print(f"::error::campaign report schema: {error}",
+                  file=sys.stderr)
+        return 1
+    out = Path(args.out)
+    out.write_text(json.dumps(body, indent=2, sort_keys=True) + "\n")
+    print(report.render())
+    print()
+    print(f"{len(report.incidents)} incidents across "
+          f"{len(report.cells)} cells:")
+    for line in report.incident_summary():
+        print(f"  {line}")
+    if report.profile is not None:
+        from repro.obs.trace import render_profile
+
+        print()
+        print(render_profile(report.profile))
+    print()
+    print(f"campaign report written to {out} (schema-valid)")
+    return 0
+
+
+def _report_trace_trial(args: argparse.Namespace, spec) -> int:
+    """Re-run one pure trial with span tracing and export its Perfetto
+    timeline (plus the raw flight-recorder samples)."""
+    from repro.fleet.sim import run_trial
+    from repro.obs.trace import write_chrome_trace
+
+    cell_text, _, trial_text = args.trace_trial.rpartition(":")
+    geometry_label, _, policy_name = cell_text.partition("/")
+    try:
+        trial = int(trial_text)
+    except ValueError:
+        trial = -1
+    geometries = {g.label: g for g in spec.geometries}
+    policies = {p.name: p for p in spec.policies}
+    if (trial < 0 or geometry_label not in geometries
+            or policy_name not in policies):
+        print(f"--trace-trial wants GEOMETRY/POLICY:N "
+              f"(geometries {sorted(geometries)}, "
+              f"policies {sorted(policies)}), got {args.trace_trial!r}",
+              file=sys.stderr)
+        return 2
+    outcome = run_trial(spec, geometries[geometry_label],
+                        policies[policy_name], trial, trace=True)
+    trace_out = args.trace_out or \
+        f"trace_fleet_{geometry_label}_{policy_name}_{trial}.json"
+    write_chrome_trace(outcome.stream, trace_out)
+    flight_out = Path(trace_out).with_suffix(".flight.json")
+    flight_out.write_text(
+        json.dumps(outcome.flight, indent=2, sort_keys=True) + "\n")
+    print(f"trial {geometry_label}/{policy_name}#{trial}: "
+          f"{outcome.outcome}"
+          + (f" at {outcome.ttdl_hours}h via {outcome.site}"
+             if outcome.site else "")
+          + f", {outcome.events} events")
+    print(f"chrome trace written to {trace_out} (load in ui.perfetto.dev)")
+    print(f"flight-recorder samples written to {flight_out}")
+    return 0
+
+
+#: Digest families compared within one BENCH entry: all keys sharing a
+#: prefix must agree across jobs widths.
+_DIGEST_FAMILIES = ("event_digest", "incident_digest")
+
+
 def _digest_mismatches(entries) -> List[str]:
-    """Entries whose own jobs-width event digests disagree — a
-    determinism failure, not a perf regression."""
+    """Entries whose own jobs-width digests disagree within a family —
+    a determinism failure, not a perf regression."""
     bad = []
     for name, record in sorted(entries.items()):
         if not isinstance(record, dict):
             continue
-        digests = {value for key, value in record.items()
-                   if key.startswith("event_digest") and value}
-        if len(digests) > 1:
-            bad.append(name)
+        for family in _DIGEST_FAMILIES:
+            digests = {value for key, value in record.items()
+                       if key.startswith(family) and value}
+            if len(digests) > 1:
+                bad.append(name)
+                break
     return bad
 
 
@@ -430,7 +551,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                     (new_path, new_entries))
               for name in _digest_mismatches(entries)]
     for item in broken:
-        print(f"::error::{item} event digests disagree across jobs widths")
+        print(f"::error::{item} digests disagree across jobs widths")
     if broken:
         return 1
     if regressions and args.strict:
@@ -581,33 +702,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_array)
 
+    def add_fleet_spec_flags(p):
+        p.add_argument("--spec", metavar="JSON",
+                       help="FleetSpec JSON file (missing keys take defaults)")
+        p.add_argument("--trials", type=int, metavar="N",
+                       help="trials per (geometry, policy) cell")
+        p.add_argument("--seed", type=int, metavar="S",
+                       help="root seed for the campaign's named streams")
+        p.add_argument("--mission-hours", type=float, metavar="H",
+                       help="virtual mission length per trial")
+        p.add_argument("--geometry", action="append", metavar="LABEL",
+                       help="geometry label, repeatable (default: all in spec)")
+        p.add_argument("--policy", action="append", metavar="NAME",
+                       help="policy name, repeatable (default: all in spec)")
+        p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                       help="fan trials across N worker processes (digests "
+                            "are byte-identical to --jobs 1)")
+        p.add_argument("--no-crosscheck", action="store_true",
+                       help="skip the mirror2 analytic cross-check cell")
+        p.add_argument("-v", "--verbose", action="store_true")
+
     p = sub.add_parser("fleet",
                        help="Monte Carlo fleet reliability campaign "
                             "(loss-probability matrix)")
-    p.add_argument("--spec", metavar="JSON",
-                   help="FleetSpec JSON file (missing keys take defaults)")
-    p.add_argument("--trials", type=int, metavar="N",
-                   help="trials per (geometry, policy) cell")
-    p.add_argument("--seed", type=int, metavar="S",
-                   help="root seed for the campaign's named streams")
-    p.add_argument("--mission-hours", type=float, metavar="H",
-                   help="virtual mission length per trial")
-    p.add_argument("--geometry", action="append", metavar="LABEL",
-                   help="geometry label, repeatable (default: all in spec)")
-    p.add_argument("--policy", action="append", metavar="NAME",
-                   help="policy name, repeatable (default: all in spec)")
-    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
-                   help="fan trials across N worker processes (the outcome "
-                        "digest is byte-identical to --jobs 1)")
-    p.add_argument("--no-crosscheck", action="store_true",
-                   help="skip the mirror2 analytic cross-check cell")
+    add_fleet_spec_flags(p)
     p.add_argument("--metrics-out", metavar="PATH",
                    help="also write the campaign's repro_fleet_* metrics "
                         "snapshot JSON here")
     p.add_argument("--no-bench-json", action="store_true",
                    help="skip writing timing records to BENCH_fleet.json")
-    p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("report",
+                       help="aggregate a fleet campaign into a "
+                            "schema-validated campaign_report.json "
+                            "(incidents + time series)")
+    add_fleet_spec_flags(p)
+    p.add_argument("-o", "--out", metavar="PATH",
+                   default="campaign_report.json",
+                   help="campaign report output path "
+                        "(default: campaign_report.json)")
+    p.add_argument("--profile", action="store_true",
+                   help="attach the wall-time self-time profiler and "
+                        "include the attribution table (digests unchanged)")
+    p.add_argument("--trace-trial", metavar="GEOMETRY/POLICY:N",
+                   help="skip the campaign; re-run one pure trial with "
+                        "span tracing and export its Perfetto timeline")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="timeline output path for --trace-trial "
+                        "(default: trace_fleet_GEO_POL_N.json)")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("bench", help="compare BENCH timing JSON files")
     p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),

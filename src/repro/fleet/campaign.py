@@ -30,8 +30,16 @@ from repro.fleet.spec import (
     GeometrySpec,
     PolicySpec,
 )
-from repro.obs.events import EventLog, FleetTrialEvent, fold_digest
+from repro.obs.events import EventLog, FleetTrialEvent, StorageEvent, fold_digest
 from repro.obs.metrics import TTDL_BUCKETS, MetricsRegistry
+from repro.obs.postmortem import (
+    Incident,
+    build_incident,
+    fold_incidents,
+    mode_counts,
+    stream_label,
+)
+from repro.obs.trace import merge_profiles
 
 OUTCOMES = ("survived", "detected-loss", "silent-loss", "stopped")
 
@@ -49,6 +57,8 @@ class CellResult:
     ttdl_hours: List[float] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     io: DiskStats = field(default_factory=DiskStats)
+    #: Loss-mode histogram from the cell's classified incidents.
+    incident_modes: Dict[str, int] = field(default_factory=dict)
 
     def add(self, outcome: TrialOutcome) -> None:
         self.trials += 1
@@ -84,6 +94,7 @@ class CellResult:
             "mean_ttdl_hours": (
                 round(sum(self.ttdl_hours) / len(self.ttdl_hours), 3)
                 if self.ttdl_hours else None),
+            "incident_modes": dict(sorted(self.incident_modes.items())),
         }
 
 
@@ -99,6 +110,20 @@ class FleetReport:
     #: order — THE determinism witness compared across --jobs widths.
     digest: str = ""
     crosscheck: Optional[Dict[str, Any]] = None
+    #: One classified post-mortem per lost/stopped trial, in
+    #: enumeration order.
+    incidents: List[Incident] = field(default_factory=list)
+    #: Fold over incident keys in enumeration order — byte-identical
+    #: at any --jobs width, asserted alongside :attr:`digest`.
+    incident_digest: str = ""
+    #: Retained logical event streams by label (terminal trials only);
+    #: every incident cause ref resolves against this mapping.
+    streams: Dict[str, Tuple[StorageEvent, ...]] = field(default_factory=dict)
+    #: Flight-recorder time series folded across all trials (a
+    #: registry holding only timeseries instruments).
+    series: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Merged wall-time self-time attribution (``profile=True`` runs).
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def trials(self) -> int:
@@ -154,6 +179,10 @@ class FleetReport:
                 "repro_fleet_ttdl_hours", bounds=TTDL_BUCKETS, **labels)
             for ttdl in cell.ttdl_hours:
                 histogram.observe(ttdl)
+            for mode, count in sorted(cell.incident_modes.items()):
+                registry.counter("repro_fleet_incidents_total",
+                                 mode=mode, **labels).inc(count)
+        registry.merge(self.series)
         return registry
 
     def render(self) -> str:
@@ -204,7 +233,54 @@ class FleetReport:
             ]
         lines.append("")
         lines.append(f"outcome digest: {self.digest}")
+        lines.append(f"incident digest: {self.incident_digest}")
         return "\n".join(lines)
+
+    def incident_summary(self) -> List[str]:
+        """One line per cell with terminal trials: the dominant loss
+        mode and its count (the ``repro fleet`` exit summary)."""
+        lines = []
+        for (geometry, policy), cell in self.cells.items():
+            if not cell.incident_modes:
+                continue
+            top_mode, top_count = max(
+                cell.incident_modes.items(), key=lambda kv: (kv[1], kv[0]))
+            total = sum(cell.incident_modes.values())
+            lines.append(
+                f"{geometry}/{policy}: {total} incidents, "
+                f"top {top_mode} x{top_count}")
+        return lines
+
+    def campaign_report(self) -> Dict[str, Any]:
+        """The schema-validated campaign report body
+        (``repro-campaign-report/1``): the matrix, every classified
+        incident with provenance refs, the merged flight-recorder
+        series, and the determinism digests."""
+        report: Dict[str, Any] = {
+            "schema": "repro-campaign-report/1",
+            "seed": self.spec.seed,
+            "jobs": self.jobs,
+            "trials": self.trials,
+            "trials_per_cell": self.spec.trials,
+            "mission_hours": self.spec.mission_hours,
+            "device_hours": round(self.device_hours, 3),
+            "acceleration": self.spec.rates.acceleration,
+            "matrix": self.matrix(),
+            "cells": {
+                f"{geometry}/{policy}": cell.to_record()
+                for (geometry, policy), cell in self.cells.items()
+            },
+            "incidents": [
+                incident.to_record() for incident in self.incidents],
+            "incident_digest": self.incident_digest,
+            "outcome_digest": self.digest,
+            "timeseries": self.series.snapshot()["timeseries"],
+        }
+        if self.crosscheck is not None:
+            report["crosscheck"] = self.crosscheck
+        if self.profile is not None:
+            report["profile"] = self.profile
+        return report
 
     def to_record(self) -> Dict[str, Any]:
         """The BENCH_fleet.json entry body (wall time added by caller)."""
@@ -217,6 +293,8 @@ class FleetReport:
             "seed": self.spec.seed,
             "acceleration": self.spec.rates.acceleration,
             "matrix": self.matrix(),
+            "incidents": len(self.incidents),
+            "incident_modes": mode_counts(self.incidents),
             "cell_detail": {
                 f"{geometry}/{policy}": cell.to_record()
                 for (geometry, policy), cell in self.cells.items()
@@ -227,9 +305,10 @@ class FleetReport:
         return record
 
 
-def _trial_worker(spec: FleetSpec, cell_index: int, trial: int) -> TrialOutcome:
+def _trial_worker(spec: FleetSpec, cell_index: int, trial: int,
+                  profile: bool = False) -> TrialOutcome:
     geometry, policy = spec.cells()[cell_index]
-    return run_trial(spec, geometry, policy, trial)
+    return run_trial(spec, geometry, policy, trial, profile=profile)
 
 
 def _crosscheck_repair_hours(spec: FleetSpec, geometry: GeometrySpec,
@@ -242,19 +321,29 @@ def _crosscheck_repair_hours(spec: FleetSpec, geometry: GeometrySpec,
 
 
 def run_fleet(spec: FleetSpec, jobs: int = 1,
-              progress: Optional[Callable[[str], None]] = None) -> FleetReport:
-    """Run the campaign; byte-identical results at any *jobs* width."""
+              progress: Optional[Callable[[str], None]] = None,
+              profile: bool = False) -> FleetReport:
+    """Run the campaign; byte-identical results at any *jobs* width.
+
+    ``profile=True`` attaches a wall-time self-time profiler to every
+    trial and merges the per-trial tables into
+    :attr:`FleetReport.profile` — digests are unchanged (profiling is
+    a side table, never an event).
+    """
     cells = spec.cells()
-    tasks = [(spec, cell_index, trial)
+    tasks = [(spec, cell_index, trial, profile)
              for cell_index in range(len(cells))
              for trial in range(spec.trials)]
     report = FleetReport(spec=spec, jobs=jobs)
+    members = {}
     for geometry, policy in cells:
         report.cells[(geometry.label, policy.name)] = CellResult(
             geometry=geometry.label, policy=policy.name)
+        members[geometry.label] = geometry.members
 
     chunksize = max(1, min(16, spec.trials // 8 or 1))
     hasher = hashlib.sha256()
+    profiles: List[Dict[str, Dict[str, float]]] = []
     done = 0
     for outcome in pool_map(_trial_worker, tasks, jobs, chunksize=chunksize):
         cell = report.cells[(outcome.geometry, outcome.policy)]
@@ -270,11 +359,29 @@ def run_fleet(spec: FleetSpec, jobs: int = 1,
         report.events.emit(event)
         hasher.update(outcome.digest.encode("ascii"))
         fold_digest(hasher, f"{outcome.geometry}:{outcome.policy}", [event])
+        # Flight-recorder series fold bin-wise (associative), and
+        # pool_map delivers outcomes in submission order, so the merged
+        # series — like the digests — never depends on --jobs.
+        for entry in outcome.series:
+            report.series.timeseries_from_entry(entry)
+        if outcome.outcome != "survived":
+            incident = build_incident(
+                outcome, members[outcome.geometry])
+            report.incidents.append(incident)
+            cell.incident_modes[incident.mode] = \
+                cell.incident_modes.get(incident.mode, 0) + 1
+            if outcome.stream is not None:
+                report.streams[stream_label(outcome)] = outcome.stream
+        if outcome.profile:
+            profiles.append(outcome.profile)
         done += 1
         if progress is not None and done % max(1, spec.trials // 2) == 0:
             progress(f"fleet: {done}/{len(tasks)} trials "
                      f"({outcome.geometry}/{outcome.policy})")
     report.digest = hasher.hexdigest()
+    report.incident_digest = fold_incidents(report.incidents)
+    if profile:
+        report.profile = merge_profiles(profiles)
 
     if spec.crosscheck:
         cell = report.cells[(CROSSCHECK_GEOMETRY.label,

@@ -67,8 +67,13 @@ from repro.obs.events import (
     ArrayRecoveryEvent,
     DetectionEvent,
     EventLog,
+    FleetClockEvent,
+    LogEvent,
+    StorageEvent,
     fold_digest,
 )
+from repro.obs.timeseries import FlightRecorder
+from repro.obs.trace import SelfTimeProfiler, enable_tracing
 from repro.fleet.spec import FleetSpec, GeometrySpec, PolicySpec
 
 #: Ring capacity of a trial's event log: big enough that a trial's
@@ -198,6 +203,25 @@ class TrialOutcome:
     #: SHA-256 over the trial's typed event stream — the per-trial
     #: determinism witness the campaign folds into its digest.
     digest: str = ""
+    #: Where the terminal verdict was established ("rebuild" /
+    #: "scrub" / "foreground" / "detection" / "verify" / "failstop";
+    #: "" for survivors) — the post-mortem classifier's anchor.
+    site: str = ""
+    #: Flight-recorder gauges projected onto mergeable fixed-bin
+    #: series entries labelled with the trial's cell.
+    series: Tuple[Dict[str, Any], ...] = ()
+    #: The trial's logical event stream (``LogEvent`` subclasses only
+    #: — block I/O stays behind), retained for lost/stopped trials so
+    #: post-mortem provenance refs resolve; None for survivors.
+    stream: Optional[Tuple[StorageEvent, ...]] = None
+    #: Events the ring evicted before trial end (post-mortems report
+    #: a truncated causal prefix honestly instead of silently).
+    dropped_events: int = 0
+    #: Wall-time self-time attribution table (``--profile`` runs only).
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: Raw flight-recorder samples (``repro-timeseries/1``; traced
+    #: re-runs only — feeds the exported timeline).
+    flight: Optional[Dict[str, Any]] = None
 
     @property
     def lost(self) -> bool:
@@ -213,7 +237,8 @@ class _Trial:
     """State machine for one device's mission."""
 
     def __init__(self, spec: FleetSpec, geometry: GeometrySpec,
-                 policy: PolicySpec, trial: int):
+                 policy: PolicySpec, trial: int,
+                 trace: bool = False, profile: bool = False):
         self.spec = spec
         self.geometry = geometry
         self.policy = policy
@@ -226,6 +251,21 @@ class _Trial:
         self.ttdl: Optional[float] = None
         self.end: Optional[float] = None
         self.dirty_since_scrub = False
+        self.site = ""
+
+        # Flight recorder: gauges over the virtual clock.  Sampling
+        # reads state and draws no randomness, so instrumented trials
+        # keep the exact arrival sequences of uninstrumented ones.
+        self._recorder = FlightRecorder()
+        #: Members currently failed or awaiting rebuild.
+        self._degraded: set = set()
+        #: Silently corrupted (member, block) pairs not yet repaired.
+        self._corrupt: set = set()
+        #: Open rebuild windows: member -> (opened_at, expected_close).
+        self._windows: Dict[int, Tuple[float, float]] = {}
+        self._trace = trace
+        self._profiler = SelfTimeProfiler() if profile else None
+        self._window_spans: Dict[int, int] = {}
 
         self.events = EventLog(max_events=TRIAL_LOG_EVENTS)
         if geometry.kind == "single":
@@ -256,6 +296,10 @@ class _Trial:
                 block, _payload(block, trial, spec.block_size))
         self.stack.flush()
         self.events.clear()
+        # Tracing starts after the (uninteresting) initial fill; a
+        # traced trial reaches the same verdict — spans draw no
+        # randomness — but its event stream gains the span vocabulary.
+        self._tracer = enable_tracing(self.events) if trace else None
 
         # Named child streams: one per (process, member) plus shared
         # placement / noise / foreground-IO streams.  Derivation is
@@ -306,14 +350,50 @@ class _Trial:
         for kind in _ARRIVALS:
             self._schedule_arrival(now, kind, member)
 
-    def _lose(self, t: float, silent: bool = False) -> None:
+    def _clock(self, t: float, tag: str, message: str,
+               member: Optional[int] = None,
+               block: Optional[int] = None) -> None:
+        """Stamp a lifecycle observation with the fleet clock."""
+        self.events.emit(FleetClockEvent(
+            Severity.INFO, "fleet", tag, message,
+            block=block, t_hours=round(t, 6), member=member))
+
+    def _sample(self, t: float) -> None:
+        """Offer every flight-recorder gauge one sample at clock *t*."""
+        rec = self._recorder
+        rec.sample("repro_fleet_degraded_members", t, len(self._degraded))
+        rec.sample("repro_fleet_latent_blocks", t, len(self._armed))
+        rec.sample("repro_fleet_corrupt_blocks", t, len(self._corrupt))
+        progress = 0.0
+        for opened, closes in self._windows.values():
+            span = closes - opened
+            if span > 0:
+                progress = max(progress, min(1.0, (t - opened) / span))
+        rec.sample("repro_fleet_rebuild_progress", t, progress)
+        if self.array is not None:
+            cursor = self.array.scrub_cursor / max(1, self.array.scrub_units)
+        else:
+            cursor = self.single_cursor / max(1, self.spec.num_blocks)
+        rec.sample("repro_fleet_scrub_cursor", t, cursor)
+        rec.sample("repro_fleet_foreground_reads", t,
+                   self.counters.get("foreground_reads", 0))
+        rec.sample("repro_fleet_scrub_member_reads", t,
+                   self.counters.get("scrub_units", 0))
+
+    def _lose(self, t: float, silent: bool = False, site: str = "") -> None:
         self.outcome = "silent-loss" if silent else "detected-loss"
         self.ttdl = round(t, 6)
         self.end = t
+        self.site = site
+        self._clock(t, "loss-established",
+                    f"{self.outcome} established at {site or 'unknown'}")
 
-    def _stop(self, t: float) -> None:
+    def _stop(self, t: float, site: str = "") -> None:
         self.outcome = "stopped"
         self.end = t
+        self.site = site
+        self._clock(t, "rstop-freeze",
+                    f"R_stop froze the array at {site or 'unknown'}")
 
     @property
     def _done(self) -> bool:
@@ -363,16 +443,27 @@ class _Trial:
 
     def _on_failstop(self, t: float, member: int) -> None:
         self._count("failstops")
+        self._clock(t, "failstop-arrival",
+                    f"member {member} fail-stopped", member=member)
         if self.policy.stop_on_fault:
             # Whole-disk failure is detected at once (the device's
             # error code / heartbeat): R_stop freezes here.
-            self._stop(t)
+            self._stop(t, site="failstop")
             return
         if self.array is None:
             # R_zero: no spare pool, no redundancy — the data is gone.
-            self._lose(t)
+            self._lose(t, site="failstop")
             return
         self.array.fail_member(member)
+        self._degraded.add(member)
+        expected = t + self.policy.replace_delay_hours \
+            + self.policy.rebuild_hours(self._member_disk(member).num_blocks)
+        self._windows[member] = (t, expected)
+        if self._trace:
+            self._window_spans[member] = self._tracer.start(
+                f"rebuild-window m{member}", "phase",
+                detail=f"opened {round(t, 3)}h", source="fleet",
+                floating=True)
         # The dead member's pending arrivals are void.
         self._epochs[member] += 1
         self._push(t + self.policy.replace_delay_hours, _REPLACE, member)
@@ -384,21 +475,36 @@ class _Trial:
         self.array.members[member].injector.clear_faults()
         self._armed = {key: faults for key, faults in self._armed.items()
                        if key[0] != member}
+        self._corrupt = {key for key in self._corrupt if key[0] != member}
         self.events.consume_new()
         self._count("rebuild_windows")
+        self._clock(t, "spare-seated",
+                    f"spare seated for member {member}", member=member)
         blocks = self._member_disk(member).num_blocks
         self._push(t + self.policy.rebuild_hours(blocks), _REBUILD, member)
 
     def _on_rebuild(self, t: float, member: int) -> None:
+        if self._profiler is not None:
+            self._profiler.enter("fleet:rebuild")
         rebuilt = self.array.rebuild_member(member)
+        if self._profiler is not None:
+            self._profiler.exit()
         self._count("rebuilt_blocks", rebuilt)
         self._count("rebuilds")
         fresh = self.events.consume_new()
         if any(getattr(e, "tag", "") == "rebuild-loss" for e in fresh):
             # Reconstruction came up short: compound failure inside the
             # window (the §3.3 scenario) — loss, established here.
-            self._lose(t)
+            self._lose(t, site="rebuild")
             return
+        self._degraded.discard(member)
+        self._windows.pop(member, None)
+        self._clock(t, "rebuild-complete",
+                    f"member {member} reconstructed ({rebuilt} blocks)",
+                    member=member)
+        if self._trace:
+            span = self._window_spans.pop(member, 0)
+            self._tracer.end(span)
         # Member healthy again: its arrival processes resume.
         self._schedule_member(t, member)
 
@@ -410,6 +516,10 @@ class _Trial:
             self._count("lse_transient")
         disk = self._member_disk(member)
         block = self._placement.randrange(disk.num_blocks)
+        self._clock(t, "lse-arrival",
+                    f"latent {'transient' if transient else 'sticky'} "
+                    f"error on member {member} block {block}",
+                    member=member, block=block)
         fault = self._member_injector(member).arm(Fault(
             FaultOp.READ, FaultKind.FAIL, block=block,
             persistence=(Persistence.TRANSIENT if transient
@@ -424,10 +534,14 @@ class _Trial:
         self._count("corruptions")
         disk = self._member_disk(member)
         block = self._placement.randrange(disk.num_blocks)
+        self._clock(t, "corrupt-arrival",
+                    f"silent corruption on member {member} block {block}",
+                    member=member, block=block)
         noise = bytes(self._noise.randrange(256)
                       for _ in range(self.spec.block_size))
         # Below the injector, no error code: the definition of silent.
         disk.poke(block, noise)
+        self._corrupt.add((member, block))
         self.dirty_since_scrub = True
         self._schedule_arrival(t, _CORRUPT, member)
 
@@ -435,33 +549,54 @@ class _Trial:
         nxt = t + self.policy.scrub_interval_hours
         if nxt <= self.spec.mission_hours + 1e-9:
             self._push(nxt, _TICK)
+        span = self._tracer.start(
+            f"tick@{round(t, 3)}h", "phase", source="fleet") \
+            if self._trace else 0
         self._foreground_io(t)
-        if self._done:
-            return
-        self._scrub_tick(t)
+        if not self._done:
+            self._scrub_tick(t)
+        if self._trace:
+            self._tracer.end(span, status="ok" if not self._done
+                             else self.outcome)
 
     def _foreground_io(self, t: float) -> None:
-        for _ in range(self.policy.io_reads_per_tick):
-            block = self._io.randrange(self.spec.num_blocks)
-            try:
-                self._read_logical(block)
-            except ReadError:
-                # Every recovery level below already had its chance
-                # (member retries, reconstruction): the error reaching
-                # the application is loss — or the R_stop trigger.
-                self._count("foreground_errors")
-                if self.policy.stop_on_fault:
-                    self._stop(t)
-                else:
-                    self._lose(t)
-                return
-            self._count("foreground_reads")
-        if self.policy.stop_on_fault and self._detections_since():
-            self._stop(t)
+        if self._profiler is not None:
+            self._profiler.enter("fleet:foreground-io")
+        try:
+            for _ in range(self.policy.io_reads_per_tick):
+                block = self._io.randrange(self.spec.num_blocks)
+                try:
+                    self._read_logical(block)
+                except ReadError:
+                    # Every recovery level below already had its chance
+                    # (member retries, reconstruction): the error
+                    # reaching the application is loss — or the R_stop
+                    # trigger.
+                    self._count("foreground_errors")
+                    if self.policy.stop_on_fault:
+                        self._stop(t, site="foreground")
+                    else:
+                        self._lose(t, site="foreground")
+                    return
+                self._count("foreground_reads")
+            if self.policy.stop_on_fault and self._detections_since():
+                self._stop(t, site="detection")
+        finally:
+            if self._profiler is not None:
+                self._profiler.exit()
 
     def _scrub_tick(self, t: float) -> None:
         if self.policy.scrub_interval_hours <= 0:
             return
+        if self._profiler is not None:
+            self._profiler.enter("fleet:scrub")
+        try:
+            self._scrub_tick_inner(t)
+        finally:
+            if self._profiler is not None:
+                self._profiler.exit()
+
+    def _scrub_tick_inner(self, t: float) -> None:
         if self.array is not None:
             if self.array.degraded:
                 # Scrub pauses while failed/stale members would make
@@ -480,20 +615,22 @@ class _Trial:
             self._count("scrub_repairs", len(report.repaired))
             for member, block in report.repaired:
                 self._heal(member, block)
+                self._corrupt.discard((member, block))
             if report.unrepairable:
                 if self.policy.stop_on_fault:
-                    self._stop(t)
+                    self._stop(t, site="scrub")
                 else:
-                    self._lose(t)
+                    self._lose(t, site="scrub")
                 return
             if self.policy.stop_on_fault and (
                     report.latent_errors or report.corruptions):
-                self._stop(t)
+                self._stop(t, site="scrub")
                 return
             self.events.consume_new()
             if self.array.scrub_cursor == 0 and report.units_scanned:
                 self._count("scrub_passes")
                 self.dirty_since_scrub = False
+                self._clock(t, "scrub-pass", "scrub pass completed clean")
         else:
             self._single_scrub(t)
 
@@ -514,14 +651,15 @@ class _Trial:
             except ReadError:
                 self._count("scrub_errors")
                 if self.policy.stop_on_fault:
-                    self._stop(t)
+                    self._stop(t, site="scrub")
                 else:
-                    self._lose(t)
+                    self._lose(t, site="scrub")
                 return
         if end >= total:
             self.single_cursor = 0
             self._count("scrub_passes")
             self.dirty_since_scrub = False
+            self._clock(t, "scrub-pass", "media scan completed clean")
         else:
             self.single_cursor = end
 
@@ -529,25 +667,41 @@ class _Trial:
         """Mission-end audit: every logical block against the expected
         fill.  Detected loss if a read errors through all recovery
         levels; *silent* loss if wrong bytes come back without one."""
-        for block in range(self.spec.num_blocks):
-            expected = _payload(block, self.trial, self.spec.block_size)
-            try:
-                data = self._read_logical(block)
-            except ReadError:
-                self._lose(t)
-                return
-            if bytes(data) != expected:
-                self._lose(t, silent=True)
-                return
+        self._clock(t, "verify-start", "mission-end verify sweep")
+        span = self._tracer.start("verify", "phase", source="fleet") \
+            if self._trace else 0
+        if self._profiler is not None:
+            self._profiler.enter("fleet:verify")
+        try:
+            for block in range(self.spec.num_blocks):
+                expected = _payload(block, self.trial, self.spec.block_size)
+                try:
+                    data = self._read_logical(block)
+                except ReadError:
+                    self._lose(t, site="verify")
+                    return
+                if bytes(data) != expected:
+                    self._lose(t, silent=True, site="verify")
+                    return
+        finally:
+            if self._profiler is not None:
+                self._profiler.exit()
+            if self._trace:
+                self._tracer.end(span, status=self.outcome
+                                 if self._done else "ok")
 
     # -- main loop --------------------------------------------------------------
 
     def run(self) -> TrialOutcome:
         mission = self.spec.mission_hours
+        root = self._tracer.start(
+            f"mission {self.geometry.label}/{self.policy.name}"
+            f"#{self.trial}", "run", source="fleet") if self._trace else 0
         for member in range(self.n_members):
             self._schedule_member(0.0, member)
         if self.policy.scrub_interval_hours > 0:
             self._push(self.policy.scrub_interval_hours, _TICK)
+        self._sample(0.0)
 
         handlers = {
             _FAILSTOP: self._on_failstop,
@@ -566,11 +720,21 @@ class _Trial:
             if kind == _TICK:
                 self._on_tick(t)
             else:
-                handlers[kind](t, member)
+                if self._profiler is not None and kind in _ARRIVALS:
+                    with self._profiler.section("fleet:arrivals"):
+                        handlers[kind](t, member)
+                else:
+                    handlers[kind](t, member)
+            self._sample(t)
 
         if not self._done:
             self._verify(mission)
         end = self.end if self.end is not None else mission
+        self._sample(end)
+        if self._trace:
+            for span in self._window_spans.values():
+                self._tracer.end(span, status="open-at-end")
+            self._tracer.end(root, status=self.outcome)
 
         if self.array is not None:
             io = self.array.merged_member_stats()
@@ -585,6 +749,18 @@ class _Trial:
         label = f"fleet:{self.geometry.label}:{self.policy.name}:{self.trial}"
         hasher = hashlib.sha256()
         fold_digest(hasher, label, list(self.events))
+        # Post-mortems only need the logical story: keep LogEvent
+        # subclasses (arrivals, detections, recoveries, verdicts) and
+        # leave the block-I/O firehose behind, so ten thousand trials'
+        # worth of retained streams stays small.  Traced re-runs keep
+        # everything — the timeline export wants spans and I/O too.
+        if self._trace:
+            stream: Optional[Tuple[StorageEvent, ...]] = tuple(self.events)
+        elif self.outcome != "survived":
+            stream = tuple(e for e in self.events
+                           if isinstance(e, LogEvent))
+        else:
+            stream = None
         return TrialOutcome(
             geometry=self.geometry.label,
             policy=self.policy.name,
@@ -597,13 +773,32 @@ class _Trial:
             io=io,
             events=len(self.events),
             digest=hasher.hexdigest(),
+            site=self.site,
+            series=tuple(self._recorder.binned(
+                mission, geometry=self.geometry.label,
+                policy=self.policy.name)),
+            stream=stream,
+            dropped_events=self.events.dropped,
+            profile=(self._profiler.table()
+                     if self._profiler is not None else None),
+            flight=self._recorder.to_snapshot() if self._trace else None,
         )
 
 
 def run_trial(spec: FleetSpec, geometry: GeometrySpec, policy: PolicySpec,
-              trial: int) -> TrialOutcome:
-    """Simulate one device's mission; pure in ``(spec, cell, trial)``."""
-    return _Trial(spec, geometry, policy, trial).run()
+              trial: int, trace: bool = False,
+              profile: bool = False) -> TrialOutcome:
+    """Simulate one device's mission; pure in ``(spec, cell, trial)``.
+
+    ``trace=True`` re-runs the same trial with span tracing enabled:
+    the verdict, time-to-loss and arrival sequence are identical (spans
+    draw no randomness), but the event stream gains span events for the
+    Perfetto timeline export, so the per-trial digest differs from the
+    untraced run by construction.  ``profile=True`` attaches a wall-time
+    self-time profiler — a side table only; digests are unchanged.
+    """
+    return _Trial(spec, geometry, policy, trial,
+                  trace=trace, profile=profile).run()
 
 
 __all__ = [

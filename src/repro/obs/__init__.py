@@ -12,6 +12,13 @@ structured events directly.
 Chrome trace-event JSON for Perfetto; :mod:`repro.obs.metrics` folds
 the stream and the device stack's counters into a mergeable metrics
 registry with Prometheus-text and JSON-snapshot exporters.
+
+The fleet flight recorder builds on all three:
+:mod:`repro.obs.timeseries` records gauges over the *virtual* fleet
+clock (ring-bounded raw tracks, associatively-mergeable binned
+series), and :mod:`repro.obs.postmortem` walks recorded event streams
+to classify every lost trial into a typed :class:`Incident` with
+``resolve_ref``-able provenance.
 """
 
 from repro.obs.events import (
@@ -21,6 +28,7 @@ from repro.obs.events import (
     DetectionEvent,
     EventLog,
     FaultArmedEvent,
+    FleetClockEvent,
     IOEvent,
     JournalCommitEvent,
     LogEvent,
@@ -37,16 +45,34 @@ from repro.obs.metrics import (
     MetricsRegistry,
     metrics_from_events,
     render_prometheus,
+    validate_json,
     validate_snapshot,
 )
+from repro.obs.postmortem import (
+    INCIDENT_MODES,
+    Incident,
+    IncidentCause,
+    build_incident,
+    classify,
+    fold_incidents,
+    mode_counts,
+)
+from repro.obs.timeseries import (
+    FlightRecorder,
+    TimeSeries,
+    Track,
+)
 from repro.obs.trace import (
+    SelfTimeProfiler,
     SpanEndEvent,
     SpanStartEvent,
     Tracer,
     chrome_trace,
     enable_tracing,
     event_ref,
+    merge_profiles,
     merge_streams,
+    render_profile,
     resolve_ref,
     span_ref,
     span_tree,
@@ -62,6 +88,7 @@ __all__ = [
     "DetectionEvent",
     "EventLog",
     "FaultArmedEvent",
+    "FleetClockEvent",
     "IOEvent",
     "JournalCommitEvent",
     "LogEvent",
@@ -77,14 +104,28 @@ __all__ = [
     "MetricsRegistry",
     "metrics_from_events",
     "render_prometheus",
+    "validate_json",
     "validate_snapshot",
+    "INCIDENT_MODES",
+    "Incident",
+    "IncidentCause",
+    "build_incident",
+    "classify",
+    "fold_incidents",
+    "mode_counts",
+    "FlightRecorder",
+    "TimeSeries",
+    "Track",
+    "SelfTimeProfiler",
     "SpanEndEvent",
     "SpanStartEvent",
     "Tracer",
     "chrome_trace",
     "enable_tracing",
     "event_ref",
+    "merge_profiles",
     "merge_streams",
+    "render_profile",
     "resolve_ref",
     "span_ref",
     "span_tree",

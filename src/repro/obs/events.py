@@ -229,6 +229,28 @@ class ArrayPolicyEvent(PolicyActionEvent):
 
 
 @dataclass(frozen=True)
+class FleetClockEvent(LogEvent):
+    """A fleet-simulator lifecycle observation stamped with the virtual
+    clock.
+
+    The flight recorder's causal vocabulary: arrival events
+    (``failstop-arrival`` / ``lse-arrival`` / ``corrupt-arrival``),
+    repair lifecycle (``spare-seated`` / ``rebuild-complete`` /
+    ``scrub-pass``), and terminal verdicts (``loss-established`` /
+    ``rstop-freeze``), each carrying the fleet clock in hours and the
+    member concerned.  Being a :class:`LogEvent` subclass, these render
+    in the SysLog view and as Perfetto instants for free; post-mortems
+    (:mod:`repro.obs.postmortem`) walk them to reconstruct the
+    root-cause arrival sequence of every lost trial.
+    """
+
+    kind: ClassVar[str] = "fleet-clock"
+
+    t_hours: float = 0.0
+    member: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class FleetTrialEvent(StorageEvent):
     """One Monte Carlo trial's verdict from the fleet simulator.
 

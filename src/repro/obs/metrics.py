@@ -45,6 +45,7 @@ from repro.obs.events import (
     StorageEvent,
     WriteImageEvent,
 )
+from repro.obs.timeseries import SERIES_BINS, TimeSeries
 from repro.obs.trace import SpanStartEvent
 
 SNAPSHOT_SCHEMA = "repro-metrics/1"
@@ -127,6 +128,7 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, LabelsKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelsKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelsKey], Histogram] = {}
+        self._timeseries: Dict[Tuple[str, LabelsKey], TimeSeries] = {}
 
     # -- instrument access ---------------------------------------------------
 
@@ -160,8 +162,41 @@ class MetricsRegistry:
             )
         return instrument
 
+    def timeseries(
+        self,
+        name: str,
+        t_max: float,
+        bins: int = SERIES_BINS,
+        **labels: str,
+    ) -> TimeSeries:
+        """A binned virtual-clock series (the fourth instrument type).
+
+        Like histograms, a series' bin layout is fixed at registration;
+        re-registering with a different layout is an error because it
+        would break associative merging.
+        """
+        key = (name, _labels_key(labels))
+        instrument = self._timeseries.get(key)
+        if instrument is None:
+            instrument = self._timeseries[key] = TimeSeries(
+                name, key[1], t_max, bins)
+        elif (instrument.t_max, instrument.bins) != (float(t_max), bins):
+            raise ValueError(
+                f"timeseries {name!r} re-registered with different bin layout"
+            )
+        return instrument
+
+    def timeseries_from_entry(self, entry: Mapping[str, Any]) -> TimeSeries:
+        """Get-or-create from a serialized entry and merge it in."""
+        series = self.timeseries(
+            entry["name"], entry["t_max"], int(entry["bins"]),
+            **entry.get("labels", {}))
+        series.merge(TimeSeries.from_entry(entry))
+        return series
+
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms) + len(self._timeseries))
 
     # -- snapshots -----------------------------------------------------------
 
@@ -197,6 +232,10 @@ class MetricsRegistry:
                 }
                 for h in sorted(self._histograms.values(), key=sort_key)
             ],
+            "timeseries": [
+                ts.to_entry()
+                for ts in sorted(self._timeseries.values(), key=sort_key)
+            ],
         }
 
     @classmethod
@@ -217,6 +256,8 @@ class MetricsRegistry:
             hist.bucket_counts = list(entry["bucket_counts"])
             hist.count = entry["count"]
             hist.sum = entry["sum"]
+        for entry in snapshot.get("timeseries", ()):
+            registry.timeseries_from_entry(entry)
         return registry
 
     # -- merging -------------------------------------------------------------
@@ -245,6 +286,10 @@ class MetricsRegistry:
             mine.sum += hist.sum
             for i, n in enumerate(hist.bucket_counts):
                 mine.bucket_counts[i] += n
+        for key, series in other._timeseries.items():
+            mine = self.timeseries(series.name, series.t_max, series.bins,
+                                   **dict(series.labels))
+            mine.merge(series)
         return self
 
     @classmethod
@@ -261,7 +306,11 @@ def derive_rates(registry: MetricsRegistry) -> None:
     """Recompute rate gauges from their underlying counters.
 
     Called after a merge so ``repro_cache_hit_rate`` reflects the summed
-    hit/miss totals rather than a max over per-worker rates.
+    hit/miss totals rather than a max over per-worker rates, and
+    ``repro_fleet_loss_probability`` reflects the summed per-cell trial
+    outcomes.  Every derivation guards its denominator: empty or merged
+    snapshots with zero reads (or zero trials in a cell) simply derive
+    nothing, so report generation never divides by zero.
     """
     hits = {dict(c.labels).get("layer", ""): c.value
             for c in registry._counters.values()
@@ -275,6 +324,25 @@ def derive_rates(registry: MetricsRegistry) -> None:
             registry.gauge("repro_cache_hit_rate", layer=layer).set(
                 hits.get(layer, 0) / total
             )
+    # Fleet loss probability: losses / trials per (geometry, policy)
+    # cell, recomputed from the summed outcome counters.
+    trials: Dict[Tuple[str, str], float] = {}
+    losses: Dict[Tuple[str, str], float] = {}
+    for c in registry._counters.values():
+        if c.name != "repro_fleet_trials_total":
+            continue
+        labels = dict(c.labels)
+        cell = (labels.get("geometry", ""), labels.get("policy", ""))
+        trials[cell] = trials.get(cell, 0) + c.value
+        if labels.get("outcome") in ("detected-loss", "silent-loss"):
+            losses[cell] = losses.get(cell, 0) + c.value
+    for cell in sorted(trials):
+        total = trials[cell]
+        if total:
+            registry.gauge(
+                "repro_fleet_loss_probability",
+                geometry=cell[0], policy=cell[1],
+            ).set(losses.get(cell, 0) / total)
 
 
 # -- Prometheus text exposition ----------------------------------------------
@@ -322,6 +390,14 @@ _HELP = {
     "repro_fleet_member_writes_total": "Raw member writes issued across the fleet",
     "repro_fleet_loss_probability": "Fraction of a cell's trials that lost data",
     "repro_fleet_ttdl_hours": "Time to data loss in fleet hours, per cell",
+    "repro_fleet_degraded_members": "Members failed or awaiting rebuild, over the fleet clock",
+    "repro_fleet_latent_blocks": "Sticky latent sector errors armed, over the fleet clock",
+    "repro_fleet_corrupt_blocks": "Silently corrupted blocks not yet known-repaired, over the fleet clock",
+    "repro_fleet_rebuild_progress": "Progress through the open rebuild window (0 = none open)",
+    "repro_fleet_scrub_cursor": "Incremental scrub cursor position, as a fraction of a pass",
+    "repro_fleet_foreground_reads": "Cumulative foreground logical reads, over the fleet clock",
+    "repro_fleet_scrub_member_reads": "Cumulative scrub units scanned, over the fleet clock",
+    "repro_fleet_incidents_total": "Classified loss/stop incidents, by cell and mode",
 }
 
 #: Bucket bounds (fleet hours) for time-to-data-loss histograms —
@@ -336,13 +412,24 @@ def _fmt_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec:
+    backslash, double-quote, and line-feed must be escaped inside the
+    quoted value (in that order — backslash first, or it would re-escape
+    the escapes)."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _fmt_labels(labels: Mapping[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
     pairs = sorted(labels.items())
     if extra is not None:
         pairs = sorted(pairs + [extra])
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -384,6 +471,24 @@ def render_prometheus(snapshot: Mapping[str, Any]) -> str:
         )
         lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(entry['sum'])}")
         lines.append(f"{name}_count{_fmt_labels(labels)} {entry['count']}")
+    for entry in snapshot.get("timeseries", ()):
+        name = entry["name"]
+        header(name, "gauge")
+        labels = entry["labels"]
+        bins = int(entry["bins"])
+        t_max = float(entry["t_max"])
+        # One gauge sample per non-empty bin: the bin mean, stamped with
+        # the bin midpoint on the *virtual* clock (hours rendered as the
+        # exposition's millisecond timestamps — the simulator has no
+        # wall clock, and the virtual axis is the one worth plotting).
+        for i, count in enumerate(entry["counts"]):
+            if not count:
+                continue
+            mean = entry["sums"][i] / count
+            ts_ms = int(round((i + 0.5) * t_max / bins * 3_600_000))
+            lines.append(
+                f"{name}{_fmt_labels(labels)} {_fmt_value(mean)} {ts_ms}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -529,6 +634,25 @@ def _validate(value: Any, schema: Mapping[str, Any], path: str, errors: List[str
                 _validate(item, items, f"{path}[{i}]", errors)
 
 
+def schema_root() -> Path:
+    """The repository's committed ``schemas/`` directory."""
+    return Path(__file__).resolve().parents[3] / "schemas"
+
+
+def validate_json(value: Any, schema_path: Path) -> List[str]:
+    """Validate any JSON value against a committed schema file.
+
+    Returns a list of violation messages (empty = valid).  Uses the
+    same dependency-free subset validator as :func:`validate_snapshot`;
+    the campaign report (``schemas/campaign_report.schema.json``) and
+    the metrics snapshot share it.
+    """
+    schema = json.loads(Path(schema_path).read_text())
+    errors: List[str] = []
+    _validate(value, schema, "$", errors)
+    return errors
+
+
 def validate_snapshot(
     snapshot: Mapping[str, Any],
     schema_path: Optional[Path] = None,
@@ -540,11 +664,5 @@ def validate_snapshot(
     repository root.
     """
     if schema_path is None:
-        schema_path = (
-            Path(__file__).resolve().parents[3] / "schemas"
-            / "metrics_snapshot.schema.json"
-        )
-    schema = json.loads(Path(schema_path).read_text())
-    errors: List[str] = []
-    _validate(snapshot, schema, "$", errors)
-    return errors
+        schema_path = schema_root() / "metrics_snapshot.schema.json"
+    return validate_json(snapshot, schema_path)

@@ -1,0 +1,259 @@
+"""Virtual-clock time series: the fleet flight recorder's substrate.
+
+The metrics registry (:mod:`repro.obs.metrics`) answers "how much":
+counters, gauges, histograms — totals with no time axis.  The fleet
+simulator needs "when": how many members were degraded *while* the
+latent-error population peaked, where the scrub cursor was when the
+rebuild window opened.  This module records gauges **over the virtual
+fleet clock** (hours, never wall time) with the same discipline the
+rest of the observability layer obeys:
+
+* **Deterministic** — sampling decisions depend only on the offered
+  sample sequence (a stride-doubling ring bound), never on wall time or
+  memory pressure, so two runs of the same trial record byte-identical
+  series.
+* **Bounded** — a :class:`Track` holds at most ``cap`` raw samples; at
+  capacity it thins to every second sample and doubles its acceptance
+  stride, so a mission of any length costs O(cap) memory while keeping
+  samples spread across the whole timeline.
+* **Associative cross-worker merge** — the aggregate shipped between
+  pool workers is the *binned* :class:`TimeSeries` (fixed bins over
+  ``[0, t_max]``, per-bin count/sum/min/max).  Bin-wise combination is
+  associative and commutative, so campaign aggregation is byte-identical
+  at any ``--jobs`` width — exactly like counter/histogram merging in
+  the registry, which hosts these series as a fourth instrument type.
+
+Two representations, two jobs: raw :class:`Track` samples feed a single
+trial's post-mortem timeline (``repro report --trace-trial``); binned
+:class:`TimeSeries` feed the campaign report and the Prometheus
+exposition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Default raw-sample capacity of one flight-recorder track.
+TRACK_CAP = 256
+
+#: Default bin count for the mergeable, campaign-level series.
+SERIES_BINS = 48
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def labels_key(labels: Mapping[str, str]) -> LabelsKey:
+    """Canonical sorted label tuple (the registry's instrument key)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Track:
+    """Ring-bounded raw ``(t, value)`` samples for one gauge.
+
+    Decimation is deterministic in the *offered* sample sequence: the
+    track accepts every ``stride``-th offer; when the buffer reaches
+    ``cap`` it drops every second retained sample and doubles the
+    stride.  Retained samples are always the offers at indices that are
+    multiples of the current stride, so identical offer sequences yield
+    identical tracks regardless of when the caller looks.
+    """
+
+    __slots__ = ("name", "cap", "stride", "offered", "samples")
+
+    def __init__(self, name: str, cap: int = TRACK_CAP):
+        if cap < 2:
+            raise ValueError("track cap must be >= 2")
+        self.name = name
+        self.cap = cap
+        self.stride = 1
+        self.offered = 0
+        self.samples: List[Tuple[float, float]] = []
+
+    def sample(self, t: float, value: float) -> None:
+        index = self.offered
+        self.offered += 1
+        if index % self.stride:
+            return
+        self.samples.append((float(t), float(value)))
+        if len(self.samples) >= self.cap:
+            del self.samples[1::2]
+            self.stride *= 2
+
+    @property
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.samples[-1] if self.samples else None
+
+    def to_entry(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cap": self.cap,
+            "stride": self.stride,
+            "offered": self.offered,
+            "samples": [[t, v] for t, v in self.samples],
+        }
+
+
+class TimeSeries:
+    """Fixed-bin gauge-over-virtual-clock series with associative merge.
+
+    The clock range ``[0, t_max]`` is split into ``bins`` equal bins;
+    each observation lands in one bin as (count, sum, min, max).  Like
+    fixed-bound histograms, fixed bins are what make merging
+    associative *and* bounded: combining per-trial series never grows
+    the representation, and any grouping of merges yields the same
+    state.  Samples past ``t_max`` clamp into the last bin (a trial can
+    establish loss exactly at mission end).
+    """
+
+    __slots__ = ("name", "labels", "t_max", "counts", "sums", "mins", "maxs")
+
+    def __init__(self, name: str, labels: LabelsKey, t_max: float,
+                 bins: int = SERIES_BINS):
+        if t_max <= 0:
+            raise ValueError("t_max must be > 0")
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.name = name
+        self.labels = labels
+        self.t_max = float(t_max)
+        self.counts = [0] * bins
+        self.sums = [0.0] * bins
+        self.mins: List[Optional[float]] = [None] * bins
+        self.maxs: List[Optional[float]] = [None] * bins
+
+    @property
+    def bins(self) -> int:
+        return len(self.counts)
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def bin_index(self, t: float) -> int:
+        if t <= 0:
+            return 0
+        return min(self.bins - 1, int(t / self.t_max * self.bins))
+
+    def bin_mid(self, index: int) -> float:
+        return (index + 0.5) * self.t_max / self.bins
+
+    def observe(self, t: float, value: float) -> None:
+        i = self.bin_index(t)
+        value = float(value)
+        self.counts[i] += 1
+        self.sums[i] += value
+        self.mins[i] = value if self.mins[i] is None else min(self.mins[i], value)
+        self.maxs[i] = value if self.maxs[i] is None else max(self.maxs[i], value)
+
+    def observe_track(self, track: Track) -> None:
+        """Fold a raw track's retained samples into the bins."""
+        for t, value in track.samples:
+            self.observe(t, value)
+
+    def merge(self, other: "TimeSeries") -> "TimeSeries":
+        """Bin-wise combination (in place; returns self).
+
+        Counts and sums add, mins/maxs fold — all associative and
+        commutative, so cross-worker aggregation is order-free.  The
+        two series must agree on the bin layout, like histograms must
+        agree on bucket bounds.
+        """
+        if (other.t_max, other.bins) != (self.t_max, self.bins):
+            raise ValueError(
+                f"timeseries {self.name!r} merged with different bin layout"
+            )
+        for i in range(self.bins):
+            self.counts[i] += other.counts[i]
+            self.sums[i] += other.sums[i]
+            for mine, theirs, pick in (
+                (self.mins, other.mins, min),
+                (self.maxs, other.maxs, max),
+            ):
+                if theirs[i] is not None:
+                    mine[i] = (theirs[i] if mine[i] is None
+                               else pick(mine[i], theirs[i]))
+        return self
+
+    def to_entry(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "t_max": self.t_max,
+            "bins": self.bins,
+            "counts": list(self.counts),
+            "sums": list(self.sums),
+            "mins": list(self.mins),
+            "maxs": list(self.maxs),
+        }
+
+    @classmethod
+    def from_entry(cls, entry: Mapping[str, Any]) -> "TimeSeries":
+        series = cls(entry["name"], labels_key(entry.get("labels", {})),
+                     entry["t_max"], int(entry["bins"]))
+        series.counts = [int(n) for n in entry["counts"]]
+        series.sums = [float(s) for s in entry["sums"]]
+        series.mins = [None if m is None else float(m) for m in entry["mins"]]
+        series.maxs = [None if m is None else float(m) for m in entry["maxs"]]
+        if len(series.counts) != series.bins:
+            raise ValueError("timeseries entry bins/counts length mismatch")
+        return series
+
+
+class FlightRecorder:
+    """Per-trial sampler: named gauge tracks over one virtual clock.
+
+    The fleet simulator owns one per trial and calls :meth:`sample` at
+    every discrete event and tick.  At trial end, :meth:`binned`
+    projects the raw tracks onto mergeable :class:`TimeSeries` entries
+    (the picklable aggregate the campaign folds across workers), and
+    :meth:`to_snapshot` exports the raw samples for single-trial
+    post-mortems and the ``--trace-trial`` timeline.
+    """
+
+    __slots__ = ("cap", "_tracks")
+
+    def __init__(self, cap: int = TRACK_CAP):
+        self.cap = cap
+        self._tracks: Dict[str, Track] = {}
+
+    def track(self, name: str) -> Track:
+        track = self._tracks.get(name)
+        if track is None:
+            track = self._tracks[name] = Track(name, self.cap)
+        return track
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        self.track(name).sample(t, value)
+
+    def tracks(self) -> List[Track]:
+        return [self._tracks[name] for name in sorted(self._tracks)]
+
+    def __len__(self) -> int:
+        return len(self._tracks)
+
+    def binned(self, t_max: float, bins: int = SERIES_BINS,
+               **labels: str) -> List[Dict[str, Any]]:
+        """The tracks as mergeable binned-series entries (sorted)."""
+        entries = []
+        for track in self.tracks():
+            series = TimeSeries(track.name, labels_key(labels), t_max, bins)
+            series.observe_track(track)
+            entries.append(series.to_entry())
+        return entries
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """Raw per-track samples (``repro-timeseries/1``)."""
+        return {
+            "schema": "repro-timeseries/1",
+            "tracks": [track.to_entry() for track in self.tracks()],
+        }
+
+
+__all__ = [
+    "SERIES_BINS",
+    "TRACK_CAP",
+    "FlightRecorder",
+    "TimeSeries",
+    "Track",
+    "labels_key",
+]

@@ -120,3 +120,99 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+TINY_FLEET = ["--trials", "2", "--mission-hours", "2000",
+              "--geometry", "single", "--geometry", "mirror2",
+              "--policy", "baseline", "--no-crosscheck"]
+
+
+class TestFleetCLI:
+    @pytest.fixture(autouse=True)
+    def fleet_json(self, tmp_path, monkeypatch):
+        target = tmp_path / "BENCH_fleet.json"
+        monkeypatch.setenv("REPRO_BENCH_FLEET_JSON", str(target))
+        return target
+
+    def test_fleet_prints_incident_summary(self, capsys):
+        assert main(["fleet", *TINY_FLEET, "--no-bench-json"]) == 0
+        out = capsys.readouterr().out
+        assert "P(data loss)" in out
+        assert "incidents (top loss mode per cell):" in out
+        assert "single/baseline:" in out
+
+    def test_fleet_records_both_digest_families(self, capsys, fleet_json):
+        assert main(["fleet", *TINY_FLEET]) == 0
+        entry = json.loads(
+            fleet_json.read_text())["entries"]["fleet_default_j1"]
+        assert entry["event_digest_jobs1"]
+        assert entry["incident_digest_jobs1"]
+
+    def test_fleet_rejects_unknown_geometry(self, capsys):
+        assert main(["fleet", "--geometry", "floppy8"]) == 2
+        assert "unknown geometry" in capsys.readouterr().err
+
+
+class TestReportCLI:
+    def test_report_writes_schema_valid_json(self, capsys, tmp_path):
+        out_path = tmp_path / "campaign_report.json"
+        assert main(["report", *TINY_FLEET, "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign report written to" in out
+        assert "(schema-valid)" in out
+        body = json.loads(out_path.read_text())
+        assert body["schema"] == "repro-campaign-report/1"
+        assert body["incident_digest"]
+        assert body["timeseries"]
+        assert len(body["incidents"]) >= 1
+        for incident in body["incidents"]:
+            assert incident["causes"]
+
+    def test_report_profile_renders_attribution(self, capsys, tmp_path):
+        out_path = tmp_path / "r.json"
+        assert main(["report", *TINY_FLEET, "--profile",
+                     "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "self_s" in out
+        assert "fleet:" in out
+        assert "profile" in json.loads(out_path.read_text())
+
+    def test_trace_trial_exports_perfetto_timeline(self, capsys, tmp_path):
+        trace_out = tmp_path / "t.json"
+        assert main(["report", *TINY_FLEET,
+                     "--trace-trial", "mirror2/baseline:0",
+                     "--trace-out", str(trace_out)]) == 0
+        out = capsys.readouterr().out
+        assert "trial mirror2/baseline#0:" in out
+        assert "ui.perfetto.dev" in out
+        doc = json.loads(trace_out.read_text())
+        assert doc["traceEvents"]
+        flight = json.loads(
+            trace_out.with_suffix(".flight.json").read_text())
+        assert flight["schema"] == "repro-timeseries/1"
+        assert flight["tracks"]
+
+    def test_trace_trial_rejects_bad_cell(self, capsys):
+        assert main(["report", *TINY_FLEET,
+                     "--trace-trial", "mirror2/baseline"]) == 2
+        assert "GEOMETRY/POLICY:N" in capsys.readouterr().err
+        assert main(["report", *TINY_FLEET,
+                     "--trace-trial", "floppy8/baseline:0"]) == 2
+
+
+class TestDigestMismatches:
+    def test_flags_each_family_separately(self):
+        from repro.cli import _digest_mismatches
+
+        entries = {
+            "ok": {"event_digest_jobs1": "a", "event_digest_jobs4": "a",
+                   "incident_digest_jobs1": "b", "incident_digest_jobs4": "b"},
+            "bad_event": {"event_digest_jobs1": "a",
+                          "event_digest_jobs4": "x"},
+            "bad_incident": {"incident_digest_jobs1": "b",
+                             "incident_digest_jobs4": "y",
+                             "event_digest_jobs1": "a",
+                             "event_digest_jobs4": "a"},
+            "not_a_record": 3,
+        }
+        assert _digest_mismatches(entries) == ["bad_event", "bad_incident"]

@@ -116,6 +116,79 @@ class TestMetrics:
         assert total == report.trials
 
 
+class TestIncidents:
+    def test_every_terminal_trial_maps_to_one_incident(self):
+        report = run_fleet(SMALL, jobs=1)
+        terminal = sum(
+            cell.outcomes["detected-loss"] + cell.outcomes["silent-loss"]
+            + cell.outcomes["stopped"] for cell in report.cells.values())
+        assert terminal == len(report.incidents) > 0
+        keys = {(i.geometry, i.policy, i.trial) for i in report.incidents}
+        assert len(keys) == len(report.incidents)
+
+    def test_incident_digest_is_jobs_invariant(self):
+        serial = run_fleet(SMALL, jobs=1)
+        fanned = run_fleet(SMALL, jobs=2)
+        assert serial.incident_digest == fanned.incident_digest
+        assert serial.incident_digest
+
+    def test_cause_refs_resolve_against_retained_streams(self):
+        from repro.obs.trace import resolve_ref
+
+        report = run_fleet(SMALL, jobs=1)
+        for incident in report.incidents:
+            assert incident.stream_label in report.streams
+            for cause in incident.causes:
+                event = resolve_ref(cause.ref, report.streams)
+                assert event.tag == cause.tag
+
+    def test_cells_count_incident_modes(self):
+        report = run_fleet(SMALL, jobs=1)
+        for (geometry, policy), cell in report.cells.items():
+            expected = sum(1 for i in report.incidents
+                           if (i.geometry, i.policy) == (geometry, policy))
+            assert sum(cell.incident_modes.values()) == expected
+
+    def test_incident_summary_lines(self):
+        report = run_fleet(SMALL, jobs=1)
+        summary = report.incident_summary()
+        assert summary
+        for line in summary:
+            assert " incidents, top " in line
+
+    def test_series_fold_into_the_registry(self):
+        report = run_fleet(SMALL, jobs=1)
+        snapshot = report.metrics().snapshot()
+        names = {entry["name"] for entry in snapshot["timeseries"]}
+        assert "repro_fleet_degraded_members" in names
+        assert validate_snapshot(snapshot) == []
+
+
+class TestCampaignReport:
+    def test_schema_valid_and_self_consistent(self):
+        from repro.obs.metrics import schema_root, validate_json
+
+        report = run_fleet(SMALL, jobs=1)
+        body = report.campaign_report()
+        assert validate_json(
+            body, schema_root() / "campaign_report.schema.json") == []
+        assert body["schema"] == "repro-campaign-report/1"
+        assert body["incident_digest"] == report.incident_digest
+        assert body["outcome_digest"] == report.digest
+        assert len(body["incidents"]) == len(report.incidents)
+        assert body["timeseries"]
+
+    def test_profile_attached_only_when_requested(self):
+        spec = SMALL.scaled(trials=1, crosscheck=False)
+        plain = run_fleet(spec, jobs=1)
+        assert plain.profile is None
+        profiled = run_fleet(spec, jobs=1, profile=True)
+        assert profiled.profile
+        assert profiled.digest == plain.digest
+        body = profiled.campaign_report()
+        assert "profile" in body
+
+
 class TestCellResult:
     def test_probabilities(self):
         cell = CellResult("g", "p")

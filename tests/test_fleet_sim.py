@@ -207,6 +207,83 @@ class TestIntervalScrubScheduler:
             IntervalScrubScheduler(self._array(), interval_hours=-1.0)
 
 
+class TestFlightRecorder:
+    """Instrumentation riding the trial: site attribution, sampled
+    series, retained streams, tracing, and profiling."""
+
+    HOT = FaultRates(failstop_per_hour=0.05, lse_per_hour=0.0,
+                     transient_fraction=0.0, corruption_per_hour=0.0)
+
+    def _lost(self, **kw):
+        out = run_trial(_spec(rates=self.HOT, **kw), SINGLE, BASELINE, 0)
+        assert out.outcome == "detected-loss"
+        return out
+
+    def test_terminal_trials_carry_a_site(self):
+        assert self._lost().site == "failstop"
+
+    def test_survivors_have_no_site_and_no_stream(self):
+        out = run_trial(_spec(rates=ZERO_RATES), MIRROR2, BASELINE, 0)
+        assert out.outcome == "survived"
+        assert out.site == ""
+        assert out.stream is None
+
+    def test_series_cover_the_recorder_gauges(self):
+        out = run_trial(_spec(), MIRROR2, BASELINE, 0)
+        names = {entry["name"] for entry in out.series}
+        assert "repro_fleet_degraded_members" in names
+        assert "repro_fleet_scrub_cursor" in names
+        for entry in out.series:
+            assert entry["labels"] == {"geometry": "mirror2",
+                                       "policy": "baseline"}
+
+    def test_terminal_stream_is_log_events_with_clock_arrivals(self):
+        from repro.obs.events import FleetClockEvent, LogEvent
+
+        out = self._lost()
+        assert out.stream is not None
+        assert all(isinstance(e, LogEvent) for e in out.stream)
+        clock = [e for e in out.stream if isinstance(e, FleetClockEvent)]
+        tags = {e.tag for e in clock}
+        assert "failstop-arrival" in tags
+        assert "loss-established" in tags
+        # Arrivals carry the virtual clock, not wall time.
+        assert all(0.0 <= e.t_hours <= out.end_hours for e in clock)
+        assert out.dropped_events == 0
+
+    def test_trace_rerun_same_verdict_different_digest(self):
+        from repro.obs.trace import SpanEndEvent, SpanStartEvent
+
+        spec = _spec(rates=self.HOT)
+        plain = run_trial(spec, SINGLE, BASELINE, 0)
+        traced = run_trial(spec, SINGLE, BASELINE, 0, trace=True)
+        assert traced.outcome == plain.outcome
+        assert traced.ttdl_hours == plain.ttdl_hours
+        assert traced.site == plain.site
+        # Spans join the stream, so the digest differs by construction.
+        assert traced.digest != plain.digest
+        kinds = {type(e) for e in traced.stream}
+        assert SpanStartEvent in kinds and SpanEndEvent in kinds
+        assert traced.flight is not None
+        assert traced.flight["schema"] == "repro-timeseries/1"
+
+    def test_profile_rerun_keeps_the_digest(self):
+        spec = _spec()
+        plain = run_trial(spec, MIRROR2, BASELINE, 0)
+        profiled = run_trial(spec, MIRROR2, BASELINE, 0, profile=True)
+        assert profiled.digest == plain.digest
+        assert profiled.outcome == plain.outcome
+        assert profiled.profile
+        for frame in profiled.profile.values():
+            assert frame["calls"] >= 1
+            assert frame["self_s"] >= 0.0
+
+    def test_plain_runs_carry_no_heavy_payloads(self):
+        out = run_trial(_spec(rates=ZERO_RATES), MIRROR2, BASELINE, 0)
+        assert out.profile is None
+        assert out.flight is None
+
+
 class TestArrayScrubStep:
     def test_cursor_advances_and_wraps(self):
         array = make_array("parity", 24, 512, members=4)

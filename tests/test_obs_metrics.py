@@ -5,6 +5,8 @@ JSON schema."""
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.events import (
     DetectionEvent,
@@ -235,3 +237,136 @@ class TestSchemaValidation:
         snap = reg.snapshot()
         snap["counters"][0]["labels"]["op"] = 7
         assert validate_snapshot(snap)
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_escape(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_io_total", path='a\\b"c\nd').inc()
+        text = render_prometheus(reg.snapshot())
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        # Exactly one physical sample line for the series: the newline
+        # in the label value must not split the exposition.
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_io_total{")]
+        assert len(lines) == 1
+
+    def test_backslash_escaped_before_quote(self):
+        # A value ending in backslash must not swallow the closing
+        # quote: \ -> \\ first, then " -> \".
+        reg = MetricsRegistry()
+        reg.counter("repro_io_total", path='trailing\\').inc()
+        text = render_prometheus(reg.snapshot())
+        assert 'path="trailing\\\\"' in text
+
+    def test_plain_values_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_io_total", op="read").inc()
+        assert 'op="read"' in render_prometheus(reg.snapshot())
+
+
+class TestDeriveRatesGuards:
+    def test_zero_reads_derives_no_hit_rate(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_hits_total", layer="buffer").inc(0)
+        reg.counter("repro_cache_misses_total", layer="buffer").inc(0)
+        derive_rates(reg)
+        assert not any(e["name"] == "repro_cache_hit_rate"
+                       for e in reg.snapshot()["gauges"])
+
+    def test_zero_trials_derives_no_loss_probability(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_fleet_trials_total", geometry="m2",
+                    policy="base", outcome="survived").inc(0)
+        derive_rates(reg)
+        assert not any(e["name"] == "repro_fleet_loss_probability"
+                       for e in reg.snapshot()["gauges"])
+
+    def test_empty_registry_is_a_no_op(self):
+        reg = MetricsRegistry()
+        derive_rates(reg)
+        assert len(reg) == 0
+
+    def test_loss_probability_recomputed_from_summed_cells(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, lost in ((a, 1), (b, 3)):
+            reg.counter("repro_fleet_trials_total", geometry="m2",
+                        policy="base", outcome="detected-loss").inc(lost)
+            reg.counter("repro_fleet_trials_total", geometry="m2",
+                        policy="base", outcome="survived").inc(10 - lost)
+        a.merge(b)
+        derive_rates(a)
+        gauge = [e for e in a.snapshot()["gauges"]
+                 if e["name"] == "repro_fleet_loss_probability"]
+        assert gauge and gauge[0]["value"] == pytest.approx(0.2)
+
+
+class TestMergeOrderProperty:
+    """Hypothesis: merging per-worker registries in ANY order (and any
+    grouping) yields byte-identical snapshots and Prometheus text —
+    counters and histogram buckets sum, gauges max, time-series bins
+    fold, all associative and commutative."""
+
+    @staticmethod
+    def _apply(registry, op):
+        kind, name, label, value = op
+        if kind == 0:
+            registry.counter(name, cell=label).inc(value)
+        elif kind == 1:
+            registry.gauge(name, cell=label).set(value)
+        elif kind == 2:
+            registry.histogram(
+                name, bounds=(1.0, 10.0), cell=label).observe(value)
+        else:
+            registry.timeseries(
+                name, 100.0, 8, cell=label).observe(value * 7.0, value)
+
+    @given(
+        parts=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=3),
+                    st.sampled_from(["m_alpha", "m_beta"]),
+                    st.sampled_from(["a", "b"]),
+                    # Small integers: exactly representable, so float
+                    # sums cannot depend on addition order.
+                    st.integers(min_value=0, max_value=12).map(float),
+                ),
+                max_size=12,
+            ),
+            min_size=1, max_size=4,
+        ),
+        order=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_order_and_grouping_invariant(self, parts, order):
+        def build(ops):
+            registry = MetricsRegistry()
+            for op in ops:
+                self._apply(registry, op)
+            return registry
+
+        def dump(registry):
+            derive_rates(registry)
+            snap = registry.snapshot()
+            return json.dumps(snap, sort_keys=True), render_prometheus(snap)
+
+        # Left-to-right merge in the given order.
+        forward = MetricsRegistry()
+        for ops in parts:
+            forward.merge(build(ops))
+        # A shuffled order...
+        shuffled_parts = list(parts)
+        order.shuffle(shuffled_parts)
+        shuffled = MetricsRegistry()
+        for ops in shuffled_parts:
+            shuffled.merge(build(ops))
+        # ...and a nested grouping (pairwise tree instead of a chain).
+        grouped = [build(ops) for ops in parts]
+        while len(grouped) > 1:
+            grouped = [a.merge(b) for a, b in
+                       zip(grouped[::2], grouped[1::2])] + \
+                (grouped[-1:] if len(grouped) % 2 else [])
+        tree = grouped[0]
+
+        assert dump(forward) == dump(shuffled) == dump(tree)

@@ -1,0 +1,214 @@
+"""Virtual-clock time series: ring-bounded tracks, mergeable binned
+series, the flight recorder, and their registry integration."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    render_prometheus,
+    validate_snapshot,
+)
+from repro.obs.timeseries import (
+    SERIES_BINS,
+    TRACK_CAP,
+    FlightRecorder,
+    TimeSeries,
+    Track,
+    labels_key,
+)
+
+
+class TestTrack:
+    def test_accepts_everything_below_cap(self):
+        track = Track("g", cap=16)
+        for i in range(10):
+            track.sample(float(i), float(i))
+        assert track.samples == [(float(i), float(i)) for i in range(10)]
+        assert track.stride == 1
+
+    def test_bounded_by_cap_for_any_offer_count(self):
+        track = Track("g", cap=32)
+        for i in range(100_000):
+            track.sample(float(i), 1.0)
+        assert len(track.samples) < 32
+        assert track.offered == 100_000
+
+    def test_decimation_is_deterministic_in_offer_sequence(self):
+        a, b = Track("g", cap=16), Track("g", cap=16)
+        for i in range(5_000):
+            a.sample(i * 0.5, i % 7)
+            b.sample(i * 0.5, i % 7)
+        assert a.samples == b.samples
+        assert a.stride == b.stride
+
+    def test_retained_samples_span_the_whole_timeline(self):
+        track = Track("g", cap=16)
+        for i in range(10_000):
+            track.sample(float(i), 0.0)
+        times = [t for t, _v in track.samples]
+        assert times[0] == 0.0
+        # After thinning, retained offers are multiples of the stride,
+        # so coverage reaches at least the last accepted multiple.
+        assert times[-1] >= 10_000 - track.stride
+
+    def test_last_property(self):
+        track = Track("g")
+        assert track.last is None
+        track.sample(1.0, 2.0)
+        assert track.last == (1.0, 2.0)
+
+    def test_cap_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            Track("g", cap=1)
+
+
+class TestTimeSeries:
+    def test_bin_index_clamps_both_ends(self):
+        series = TimeSeries("g", (), t_max=100.0, bins=10)
+        assert series.bin_index(-5.0) == 0
+        assert series.bin_index(0.0) == 0
+        assert series.bin_index(99.9) == 9
+        assert series.bin_index(100.0) == 9  # loss exactly at mission end
+        assert series.bin_index(250.0) == 9
+
+    def test_observe_tracks_count_sum_min_max(self):
+        series = TimeSeries("g", (), t_max=10.0, bins=2)
+        series.observe(1.0, 3.0)
+        series.observe(2.0, 5.0)
+        series.observe(9.0, 7.0)
+        assert series.counts == [2, 1]
+        assert series.sums == [8.0, 7.0]
+        assert series.mins == [3.0, 7.0]
+        assert series.maxs == [5.0, 7.0]
+
+    def test_merge_is_associative_and_commutative(self):
+        import random
+
+        rnd = random.Random(11)
+        # Exactly-representable values so float sums are order-free.
+        obs = [(rnd.uniform(0, 50), float(rnd.randrange(16)))
+               for _ in range(300)]
+
+        def build(part):
+            s = TimeSeries("g", (), 50.0, 8)
+            for t, v in part:
+                s.observe(t, v)
+            return s
+
+        a, b, c = build(obs[:100]), build(obs[100:180]), build(obs[180:])
+        left = build([]).merge(a).merge(b).merge(c)
+        right = build([]).merge(c).merge(b).merge(a)
+        nested = build([]).merge(build([]).merge(a).merge(c)).merge(b)
+        assert left.to_entry() == right.to_entry() == nested.to_entry()
+
+    def test_merge_layout_mismatch_is_an_error(self):
+        a = TimeSeries("g", (), 100.0, 10)
+        with pytest.raises(ValueError):
+            a.merge(TimeSeries("g", (), 100.0, 20))
+        with pytest.raises(ValueError):
+            a.merge(TimeSeries("g", (), 50.0, 10))
+
+    def test_entry_round_trip(self):
+        series = TimeSeries("g", labels_key({"cell": "m2"}), 10.0, 4)
+        series.observe(1.0, 2.0)
+        series.observe(8.0, 4.0)
+        entry = series.to_entry()
+        again = TimeSeries.from_entry(json.loads(json.dumps(entry)))
+        assert again.to_entry() == entry
+
+    def test_observe_track_folds_raw_samples(self):
+        track = Track("g", cap=64)
+        for i in range(20):
+            track.sample(float(i), 1.0)
+        series = TimeSeries("g", (), 20.0, 4)
+        series.observe_track(track)
+        assert series.count == 20
+
+
+class TestFlightRecorder:
+    def test_tracks_sorted_and_bounded(self):
+        rec = FlightRecorder(cap=8)
+        for i in range(1000):
+            rec.sample("z_gauge", float(i), 1.0)
+            rec.sample("a_gauge", float(i), 2.0)
+        assert [t.name for t in rec.tracks()] == ["a_gauge", "z_gauge"]
+        assert all(len(t.samples) < 8 for t in rec.tracks())
+        assert len(rec) == 2
+
+    def test_binned_entries_carry_labels(self):
+        rec = FlightRecorder()
+        rec.sample("g", 1.0, 5.0)
+        entries = rec.binned(10.0, bins=4, geometry="mirror2",
+                             policy="baseline")
+        assert entries[0]["labels"] == {"geometry": "mirror2",
+                                       "policy": "baseline"}
+        assert entries[0]["bins"] == 4
+
+    def test_snapshot_schema_tag(self):
+        rec = FlightRecorder()
+        rec.sample("g", 0.0, 1.0)
+        snap = rec.to_snapshot()
+        assert snap["schema"] == "repro-timeseries/1"
+        assert snap["tracks"][0]["samples"] == [[0.0, 1.0]]
+
+
+class TestRegistryIntegration:
+    def test_timeseries_is_a_fourth_instrument(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("repro_fleet_latent_blocks", 100.0,
+                                     10, geometry="mirror2")
+        series.observe(5.0, 1.0)
+        assert len(registry) == 1
+        again = registry.timeseries("repro_fleet_latent_blocks", 100.0,
+                                    10, geometry="mirror2")
+        assert again is series
+
+    def test_relayout_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.timeseries("g", 100.0, 10)
+        with pytest.raises(ValueError):
+            registry.timeseries("g", 100.0, 20)
+
+    def test_snapshot_round_trip_and_schema(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("g", 50.0, 5, cell="a")
+        series.observe(10.0, 2.0)
+        snap = registry.snapshot()
+        assert validate_snapshot(snap) == []
+        again = MetricsRegistry.from_snapshot(snap)
+        assert again.snapshot() == snap
+
+    def test_merge_folds_binwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.timeseries("g", 10.0, 2).observe(1.0, 1.0)
+        b.timeseries("g", 10.0, 2).observe(8.0, 3.0)
+        a.merge(b)
+        entry = a.snapshot()["timeseries"][0]
+        assert entry["counts"] == [1, 1]
+        assert entry["sums"] == [1.0, 3.0]
+
+    def test_old_snapshots_without_timeseries_still_load(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snap = registry.snapshot()
+        del snap["timeseries"]
+        again = MetricsRegistry.from_snapshot(snap)
+        assert again.snapshot()["counters"] == registry.snapshot()["counters"]
+
+    def test_prometheus_renders_bin_means_with_timestamps(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("repro_fleet_degraded_members",
+                                     100.0, 10, geometry="m2")
+        series.observe(5.0, 1.0)
+        series.observe(5.0, 3.0)
+        text = render_prometheus(registry.snapshot())
+        # Bin mean = 2, virtual timestamp = bin midpoint (5 h) in ms.
+        assert ('repro_fleet_degraded_members{geometry="m2"} 2 '
+                f"{5 * 3_600_000}") in text
+        assert "# TYPE repro_fleet_degraded_members gauge" in text
+
+    def test_defaults_are_sane(self):
+        assert TRACK_CAP >= 64
+        assert SERIES_BINS >= 12
